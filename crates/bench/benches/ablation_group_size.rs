@@ -1,0 +1,34 @@
+//! Ablation: Wrht's sensitivity to the group size `m` (AlexNet gradient,
+//! paper's largest scale). Prints the swept table once, then times plan
+//! construction + simulation per `m`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use wrht_bench::ablations::group_size_sweep;
+use wrht_bench::report::render_group_size;
+use wrht_bench::ExperimentConfig;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    let n = 1024;
+    let bytes = dnn_models::alexnet().gradient_bytes();
+
+    PRINT.call_once(|| {
+        let points = group_size_sweep(&cfg, n, bytes, &(2..=32).collect::<Vec<_>>());
+        println!("\n{}", render_group_size(&points, n));
+    });
+
+    let mut group = c.benchmark_group("ablation/group_size");
+    group.sample_size(10);
+    for m in [2usize, 4, 8, 16, 32] {
+        group.bench_function(format!("m{m}"), |b| {
+            b.iter(|| std::hint::black_box(group_size_sweep(&cfg, n, bytes, &[m])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

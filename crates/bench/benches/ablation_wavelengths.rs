@@ -1,0 +1,33 @@
+//! Ablation: the wavelength budget `w` (VGG16 gradient, 512 nodes).
+//! Prints the swept table once, then times the sweep per budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+use wrht_bench::ablations::wavelength_sweep;
+use wrht_bench::report::render_wavelengths;
+use wrht_bench::ExperimentConfig;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::default();
+    let n = 512;
+    let bytes = dnn_models::vgg16().gradient_bytes();
+
+    PRINT.call_once(|| {
+        let points = wavelength_sweep(&cfg, n, bytes, &[1, 2, 4, 8, 16, 32, 64]);
+        println!("\n{}", render_wavelengths(&points, n));
+    });
+
+    let mut group = c.benchmark_group("ablation/wavelengths");
+    group.sample_size(10);
+    for w in [4usize, 16, 64] {
+        group.bench_function(format!("w{w}"), |b| {
+            b.iter(|| std::hint::black_box(wavelength_sweep(&cfg, n, bytes, &[w])));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

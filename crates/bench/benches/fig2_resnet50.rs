@@ -1,0 +1,15 @@
+//! Figure 2 sub-figure: resnet50 — E-Ring / RD / O-Ring / WRHT.
+
+mod bench_common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    bench_common::bench_fig2_model(c, &PRINT, dnn_models::resnet50());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

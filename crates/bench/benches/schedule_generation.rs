@@ -1,0 +1,43 @@
+//! Harness micro-benchmarks: schedule construction cost for every
+//! algorithm, and Wrht plan construction across scales.
+
+use collectives::halving_doubling::halving_doubling;
+use collectives::rd::recursive_doubling;
+use collectives::ring::ring_allreduce;
+use collectives::tree::binomial_tree;
+use criterion::{criterion_group, criterion_main, Criterion};
+use wrht_core::plan::build_plan;
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 256;
+    let elems = 1 << 20;
+    let mut group = c.benchmark_group("schedule_generation/baselines");
+    group.sample_size(20);
+    group.bench_function("ring", |b| {
+        b.iter(|| std::hint::black_box(ring_allreduce(n, elems)))
+    });
+    group.bench_function("recursive_doubling", |b| {
+        b.iter(|| std::hint::black_box(recursive_doubling(n, elems)))
+    });
+    group.bench_function("halving_doubling", |b| {
+        b.iter(|| std::hint::black_box(halving_doubling(n, elems)))
+    });
+    group.bench_function("binomial_tree", |b| {
+        b.iter(|| std::hint::black_box(binomial_tree(n, elems)))
+    });
+    group.finish();
+}
+
+fn bench_wrht_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_generation/wrht_plan");
+    group.sample_size(20);
+    for n in [128usize, 512, 1024, 4096] {
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| std::hint::black_box(build_plan(n, 8, 64).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_wrht_plans);
+criterion_main!(benches);

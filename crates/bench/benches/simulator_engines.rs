@@ -1,0 +1,79 @@
+//! Harness micro-benchmarks: the two simulator engines themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use electrical_sim::flow::FlowSpec;
+use electrical_sim::sim::run_flows;
+use electrical_sim::topology::star_cluster;
+use optical_sim::{OpticalConfig, RingSimulator, Strategy, Transfer};
+use wrht_core::lower::to_optical_schedule;
+use wrht_core::plan::build_plan;
+
+fn bench_optical_stepped(c: &mut Criterion) {
+    let n = 256;
+    let plan = build_plan(n, 8, 64).unwrap();
+    let sched = to_optical_schedule(&plan, 100 << 20);
+    let cfg = OpticalConfig::paper_defaults(n);
+    let mut group = c.benchmark_group("engines/optical_stepped");
+    group.sample_size(20);
+    group.bench_function("wrht_n256", |b| {
+        b.iter(|| {
+            let mut sim = RingSimulator::new(cfg.clone());
+            std::hint::black_box(sim.run_stepped(&sched, Strategy::FirstFit).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_optical_event_driven(c: &mut Criterion) {
+    let n = 128;
+    let cfg = OpticalConfig::new(n, 8);
+    let released: Vec<(f64, Transfer)> = (0..n)
+        .map(|i| {
+            (
+                0.0,
+                Transfer::shortest(
+                    optical_sim::NodeId(i),
+                    optical_sim::NodeId((i + 13) % n),
+                    1 << 20,
+                ),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("engines/optical_event_driven");
+    group.sample_size(20);
+    group.bench_function("contended_n128", |b| {
+        b.iter(|| {
+            let mut sim = RingSimulator::new(cfg.clone());
+            std::hint::black_box(sim.run_event_driven(&released).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    let n = 1024;
+    let net = star_cluster(n, 12.5e9, 500e-9);
+    // One ring step: n simultaneous neighbour flows.
+    let flows: Vec<FlowSpec> = (0..n)
+        .map(|i| FlowSpec::new(i, (i + 1) % n, 1 << 20))
+        .collect();
+    let mut group = c.benchmark_group("engines/fluid");
+    group.sample_size(20);
+    group.bench_function("ring_step_n1024", |b| {
+        b.iter(|| std::hint::black_box(run_flows(&net, &flows).unwrap()))
+    });
+    // Incast: everyone to host 0 — the hard sharing case.
+    let incast: Vec<FlowSpec> = (1..n).map(|i| FlowSpec::new(i, 0, 1 << 16)).collect();
+    group.bench_function("incast_n1024", |b| {
+        b.iter(|| std::hint::black_box(run_flows(&net, &incast).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optical_stepped,
+    bench_optical_event_driven,
+    bench_fluid
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment-wide physical constants.
+//!
+//! The poster does not publish its simulator constants; these defaults are
+//! the documented substitution (DESIGN.md §3/§6):
+//!
+//! * **Optical** — TeraRack-flavoured: 64 wavelengths × 25 Gb/s, 50 ns
+//!   per-message SerDes + E/O + O/E overhead, 5 ns/hop propagation.
+//! * **Electrical** — a switched cluster with 100 Gb/s full-duplex host
+//!   ports, 500 ns per-link latency and a 5 µs per-step protocol/launch
+//!   overhead (NIC + MPI-level costs SimGrid platforms typically encode).
+
+use optical_sim::OpticalConfig;
+use serde::{Deserialize, Serialize};
+
+/// All constants of one experiment campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Wavelengths per waveguide.
+    pub wavelengths: usize,
+    /// Bandwidth per wavelength, bytes/s.
+    pub lambda_bandwidth_bps: f64,
+    /// Optical per-message overhead, seconds.
+    pub optical_overhead_s: f64,
+    /// Optical per-hop propagation, seconds.
+    pub optical_hop_s: f64,
+    /// Electrical host-port bandwidth, bytes/s.
+    pub electrical_port_bps: f64,
+    /// Electrical per-link latency, seconds.
+    pub electrical_latency_s: f64,
+    /// Electrical per-step protocol overhead, seconds.
+    pub electrical_step_overhead_s: f64,
+    /// Node counts swept in Figure 2.
+    pub scales: Vec<usize>,
+    /// Bytes per gradient element (fp32).
+    pub bytes_per_elem: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            wavelengths: 64,
+            lambda_bandwidth_bps: 25.0e9 / 8.0,
+            optical_overhead_s: 50e-9,
+            optical_hop_s: 5e-9,
+            electrical_port_bps: 100.0e9 / 8.0,
+            electrical_latency_s: 500e-9,
+            electrical_step_overhead_s: 5e-6,
+            scales: vec![128, 256, 512, 1024],
+            bytes_per_elem: 4,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced-scale configuration for fast tests and CI.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            scales: vec![16, 32, 64],
+            ..Self::default()
+        }
+    }
+
+    /// Optical ring configuration for `n` nodes.
+    #[must_use]
+    pub fn optical(&self, n: usize) -> OpticalConfig {
+        OpticalConfig::new(n, self.wavelengths)
+            .with_lambda_bandwidth(self.lambda_bandwidth_bps)
+            .with_message_overhead(self.optical_overhead_s)
+            .with_hop_propagation(self.optical_hop_s)
+    }
+
+    /// Electrical switched-cluster network for `n` hosts.
+    #[must_use]
+    pub fn electrical(&self, n: usize) -> electrical_sim::Network {
+        electrical_sim::topology::star_cluster(
+            n,
+            self.electrical_port_bps,
+            self.electrical_latency_s,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_terarack_like() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.wavelengths, 64);
+        assert_eq!(c.scales, vec![128, 256, 512, 1024]);
+        let opt = c.optical(128);
+        assert_eq!(opt.nodes, 128);
+        assert_eq!(opt.wavelengths, 64);
+        let net = c.electrical(16);
+        assert_eq!(net.hosts(), 16);
+    }
+
+    #[test]
+    fn small_config_shrinks_scales_only() {
+        let c = ExperimentConfig::small();
+        assert_eq!(c.wavelengths, ExperimentConfig::default().wavelengths);
+        assert!(c.scales.iter().all(|&n| n <= 64));
+    }
+}

@@ -1,0 +1,25 @@
+//! # wrht-bench — the experiment harness
+//!
+//! Every table and figure of the paper's evaluation is regenerated from
+//! here; the Criterion benches and the `repro-figures` binary are thin
+//! wrappers over these functions.
+//!
+//! * [`config::ExperimentConfig`] — the physical constants of both
+//!   platforms (documented substitutions for the paper's unstated values);
+//! * [`fig2`] — Figure 2: E-Ring / RD / O-Ring / WRHT across the four DNN
+//!   models and 128–1024 nodes, plus the headline reduction percentages;
+//! * [`ablations`] — group-size, wavelength-count, RWA-strategy and
+//!   overlap extension studies;
+//! * [`report`] — table/JSON rendering.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ablations;
+pub mod config;
+pub mod contention;
+pub mod fig2;
+pub mod report;
+
+pub use config::ExperimentConfig;
+pub use fig2::{fig2_row, fig2_series, headline, Fig2Row, Fig2Series, Headline};

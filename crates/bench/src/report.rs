@@ -1,0 +1,289 @@
+//! Human-readable tables and machine-readable JSON for every experiment.
+
+use crate::ablations::{FitCompare, GroupSizePoint, OverlapPoint, VariantPoint, WavelengthPoint};
+use crate::contention::ContentionReport;
+use crate::fig2::{Fig2Series, Headline};
+use std::fmt::Write as _;
+
+/// Format seconds as engineering-friendly milliseconds.
+#[must_use]
+pub fn ms(t: f64) -> String {
+    format!("{:10.3}", t * 1e3)
+}
+
+/// Render one Figure-2 sub-figure as an aligned table.
+///
+/// The `norm` column matches the paper's "normalized time" axis: every cell
+/// divided by the Wrht value at the smallest scale of the same model.
+#[must_use]
+pub fn render_fig2(series: &Fig2Series) -> String {
+    let mut out = String::new();
+    let unit = series.rows.first().map_or(1.0, |r| r.wrht_s);
+    let _ = writeln!(
+        out,
+        "== Figure 2 — {} ({:.1} MB gradient) ==",
+        series.model,
+        series.gradient_bytes as f64 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8} {:>4} {:>6}",
+        "nodes", "E-Ring ms", "norm", "RD ms", "norm", "O-Ring ms", "norm", "WRHT ms", "norm", "m", "steps"
+    );
+    for r in &series.rows {
+        let _ = writeln!(
+            out,
+            "{:>6} | {} {:>8.2} | {} {:>8.2} | {} {:>8.2} | {} {:>8.2} {:>4} {:>6}",
+            r.n,
+            ms(r.e_ring_s),
+            r.e_ring_s / unit,
+            ms(r.rd_s),
+            r.rd_s / unit,
+            ms(r.o_ring_s),
+            r.o_ring_s / unit,
+            ms(r.wrht_s),
+            r.wrht_s / unit,
+            r.wrht_m,
+            r.wrht_steps
+        );
+    }
+    out
+}
+
+/// Render the headline reductions.
+#[must_use]
+pub fn render_headline(h: &Headline) -> String {
+    format!(
+        "== Headline (paper: 75.76% vs electrical, 91.86% vs O-Ring) ==\n\
+         Wrht reduces communication time by {:.2}% vs the electrical \
+         algorithms (mean of E-Ring & RD)\n\
+         and by {:.2}% vs Ring all-reduce on the optical ring, over {} \
+         (model, scale) cells.\n",
+        h.vs_electrical_pct, h.vs_oring_pct, h.cells
+    )
+}
+
+/// Render the group-size ablation.
+#[must_use]
+pub fn render_group_size(points: &[GroupSizePoint], n: usize) -> String {
+    let mut out = format!("== Ablation: group size m (n = {n}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>12} {:>12} {:>6} {:>6}",
+        "m", "predicted ms", "simulated ms", "steps", "depth"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>12.3} {:>12.3} {:>6} {:>6}",
+            p.m,
+            p.predicted_s * 1e3,
+            p.simulated_s * 1e3,
+            p.steps,
+            p.depth
+        );
+    }
+    out
+}
+
+/// Render the wavelength ablation.
+#[must_use]
+pub fn render_wavelengths(points: &[WavelengthPoint], n: usize) -> String {
+    let mut out = format!("== Ablation: wavelength budget w (n = {n}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>12} {:>6} {:>12} {:>10}",
+        "w", "WRHT ms", "m", "O-Ring ms", "speedup"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>12.3} {:>6} {:>12.3} {:>9.1}x",
+            p.w,
+            p.wrht_s * 1e3,
+            p.chosen_m,
+            p.o_ring_s * 1e3,
+            p.o_ring_s / p.wrht_s
+        );
+    }
+    out
+}
+
+/// Render the RWA-strategy comparison.
+#[must_use]
+pub fn render_fit(c: &FitCompare, n: usize) -> String {
+    format!(
+        "== Ablation: RWA strategy (n = {n}, m = {}) ==\n\
+         first-fit: {:.3} ms using {} wavelengths peak\n\
+         best-fit : {:.3} ms using {} wavelengths peak\n",
+        c.m,
+        c.first_fit_s * 1e3,
+        c.first_fit_peak,
+        c.best_fit_s * 1e3,
+        c.best_fit_peak
+    )
+}
+
+/// Render the overlap extension study.
+#[must_use]
+pub fn render_overlap(points: &[OverlapPoint], n: usize) -> String {
+    let mut out = format!("== Extension: layer-wise overlap (n = {n}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>14} {:>14} {:>8}",
+        "model", "buckets", "overlapped ms", "sequential ms", "hidden"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>14.3} {:>14.3} {:>7.1}%",
+            p.model,
+            p.buckets,
+            p.overlapped_s * 1e3,
+            p.sequential_s * 1e3,
+            p.hidden_fraction * 100.0
+        );
+    }
+    out
+}
+
+/// Render the Wrht⁺ variant comparison.
+#[must_use]
+pub fn render_variants(points: &[VariantPoint], n: usize) -> String {
+    let mut out = format!("== Extension: Wrht+ variants (n = {n}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>12} {:>12} {:>14} {:>5}",
+        "model", "paper ms", "bestdep ms", "mcast ms", "segmented ms", "k"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10.3} {:>12.3} {:>12.3} {:>14.3} {:>5}",
+            p.model,
+            p.paper_s * 1e3,
+            p.best_depth_s * 1e3,
+            p.multicast_s * 1e3,
+            p.segmented_s * 1e3,
+            p.segments
+        );
+    }
+    out
+}
+
+/// Render contention study reports.
+#[must_use]
+pub fn render_contention(reports: &[ContentionReport], n: usize, w: usize) -> String {
+    let mut out = format!("== Extension: event-driven contention (n = {n}, w = {w}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>14} {:>10} {:>12} {:>10} {:>14}",
+        "pattern", "transfers", "makespan ms", "peak conc", "longest ms"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:>14} {:>10} {:>12.3} {:>10} {:>14.3}",
+            format!("{:?}", r.pattern),
+            r.transfers,
+            r.makespan_s * 1e3,
+            r.peak_concurrency,
+            r.longest_transfer_s * 1e3
+        );
+    }
+    out
+}
+
+/// Serialize any experiment payload as pretty JSON.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("experiment types serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2::Fig2Row;
+
+    fn series() -> Fig2Series {
+        Fig2Series {
+            model: "TestNet".into(),
+            gradient_bytes: 4_000_000,
+            rows: vec![Fig2Row {
+                n: 16,
+                e_ring_s: 4e-3,
+                rd_s: 8e-3,
+                o_ring_s: 12e-3,
+                wrht_s: 1e-3,
+                wrht_m: 4,
+                wrht_steps: 5,
+            }],
+        }
+    }
+
+    #[test]
+    fn fig2_table_contains_all_columns() {
+        let t = render_fig2(&series());
+        assert!(t.contains("TestNet"));
+        assert!(t.contains("E-Ring"));
+        assert!(t.contains("WRHT"));
+        assert!(t.contains("16"));
+    }
+
+    #[test]
+    fn headline_mentions_paper_targets() {
+        let h = Headline {
+            vs_electrical_pct: 70.0,
+            vs_oring_pct: 90.0,
+            cells: 16,
+        };
+        let t = render_headline(&h);
+        assert!(t.contains("75.76%"));
+        assert!(t.contains("70.00%"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = series();
+        let json = to_json(&s);
+        let back: Fig2Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn variants_table_renders_all_columns() {
+        let p = VariantPoint {
+            model: "TestNet".into(),
+            paper_s: 10e-3,
+            best_depth_s: 8e-3,
+            multicast_s: 7e-3,
+            segmented_s: 6e-3,
+            segments: 4,
+        };
+        let t = render_variants(&[p], 256);
+        assert!(t.contains("TestNet"));
+        assert!(t.contains("10.000"));
+        assert!(t.contains("n = 256"));
+    }
+
+    #[test]
+    fn contention_table_renders() {
+        use crate::contention::{ContentionReport, Pattern};
+        let r = ContentionReport {
+            pattern: Pattern::Incast,
+            transfers: 12,
+            makespan_s: 3e-3,
+            peak_concurrency: 2,
+            longest_transfer_s: 1e-3,
+        };
+        let t = render_contention(&[r], 64, 4);
+        assert!(t.contains("Incast"));
+        assert!(t.contains("12"));
+        assert!(t.contains("w = 4"));
+    }
+
+    #[test]
+    fn ms_formats_fixed_width() {
+        assert_eq!(ms(1.0).trim(), "1000.000");
+        assert_eq!(ms(0.0005).trim(), "0.500");
+    }
+}

@@ -1,0 +1,173 @@
+//! Quantitative schedule analysis: volumes, balance and optimality ratios.
+//!
+//! The classic all-reduce lower bounds: every node must send at least
+//! `(n−1)/n · S` elements during reduce-scatter-equivalent work and the
+//! same again for all-gather-equivalent work (bandwidth bound `2S(n−1)/n`),
+//! and any algorithm needs at least `⌈log₂ n⌉` communication rounds
+//! (latency bound). These metrics quantify where each algorithm sits.
+
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics of one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleAnalysis {
+    /// Number of communication steps (latency proxy).
+    pub steps: usize,
+    /// Elements sent by each node over the whole schedule.
+    pub sent_per_node: Vec<usize>,
+    /// Elements received by each node.
+    pub received_per_node: Vec<usize>,
+    /// Largest number of concurrent transfers in any step.
+    pub peak_step_width: usize,
+    /// Steps in which each node participates (sender or receiver).
+    pub active_steps_per_node: Vec<usize>,
+}
+
+impl ScheduleAnalysis {
+    /// Heaviest sender's total volume.
+    #[must_use]
+    pub fn max_sent(&self) -> usize {
+        self.sent_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ratio of the heaviest sender's volume to the bandwidth lower bound
+    /// `2·elems·(n−1)/n`; 1.0 means bandwidth-optimal (ring), larger means
+    /// the algorithm trades bandwidth for latency (recursive doubling).
+    #[must_use]
+    pub fn bandwidth_optimality(&self, n: usize, elems: usize) -> f64 {
+        if n < 2 || elems == 0 {
+            return 1.0;
+        }
+        let bound = 2.0 * elems as f64 * (n as f64 - 1.0) / n as f64;
+        self.max_sent() as f64 / bound
+    }
+
+    /// Ratio of the step count to the latency lower bound `⌈log₂ n⌉`.
+    #[must_use]
+    pub fn latency_optimality(&self, n: usize) -> f64 {
+        if n < 2 {
+            return 1.0;
+        }
+        let bound = (usize::BITS - (n - 1).leading_zeros()) as f64;
+        self.steps as f64 / bound
+    }
+
+    /// Send-volume imbalance: max/mean over nodes (1.0 = perfectly even).
+    #[must_use]
+    pub fn send_imbalance(&self) -> f64 {
+        let total: usize = self.sent_per_node.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.sent_per_node.len() as f64;
+        self.max_sent() as f64 / mean
+    }
+}
+
+/// Compute all metrics for a schedule.
+#[must_use]
+pub fn analyze(schedule: &Schedule) -> ScheduleAnalysis {
+    let n = schedule.n;
+    let mut sent = vec![0usize; n];
+    let mut received = vec![0usize; n];
+    let mut active = vec![0usize; n];
+    let mut peak = 0;
+    for step in &schedule.steps {
+        peak = peak.max(step.transfers.len());
+        let mut touched = vec![false; n];
+        for t in &step.transfers {
+            sent[t.src] += t.elems();
+            received[t.dst] += t.elems();
+            touched[t.src] = true;
+            touched[t.dst] = true;
+        }
+        for (node, &hit) in touched.iter().enumerate() {
+            if hit {
+                active[node] += 1;
+            }
+        }
+    }
+    ScheduleAnalysis {
+        steps: schedule.step_count(),
+        sent_per_node: sent,
+        received_per_node: received,
+        peak_step_width: peak,
+        active_steps_per_node: active,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::halving_doubling::halving_doubling;
+    use crate::rd::recursive_doubling;
+    use crate::ring::ring_allreduce;
+    use crate::tree::binomial_tree;
+
+    #[test]
+    fn ring_is_bandwidth_optimal_but_latency_poor() {
+        let n = 16;
+        let elems = 1600;
+        let a = analyze(&ring_allreduce(n, elems));
+        let bw = a.bandwidth_optimality(n, elems);
+        assert!((bw - 1.0).abs() < 0.01, "ring bw ratio {bw}");
+        assert!(a.latency_optimality(n) > 5.0); // 30 steps vs log2 16 = 4
+        assert!((a.send_imbalance() - 1.0).abs() < 1e-9); // perfectly even
+    }
+
+    #[test]
+    fn recursive_doubling_is_latency_optimal_but_bandwidth_poor() {
+        let n = 16;
+        let elems = 1600;
+        let a = analyze(&recursive_doubling(n, elems));
+        assert!((a.latency_optimality(n) - 1.0).abs() < 1e-9); // 4 steps
+        // Sends log2(n) * S: ratio = 4 / (2*15/16) ~= 2.13.
+        assert!(a.bandwidth_optimality(n, elems) > 2.0);
+    }
+
+    #[test]
+    fn halving_doubling_is_close_to_both_bounds() {
+        let n = 16;
+        let elems = 1600;
+        let a = analyze(&halving_doubling(n, elems));
+        assert!((a.latency_optimality(n) - 2.0).abs() < 1e-9); // 2 log2 n
+        assert!(a.bandwidth_optimality(n, elems) < 1.1);
+    }
+
+    #[test]
+    fn tree_concentrates_load_at_the_root() {
+        let n = 16;
+        let elems = 160;
+        let a = analyze(&binomial_tree(n, elems));
+        // Root (node 0) receives log2(n) full buffers in reduce and sends
+        // log2(n) in broadcast: heavily imbalanced.
+        assert!(a.send_imbalance() > 1.5);
+        assert_eq!(a.received_per_node[0], 4 * elems);
+    }
+
+    #[test]
+    fn conservation_sent_equals_received() {
+        for sched in [
+            ring_allreduce(9, 90),
+            recursive_doubling(9, 90),
+            halving_doubling(9, 90),
+            binomial_tree(9, 90),
+        ] {
+            let a = analyze(&sched);
+            let sent: usize = a.sent_per_node.iter().sum();
+            let recv: usize = a.received_per_node.iter().sum();
+            assert_eq!(sent, recv, "{}", sched.name);
+            assert_eq!(sent, sched.total_elems_moved());
+        }
+    }
+
+    #[test]
+    fn empty_schedule_analysis() {
+        let a = analyze(&ring_allreduce(1, 10));
+        assert_eq!(a.steps, 0);
+        assert_eq!(a.max_sent(), 0);
+        assert_eq!(a.send_imbalance(), 1.0);
+        assert_eq!(a.bandwidth_optimality(1, 10), 1.0);
+    }
+}

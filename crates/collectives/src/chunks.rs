@@ -1,0 +1,69 @@
+//! Even chunking of a buffer into `n` contiguous ranges.
+
+use std::ops::Range;
+
+/// The `i`-th of `n` near-equal chunks of `0..elems`.
+///
+/// The first `elems % n` chunks get one extra element, so sizes differ by at
+/// most one and the union of all chunks is exactly `0..elems`.
+#[must_use]
+pub fn chunk_range(elems: usize, n: usize, i: usize) -> Range<usize> {
+    assert!(n > 0, "cannot chunk into zero pieces");
+    assert!(i < n, "chunk index {i} out of {n}");
+    let base = elems / n;
+    let extra = elems % n;
+    let start = i * base + i.min(extra);
+    let len = base + usize::from(i < extra);
+    start..start + len
+}
+
+/// Sizes of all `n` chunks of `elems` elements.
+#[must_use]
+pub fn chunk_sizes(elems: usize, n: usize) -> Vec<usize> {
+    (0..n).map(|i| chunk_range(elems, n, i).len()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_the_buffer() {
+        for elems in [0usize, 1, 7, 64, 1000, 12345] {
+            for n in [1usize, 2, 3, 8, 17] {
+                let mut covered = 0;
+                for i in 0..n {
+                    let r = chunk_range(elems, n, i);
+                    assert_eq!(r.start, covered, "gap before chunk {i}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, elems);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        for elems in [5usize, 100, 1001] {
+            for n in [2usize, 3, 7, 16] {
+                let sizes = chunk_sizes(elems, n);
+                let max = *sizes.iter().max().unwrap();
+                let min = *sizes.iter().min().unwrap();
+                assert!(max - min <= 1);
+                assert_eq!(sizes.iter().sum::<usize>(), elems);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pieces")]
+    fn zero_chunks_panics() {
+        let _ = chunk_range(10, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn oob_chunk_panics() {
+        let _ = chunk_range(10, 2, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Logical executor: applies a schedule to real buffers.
+//!
+//! Semantics are message-passing with *step snapshots*: every transfer of a
+//! step reads the sender's buffer as it was at the **start** of the step,
+//! so intra-step ordering cannot matter (this is what a barrier-synchronous
+//! network gives you). Receiver side applies [`Op::ReduceInto`] (add) or
+//! [`Op::Copy`] (overwrite).
+
+use crate::schedule::{Op, Schedule, ScheduleError};
+
+/// Execute `schedule` starting from `inputs` (one buffer per node) and
+/// return the final buffers.
+///
+/// # Panics
+/// Panics if `inputs` does not match the schedule's `n`/`elems` — callers
+/// should `validate()` first; this is an executor for tests and verification,
+/// not a hot path.
+#[must_use]
+pub fn execute(schedule: &Schedule, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    assert_eq!(inputs.len(), schedule.n, "one input buffer per node");
+    for buf in inputs {
+        assert_eq!(buf.len(), schedule.elems, "buffer length mismatch");
+    }
+    let mut bufs: Vec<Vec<f64>> = inputs.to_vec();
+    for step in &schedule.steps {
+        // Snapshot senders to give barrier semantics.
+        let snapshot = bufs.clone();
+        for t in &step.transfers {
+            let payload = &snapshot[t.src][t.range.clone()];
+            let dst = &mut bufs[t.dst][t.range.clone()];
+            match t.op {
+                Op::ReduceInto => {
+                    for (d, s) in dst.iter_mut().zip(payload) {
+                        *d += s;
+                    }
+                }
+                Op::Copy => dst.copy_from_slice(payload),
+            }
+        }
+    }
+    bufs
+}
+
+/// Validate a schedule and check that it implements **all-reduce (sum)**:
+/// executed on distinguishable inputs, every node must end with the
+/// element-wise sum of all inputs.
+///
+/// Inputs are chosen so each (node, element) contribution is unique
+/// (`node * elems + idx + 1`), which catches duplicated as well as missing
+/// contributions.
+pub fn verify_allreduce(schedule: &Schedule) -> Result<(), String> {
+    schedule.validate().map_err(|e: ScheduleError| e.to_string())?;
+    let n = schedule.n;
+    let elems = schedule.elems;
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|node| {
+            (0..elems)
+                .map(|i| (node * elems + i + 1) as f64)
+                .collect()
+        })
+        .collect();
+    let expected: Vec<f64> = (0..elems)
+        .map(|i| (0..n).map(|node| (node * elems + i + 1) as f64).sum())
+        .collect();
+    let outputs = execute(schedule, &inputs);
+    for (node, out) in outputs.iter().enumerate() {
+        for (i, (&got, &want)) in out.iter().zip(&expected).enumerate() {
+            // Sums of integers below 2^53 are exact in f64.
+            if got != want {
+                return Err(format!(
+                    "schedule '{}' is not an all-reduce: node {node} elem {i}: got {got}, want {want}",
+                    schedule.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Step, TransferSpec};
+
+    /// Hand-written 2-node all-reduce: exchange + add, in two steps.
+    fn two_node_allreduce() -> Schedule {
+        let mut s = Schedule::new(2, 3, "two-node");
+        s.push_step(Step::new(vec![TransferSpec::new(
+            0,
+            1,
+            0..3,
+            Op::ReduceInto,
+        )]));
+        s.push_step(Step::new(vec![TransferSpec::new(1, 0, 0..3, Op::Copy)]));
+        s
+    }
+
+    #[test]
+    fn executes_reduce_then_copy() {
+        let s = two_node_allreduce();
+        let out = execute(&s, &[vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]);
+        assert_eq!(out[0], vec![11.0, 22.0, 33.0]);
+        assert_eq!(out[1], vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn verify_accepts_correct_schedule() {
+        verify_allreduce(&two_node_allreduce()).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_incomplete_schedule() {
+        // Only the reduce half: node 0 never learns the sum.
+        let mut s = Schedule::new(2, 3, "broken");
+        s.push_step(Step::new(vec![TransferSpec::new(
+            0,
+            1,
+            0..3,
+            Op::ReduceInto,
+        )]));
+        let err = verify_allreduce(&s).unwrap_err();
+        assert!(err.contains("not an all-reduce"), "{err}");
+    }
+
+    #[test]
+    fn verify_rejects_double_count() {
+        // Node 0 sends twice across two steps; node 1 double-adds.
+        let mut s = Schedule::new(2, 1, "dup");
+        s.push_step(Step::new(vec![TransferSpec::new(
+            0,
+            1,
+            0..1,
+            Op::ReduceInto,
+        )]));
+        s.push_step(Step::new(vec![TransferSpec::new(
+            0,
+            1,
+            0..1,
+            Op::ReduceInto,
+        )]));
+        s.push_step(Step::new(vec![TransferSpec::new(1, 0, 0..1, Op::Copy)]));
+        assert!(verify_allreduce(&s).is_err());
+    }
+
+    #[test]
+    fn snapshot_semantics_within_a_step() {
+        // Nodes 0 and 1 swap-and-add simultaneously; both must read the
+        // other's PRE-step value.
+        let mut s = Schedule::new(2, 1, "swap");
+        s.push_step(Step::new(vec![
+            TransferSpec::new(0, 1, 0..1, Op::ReduceInto),
+            TransferSpec::new(1, 0, 0..1, Op::ReduceInto),
+        ]));
+        let out = execute(&s, &[vec![1.0], vec![2.0]]);
+        assert_eq!(out[0], vec![3.0]);
+        assert_eq!(out[1], vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input buffer per node")]
+    fn wrong_input_count_panics() {
+        let _ = execute(&two_node_allreduce(), &[vec![0.0; 3]]);
+    }
+
+    #[test]
+    fn verify_catches_invalid_structure() {
+        let mut s = Schedule::new(2, 1, "oob");
+        s.push_step(Step::new(vec![TransferSpec::new(0, 7, 0..1, Op::Copy)]));
+        assert!(verify_allreduce(&s).is_err());
+    }
+}

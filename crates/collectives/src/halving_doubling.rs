@@ -1,0 +1,149 @@
+//! Rabenseifner's halving-doubling all-reduce.
+//!
+//! Recursive *halving* reduce-scatter (exchange shrinking halves at
+//! growing distances... actually shrinking distances) followed by recursive
+//! *doubling* all-gather. Bandwidth-optimal like the ring but with only
+//! `2 log2 p` steps; included as an extension baseline beyond the paper's
+//! E-Ring/RD pair. Non-power-of-two counts use the same pre/post fixup as
+//! recursive doubling.
+
+use crate::rd::pow2_floor;
+use crate::schedule::{Op, Schedule, Step, TransferSpec};
+use std::ops::Range;
+
+/// Build the halving-doubling all-reduce schedule.
+#[must_use]
+pub fn halving_doubling(n: usize, elems: usize) -> Schedule {
+    let mut sched = Schedule::new(n, elems, format!("halving-doubling(n={n})"));
+    if n < 2 {
+        return sched;
+    }
+    let p = pow2_floor(n);
+    let r = n - p;
+    let node_of = |j: usize| if j < r { 2 * j } else { j + r };
+
+    if r > 0 {
+        let mut step = Step::default();
+        for j in 0..r {
+            step.transfers.push(TransferSpec::new(
+                2 * j + 1,
+                2 * j,
+                0..elems,
+                Op::ReduceInto,
+            ));
+        }
+        sched.push_step(step);
+    }
+
+    // Recursive halving reduce-scatter. Every participant tracks the range
+    // it is still responsible for; at distance `dist` it keeps the half
+    // matching its `dist` bit and sends the other half.
+    let mut ranges: Vec<Range<usize>> = vec![0..elems; p];
+    let mut dist = p / 2;
+    let mut halving_order = Vec::new(); // remember distances for the gather
+    while dist >= 1 {
+        let mut step = Step::default();
+        #[allow(clippy::needless_range_loop)] // j is the participant id, not just an index
+        for j in 0..p {
+            let partner = j ^ dist;
+            let my = ranges[j].clone();
+            let mid = my.start + my.len() / 2;
+            let (keep, send) = if j & dist == 0 {
+                (my.start..mid, mid..my.end)
+            } else {
+                (mid..my.end, my.start..mid)
+            };
+            if !send.is_empty() {
+                step.transfers.push(TransferSpec::new(
+                    node_of(j),
+                    node_of(partner),
+                    send,
+                    Op::ReduceInto,
+                ));
+            }
+            ranges[j] = keep;
+        }
+        sched.push_step(step);
+        halving_order.push(dist);
+        dist /= 2;
+    }
+
+    // Recursive doubling all-gather: retrace distances in reverse, sending
+    // the currently owned (fully reduced) range and merging with the
+    // partner's adjacent range.
+    for &dist in halving_order.iter().rev() {
+        let mut step = Step::default();
+        let snapshot = ranges.clone();
+        #[allow(clippy::needless_range_loop)] // j is the participant id, not just an index
+        for j in 0..p {
+            let partner = j ^ dist;
+            let send = snapshot[j].clone();
+            if !send.is_empty() {
+                step.transfers
+                    .push(TransferSpec::new(node_of(j), node_of(partner), send, Op::Copy));
+            }
+            let other = snapshot[partner].clone();
+            ranges[j] = ranges[j].start.min(other.start)..ranges[j].end.max(other.end);
+        }
+        sched.push_step(step);
+    }
+
+    if r > 0 {
+        let mut step = Step::default();
+        for j in 0..r {
+            step.transfers
+                .push(TransferSpec::new(2 * j, 2 * j + 1, 0..elems, Op::Copy));
+        }
+        sched.push_step(step);
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::verify_allreduce;
+
+    #[test]
+    fn correct_for_powers_of_two() {
+        for n in [2usize, 4, 8, 16, 32] {
+            verify_allreduce(&halving_doubling(n, 32)).unwrap();
+        }
+    }
+
+    #[test]
+    fn correct_for_non_powers_of_two() {
+        for n in [3usize, 5, 6, 7, 11, 20] {
+            verify_allreduce(&halving_doubling(n, 16)).unwrap();
+        }
+    }
+
+    #[test]
+    fn correct_with_odd_element_counts() {
+        for elems in [1usize, 3, 7, 17, 33] {
+            verify_allreduce(&halving_doubling(8, elems)).unwrap();
+        }
+    }
+
+    #[test]
+    fn step_count_is_2_log_p_plus_fixup() {
+        assert_eq!(halving_doubling(8, 64).step_count(), 6);
+        assert_eq!(halving_doubling(16, 64).step_count(), 8);
+        assert_eq!(halving_doubling(12, 64).step_count(), 2 + 6);
+    }
+
+    #[test]
+    fn moves_less_than_rd() {
+        let hd = halving_doubling(16, 1600).total_elems_moved();
+        let rd = crate::rd::recursive_doubling(16, 1600).total_elems_moved();
+        assert!(
+            hd < rd / 2,
+            "halving-doubling should move far less: {hd} vs {rd}"
+        );
+    }
+
+    #[test]
+    fn validates() {
+        halving_doubling(16, 100).validate().unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! # collectives — all-reduce schedules and a correctness-checking executor
+//!
+//! All-reduce algorithms are expressed as *schedules*: step-synchronous
+//! sequences of point-to-point transfers over chunk ranges of each node's
+//! buffer ([`schedule::Schedule`]). The same schedule object can be
+//!
+//! * executed *logically* over real `f64` buffers to prove it computes an
+//!   all-reduce ([`executor::execute`], [`executor::verify_allreduce`]);
+//! * lowered to per-step byte transfers for a network simulator
+//!   ([`schedule::Schedule::step_transfers`]).
+//!
+//! Implemented algorithms:
+//!
+//! * [`ring::ring_allreduce`] — Patarasuk–Yuan bandwidth-optimal ring
+//!   (reduce-scatter + all-gather, `2(n-1)` steps), the paper's E-Ring and
+//!   O-Ring baseline;
+//! * [`rd::recursive_doubling`] — latency-optimal recursive doubling
+//!   (the paper's RD baseline), with the standard non-power-of-two fixup;
+//! * [`halving_doubling::halving_doubling`] — Rabenseifner's recursive
+//!   halving reduce-scatter + recursive doubling all-gather;
+//! * [`tree::binomial_tree`] — binomial-tree reduce + broadcast.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+pub mod chunks;
+pub mod executor;
+pub mod halving_doubling;
+pub mod primitives;
+pub mod rd;
+pub mod ring;
+pub mod schedule;
+pub mod tree;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::analysis::{analyze, ScheduleAnalysis};
+    pub use crate::chunks::chunk_range;
+    pub use crate::executor::{execute, verify_allreduce};
+    pub use crate::halving_doubling::halving_doubling;
+    pub use crate::primitives::{
+        concat, ring_allgather, ring_reduce_scatter, tree_broadcast, tree_reduce,
+        verify_broadcast, verify_reduce, verify_reduce_scatter,
+    };
+    pub use crate::rd::recursive_doubling;
+    pub use crate::ring::ring_allreduce;
+    pub use crate::schedule::{Op, Schedule, ScheduleError, Step, TransferSpec};
+    pub use crate::tree::binomial_tree;
+}
+
+pub use chunks::chunk_range;
+pub use executor::{execute, verify_allreduce};
+pub use schedule::{Op, Schedule, ScheduleError, Step, TransferSpec};

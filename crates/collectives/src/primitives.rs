@@ -1,0 +1,288 @@
+//! The component collectives all-reduce decomposes into: reduce-scatter,
+//! all-gather, reduce and broadcast — each with a ring implementation and a
+//! logical verifier. Wrht's stages are exactly a (hierarchical) reduce
+//! followed by a broadcast; these primitives let downstream users compose
+//! custom pipelines and let tests check stage semantics in isolation.
+
+use crate::chunks::chunk_range;
+use crate::executor::execute;
+use crate::schedule::{Op, Schedule, Step, TransferSpec};
+
+/// Ring reduce-scatter: after `n-1` steps node `i` holds the fully reduced
+/// chunk `(i+1) mod n` (the first half of ring all-reduce).
+#[must_use]
+pub fn ring_reduce_scatter(n: usize, elems: usize) -> Schedule {
+    let mut sched = Schedule::new(n, elems, format!("ring-reduce-scatter(n={n})"));
+    if n < 2 {
+        return sched;
+    }
+    for k in 0..n - 1 {
+        let mut step = Step::default();
+        for i in 0..n {
+            let chunk = (i + n - (k % n)) % n;
+            let range = chunk_range(elems, n, chunk);
+            if !range.is_empty() {
+                step.transfers
+                    .push(TransferSpec::new(i, (i + 1) % n, range, Op::ReduceInto));
+            }
+        }
+        sched.push_step(step);
+    }
+    sched
+}
+
+/// Ring all-gather assuming node `i` owns chunk `(i+1) mod n`
+/// (the second half of ring all-reduce).
+#[must_use]
+pub fn ring_allgather(n: usize, elems: usize) -> Schedule {
+    let mut sched = Schedule::new(n, elems, format!("ring-allgather(n={n})"));
+    if n < 2 {
+        return sched;
+    }
+    for k in 0..n - 1 {
+        let mut step = Step::default();
+        for i in 0..n {
+            let chunk = (i + 1 + n - (k % n)) % n;
+            let range = chunk_range(elems, n, chunk);
+            if !range.is_empty() {
+                step.transfers
+                    .push(TransferSpec::new(i, (i + 1) % n, range, Op::Copy));
+            }
+        }
+        sched.push_step(step);
+    }
+    sched
+}
+
+/// Binomial-tree reduce to `root` (every node's buffer summed into root).
+#[must_use]
+pub fn tree_reduce(n: usize, elems: usize, root: usize) -> Schedule {
+    assert!(root < n.max(1), "root must be a valid node");
+    let mut sched = Schedule::new(n, elems, format!("tree-reduce(n={n},root={root})"));
+    if n < 2 {
+        return sched;
+    }
+    // Work in a rotated index space where the root is 0.
+    let phys = |v: usize| (v + root) % n;
+    let rounds = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    for d in 0..rounds {
+        let dist = 1 << d;
+        let mut step = Step::default();
+        let mut j = dist;
+        while j < n {
+            if (j / dist) % 2 == 1 {
+                step.transfers.push(TransferSpec::new(
+                    phys(j),
+                    phys(j - dist),
+                    0..elems,
+                    Op::ReduceInto,
+                ));
+            }
+            j += dist;
+        }
+        if !step.transfers.is_empty() {
+            sched.push_step(step);
+        }
+    }
+    sched
+}
+
+/// Binomial-tree broadcast from `root`.
+#[must_use]
+pub fn tree_broadcast(n: usize, elems: usize, root: usize) -> Schedule {
+    assert!(root < n.max(1), "root must be a valid node");
+    let mut sched = Schedule::new(n, elems, format!("tree-broadcast(n={n},root={root})"));
+    if n < 2 {
+        return sched;
+    }
+    let phys = |v: usize| (v + root) % n;
+    let rounds = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    for d in (0..rounds).rev() {
+        let dist = 1 << d;
+        let mut step = Step::default();
+        let mut j = 0;
+        while j + dist < n {
+            if (j / dist) % 2 == 0 {
+                step.transfers.push(TransferSpec::new(
+                    phys(j),
+                    phys(j + dist),
+                    0..elems,
+                    Op::Copy,
+                ));
+            }
+            j += dist;
+        }
+        if !step.transfers.is_empty() {
+            sched.push_step(step);
+        }
+    }
+    sched
+}
+
+/// Verify a reduce-scatter: node `owner(c)` must end with the summed chunk
+/// `c`; `owner` maps chunk index to the node that should hold it.
+pub fn verify_reduce_scatter(
+    schedule: &Schedule,
+    owner: impl Fn(usize) -> usize,
+) -> Result<(), String> {
+    schedule.validate().map_err(|e| e.to_string())?;
+    let (n, elems) = (schedule.n, schedule.elems);
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|node| (0..elems).map(|i| (node * elems + i + 1) as f64).collect())
+        .collect();
+    let outputs = execute(schedule, &inputs);
+    for c in 0..n {
+        let holder = owner(c);
+        for i in chunk_range(elems, n, c) {
+            let want: f64 = (0..n).map(|node| (node * elems + i + 1) as f64).sum();
+            let got = outputs[holder][i];
+            if got != want {
+                return Err(format!(
+                    "'{}': chunk {c} elem {i} at node {holder}: got {got}, want {want}",
+                    schedule.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verify a reduce: `root` must end with the element-wise sum.
+pub fn verify_reduce(schedule: &Schedule, root: usize) -> Result<(), String> {
+    schedule.validate().map_err(|e| e.to_string())?;
+    let (n, elems) = (schedule.n, schedule.elems);
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|node| (0..elems).map(|i| (node * elems + i + 1) as f64).collect())
+        .collect();
+    let outputs = execute(schedule, &inputs);
+    for (i, &got) in outputs[root].iter().enumerate() {
+        let want: f64 = (0..n).map(|node| (node * elems + i + 1) as f64).sum();
+        if got != want {
+            return Err(format!(
+                "'{}': elem {i} at root {root}: got {got}, want {want}",
+                schedule.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verify a broadcast: every node must end with root's original buffer.
+pub fn verify_broadcast(schedule: &Schedule, root: usize) -> Result<(), String> {
+    schedule.validate().map_err(|e| e.to_string())?;
+    let (n, elems) = (schedule.n, schedule.elems);
+    let inputs: Vec<Vec<f64>> = (0..n)
+        .map(|node| (0..elems).map(|i| (node * elems + i + 1) as f64).collect())
+        .collect();
+    let want = inputs[root].clone();
+    let outputs = execute(schedule, &inputs);
+    for (node, out) in outputs.iter().enumerate() {
+        if out != &want {
+            return Err(format!(
+                "'{}': node {node} did not receive root {root}'s buffer",
+                schedule.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Concatenate two schedules over the same `(n, elems)` into one.
+#[must_use]
+pub fn concat(a: &Schedule, b: &Schedule, name: impl Into<String>) -> Schedule {
+    assert_eq!(a.n, b.n, "node counts must match");
+    assert_eq!(a.elems, b.elems, "element counts must match");
+    let mut out = Schedule::new(a.n, a.elems, name);
+    out.steps.extend(a.steps.iter().cloned());
+    out.steps.extend(b.steps.iter().cloned());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::verify_allreduce;
+
+    #[test]
+    fn reduce_scatter_ownership() {
+        for n in 2..=9 {
+            let s = ring_reduce_scatter(n, 36);
+            verify_reduce_scatter(&s, |c| (c + n - 1) % n)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_plus_allgather_is_allreduce() {
+        for n in 2..=9 {
+            let rs = ring_reduce_scatter(n, 30);
+            let ag = ring_allgather(n, 30);
+            let full = concat(&rs, &ag, format!("composed-ring(n={n})"));
+            verify_allreduce(&full).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tree_reduce_collects_at_any_root() {
+        for n in [2usize, 5, 8, 13] {
+            for root in [0, n / 2, n - 1] {
+                verify_reduce(&tree_reduce(n, 8, root), root)
+                    .unwrap_or_else(|e| panic!("n={n} root={root}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_broadcast_reaches_everyone_from_any_root() {
+        for n in [2usize, 5, 8, 13] {
+            for root in [0, n / 2, n - 1] {
+                verify_broadcast(&tree_broadcast(n, 8, root), root)
+                    .unwrap_or_else(|e| panic!("n={n} root={root}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_plus_broadcast_is_allreduce() {
+        for n in [3usize, 6, 12] {
+            let root = n / 3;
+            let full = concat(
+                &tree_reduce(n, 10, root),
+                &tree_broadcast(n, 10, root),
+                "reduce+bcast",
+            );
+            verify_allreduce(&full).unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn verifiers_reject_wrong_schedules() {
+        // A broadcast is not a reduce.
+        assert!(verify_reduce(&tree_broadcast(4, 4, 0), 0).is_err());
+        // A reduce is not a broadcast.
+        assert!(verify_broadcast(&tree_reduce(4, 4, 0), 0).is_err());
+        // Reduce-scatter with the wrong ownership map fails.
+        let s = ring_reduce_scatter(4, 16);
+        assert!(verify_reduce_scatter(&s, |c| c).is_err());
+    }
+
+    #[test]
+    fn single_node_primitives_are_empty() {
+        assert_eq!(ring_reduce_scatter(1, 8).step_count(), 0);
+        assert_eq!(ring_allgather(1, 8).step_count(), 0);
+        assert_eq!(tree_reduce(1, 8, 0).step_count(), 0);
+        assert_eq!(tree_broadcast(1, 8, 0).step_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be a valid node")]
+    fn invalid_root_panics() {
+        let _ = tree_reduce(4, 8, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "node counts must match")]
+    fn concat_checks_shapes() {
+        let _ = concat(&ring_allgather(4, 8), &ring_allgather(5, 8), "bad");
+    }
+}

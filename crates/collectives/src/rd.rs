@@ -1,0 +1,133 @@
+//! Recursive-doubling all-reduce — the paper's **RD** baseline.
+//!
+//! Latency-optimal: `log2(p)` rounds in which pairs at doubling distances
+//! exchange and reduce their *entire* buffers. Non-power-of-two node counts
+//! use the standard fixup (Thakur et al.): the first `2r` nodes pre-combine
+//! pairwise so `p = 2^k` nodes run the core, and results are copied back to
+//! the `r` parked nodes afterwards.
+
+use crate::schedule::{Op, Schedule, Step, TransferSpec};
+
+/// Largest power of two `<= n` (n >= 1).
+#[must_use]
+pub fn pow2_floor(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    1 << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// Build the recursive-doubling all-reduce schedule.
+#[must_use]
+pub fn recursive_doubling(n: usize, elems: usize) -> Schedule {
+    let mut sched = Schedule::new(n, elems, format!("recursive-doubling(n={n})"));
+    if n < 2 {
+        return sched;
+    }
+    let p = pow2_floor(n);
+    let r = n - p;
+
+    // Participant j (0..p) lives at this physical node.
+    let node_of = |j: usize| if j < r { 2 * j } else { j + r };
+
+    // Pre-combine: odd nodes of the first 2r hand their data to the even
+    // node on their left, which becomes participant j = node/2.
+    if r > 0 {
+        let mut step = Step::default();
+        for j in 0..r {
+            step.transfers.push(TransferSpec::new(
+                2 * j + 1,
+                2 * j,
+                0..elems,
+                Op::ReduceInto,
+            ));
+        }
+        sched.push_step(step);
+    }
+
+    // Core: pairwise full-buffer exchanges at doubling distances.
+    let mut dist = 1;
+    while dist < p {
+        let mut step = Step::default();
+        for j in 0..p {
+            let partner = j ^ dist;
+            // Each ordered pair appears once per direction.
+            step.transfers.push(TransferSpec::new(
+                node_of(j),
+                node_of(partner),
+                0..elems,
+                Op::ReduceInto,
+            ));
+        }
+        sched.push_step(step);
+        dist <<= 1;
+    }
+
+    // Post-copy to the parked odd nodes.
+    if r > 0 {
+        let mut step = Step::default();
+        for j in 0..r {
+            step.transfers
+                .push(TransferSpec::new(2 * j, 2 * j + 1, 0..elems, Op::Copy));
+        }
+        sched.push_step(step);
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::verify_allreduce;
+
+    #[test]
+    fn pow2_floor_values() {
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(2), 2);
+        assert_eq!(pow2_floor(3), 2);
+        assert_eq!(pow2_floor(8), 8);
+        assert_eq!(pow2_floor(1000), 512);
+    }
+
+    #[test]
+    fn correct_for_powers_of_two() {
+        for n in [2usize, 4, 8, 16, 32] {
+            verify_allreduce(&recursive_doubling(n, 12)).unwrap();
+        }
+    }
+
+    #[test]
+    fn correct_for_non_powers_of_two() {
+        for n in [3usize, 5, 6, 7, 9, 12, 13, 24, 31] {
+            verify_allreduce(&recursive_doubling(n, 10)).unwrap();
+        }
+    }
+
+    #[test]
+    fn step_count_is_log_p_plus_fixup() {
+        assert_eq!(recursive_doubling(8, 4).step_count(), 3);
+        assert_eq!(recursive_doubling(16, 4).step_count(), 4);
+        // n = 12: p = 8, r = 4 -> 3 + 2 steps.
+        assert_eq!(recursive_doubling(12, 4).step_count(), 5);
+        assert_eq!(recursive_doubling(1, 4).step_count(), 0);
+    }
+
+    #[test]
+    fn every_core_step_sends_full_buffers() {
+        let sched = recursive_doubling(8, 100);
+        for step in &sched.steps {
+            for t in &step.transfers {
+                assert_eq!(t.range, 0..100);
+            }
+        }
+        assert_eq!(sched.max_send_per_node_per_step(), 100);
+    }
+
+    #[test]
+    fn validates() {
+        recursive_doubling(13, 64).validate().unwrap();
+    }
+
+    #[test]
+    fn trivial_single_node() {
+        verify_allreduce(&recursive_doubling(1, 6)).unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! Binomial-tree all-reduce: reduce to a root, then broadcast.
+//!
+//! The electrical ancestor of Wrht's hierarchical tree — `⌈log2 n⌉` rounds
+//! of pairwise reduction followed by the mirror broadcast. Works for any
+//! `n`, any root-free node count (root is node 0).
+
+use crate::schedule::{Op, Schedule, Step, TransferSpec};
+
+/// Build a binomial-tree all-reduce (root at node 0).
+#[must_use]
+pub fn binomial_tree(n: usize, elems: usize) -> Schedule {
+    let mut sched = Schedule::new(n, elems, format!("binomial-tree(n={n})"));
+    if n < 2 {
+        return sched;
+    }
+    let rounds = usize::BITS as usize - (n - 1).leading_zeros() as usize; // ceil(log2 n)
+
+    // Reduce: at round d, nodes that are odd multiples of 2^d send their
+    // whole buffer to the even multiple 2^d below them.
+    for d in 0..rounds {
+        let dist = 1 << d;
+        let mut step = Step::default();
+        let mut j = dist;
+        while j < n {
+            if (j / dist) % 2 == 1 {
+                step.transfers
+                    .push(TransferSpec::new(j, j - dist, 0..elems, Op::ReduceInto));
+            }
+            j += dist;
+        }
+        if !step.transfers.is_empty() {
+            sched.push_step(step);
+        }
+    }
+
+    // Broadcast: mirror image.
+    for d in (0..rounds).rev() {
+        let dist = 1 << d;
+        let mut step = Step::default();
+        let mut j = 0;
+        while j + dist < n {
+            if (j / dist) % 2 == 0 {
+                step.transfers
+                    .push(TransferSpec::new(j, j + dist, 0..elems, Op::Copy));
+            }
+            j += dist;
+        }
+        if !step.transfers.is_empty() {
+            sched.push_step(step);
+        }
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::verify_allreduce;
+
+    #[test]
+    fn correct_for_many_sizes() {
+        for n in 1..=17 {
+            verify_allreduce(&binomial_tree(n, 8)).unwrap();
+        }
+    }
+
+    #[test]
+    fn step_count_is_2_ceil_log2() {
+        assert_eq!(binomial_tree(8, 4).step_count(), 6);
+        assert_eq!(binomial_tree(2, 4).step_count(), 2);
+        // Non-powers still have 2*ceil(log2 n) rounds with work in each.
+        assert_eq!(binomial_tree(5, 4).step_count(), 6);
+    }
+
+    #[test]
+    fn root_holds_sum_after_reduce_half() {
+        let n = 8;
+        let elems = 4;
+        let sched = binomial_tree(n, elems);
+        // Execute only the reduce half.
+        let mut reduce_only = Schedule::new(n, elems, "half");
+        for s in &sched.steps[..sched.step_count() / 2] {
+            reduce_only.push_step(s.clone());
+        }
+        let inputs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64; elems]).collect();
+        let out = crate::executor::execute(&reduce_only, &inputs);
+        let want = (0..n).map(|i| i as f64).sum::<f64>();
+        assert_eq!(out[0], vec![want; elems]);
+    }
+
+    #[test]
+    fn validates() {
+        binomial_tree(12, 16).validate().unwrap();
+    }
+}

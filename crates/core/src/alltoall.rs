@@ -1,0 +1,100 @@
+//! The final all-to-all step among surviving representatives.
+//!
+//! Each representative sends its partial sum to every other representative
+//! in a single step; with snapshot semantics every receiver then holds the
+//! global sum. Liang & Shen bound the wavelength requirement of ring
+//! all-to-all by `⌈k²/8⌉`; we additionally *measure* the requirement of the
+//! concrete shortest-path First-Fit assignment, so plans never rely on the
+//! bound alone.
+
+use crate::error::Result;
+use optical_sim::path::LightPath;
+use optical_sim::rwa::{Occupancy, Strategy};
+use optical_sim::topology::{NodeId, RingTopology};
+
+/// All ordered pairs among `reps`.
+#[must_use]
+pub fn alltoall_pairs(reps: &[usize]) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(reps.len().saturating_mul(reps.len().saturating_sub(1)));
+    for &a in reps {
+        for &b in reps {
+            if a != b {
+                pairs.push((a, b));
+            }
+        }
+    }
+    pairs
+}
+
+/// Measure how many wavelengths a unit-lane shortest-path First-Fit
+/// assignment of `pairs` needs on `topo`.
+///
+/// The trial occupancy is sized generously (beyond `w`) so the measurement
+/// is exact even when the requirement exceeds the budget; the caller
+/// compares the result against `w`.
+pub fn measured_alltoall_wavelengths(
+    topo: &RingTopology,
+    pairs: &[(usize, usize)],
+    w: usize,
+) -> Result<usize> {
+    if pairs.is_empty() {
+        return Ok(0);
+    }
+    // Upper bound: every pair on its own wavelength.
+    let headroom = w.max(pairs.len()) + 1;
+    let mut occ = Occupancy::new(topo.nodes(), headroom);
+    for &(src, dst) in pairs {
+        let path = LightPath::shortest(topo, NodeId(src), NodeId(dst));
+        occ.assign(&path, 1, Strategy::FirstFit)?;
+    }
+    Ok(occ.peak_wavelengths_used())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steps::alltoall_wavelength_requirement;
+
+    #[test]
+    fn pairs_are_all_ordered_pairs() {
+        let pairs = alltoall_pairs(&[3, 7, 11]);
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs.contains(&(3, 7)));
+        assert!(pairs.contains(&(7, 3)));
+        assert!(!pairs.contains(&(3, 3)));
+    }
+
+    #[test]
+    fn two_reps_need_one_wavelength() {
+        let topo = RingTopology::new(16);
+        let pairs = alltoall_pairs(&[2, 10]);
+        let need = measured_alltoall_wavelengths(&topo, &pairs, 4).unwrap();
+        assert_eq!(need, 1);
+    }
+
+    #[test]
+    fn measured_requirement_tracks_liang_shen_bound() {
+        // Evenly spaced representatives: First Fit should stay within a
+        // small constant factor of the ceil(k^2/8) bound.
+        for k in [4usize, 6, 8, 12, 16] {
+            let n = k * 8;
+            let topo = RingTopology::new(n);
+            let reps: Vec<usize> = (0..k).map(|i| i * 8).collect();
+            let pairs = alltoall_pairs(&reps);
+            let measured = measured_alltoall_wavelengths(&topo, &pairs, 64).unwrap();
+            let bound = alltoall_wavelength_requirement(k);
+            assert!(
+                measured <= 2 * bound,
+                "k={k}: measured {measured} vs bound {bound}"
+            );
+            // And never below the bisection-congestion floor of ~k^2/8 / 2.
+            assert!(measured >= bound / 4, "k={k}: measured {measured}");
+        }
+    }
+
+    #[test]
+    fn empty_pairs_need_nothing() {
+        let topo = RingTopology::new(8);
+        assert_eq!(measured_alltoall_wavelengths(&topo, &[], 4).unwrap(), 0);
+    }
+}

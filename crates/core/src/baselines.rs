@@ -1,0 +1,102 @@
+//! Optical baselines: O-Ring and a generic collectives→optical lowering.
+//!
+//! **O-Ring** is the paper's optical baseline: the classic ring all-reduce
+//! run over the optical ring with a *single wavelength per transmission* —
+//! exactly the deficiency Wrht is designed to fix.
+
+use collectives::ring::ring_allreduce;
+use collectives::Schedule;
+use optical_sim::request::Transfer;
+use optical_sim::sim::StepSchedule;
+
+/// Lower any logical collective schedule to optical transfers: shortest
+/// paths, `lanes` wavelengths per transfer, `bytes_per_elem` element width.
+#[must_use]
+pub fn lower_collective_to_optical(
+    schedule: &Schedule,
+    bytes_per_elem: usize,
+    lanes: usize,
+) -> StepSchedule {
+    let mut out = StepSchedule::default();
+    for step in &schedule.steps {
+        let transfers: Vec<Transfer> = step
+            .transfers
+            .iter()
+            .filter(|t| !t.range.is_empty())
+            .map(|t| {
+                Transfer::shortest(
+                    optical_sim::NodeId(t.src),
+                    optical_sim::NodeId(t.dst),
+                    (t.range.len() * bytes_per_elem) as u64,
+                )
+                .with_lanes(lanes)
+            })
+            .collect();
+        out.push_step(transfers);
+    }
+    out
+}
+
+/// The O-Ring schedule: ring all-reduce over `n` optical nodes, moving
+/// `elems * bytes_per_elem` bytes in total, one wavelength per transfer.
+#[must_use]
+pub fn oring_schedule(n: usize, elems: usize, bytes_per_elem: usize) -> StepSchedule {
+    lower_collective_to_optical(&ring_allreduce(n, elems), bytes_per_elem, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_sim::{OpticalConfig, RingSimulator, Strategy};
+
+    #[test]
+    fn oring_uses_one_wavelength() {
+        let n = 16;
+        let sched = oring_schedule(n, 1600, 4);
+        let mut sim = RingSimulator::new(OpticalConfig::new(n, 8));
+        let report = sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
+        assert_eq!(report.stats.peak_wavelengths(), 1);
+        assert_eq!(report.stats.step_count(), 2 * (n - 1));
+    }
+
+    #[test]
+    fn oring_time_matches_closed_form() {
+        // T = 2(n-1) * (alpha + (S/n)/B + P) for divisible payloads.
+        let n = 8;
+        let elems = 8_000;
+        let bpe = 4;
+        let cfg = OpticalConfig::new(n, 4)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(1e-6)
+            .with_hop_propagation(1e-8);
+        let sched = oring_schedule(n, elems, bpe);
+        let mut sim = RingSimulator::new(cfg);
+        let t = sim
+            .run_stepped(&sched, Strategy::FirstFit)
+            .unwrap()
+            .total_time_s;
+        let chunk = (elems / n * bpe) as f64;
+        let expected = (2 * (n - 1)) as f64 * (1e-6 + chunk / 1e9 + 1e-8);
+        assert!((t - expected).abs() / expected < 1e-9, "t={t} exp={expected}");
+    }
+
+    #[test]
+    fn lowering_skips_empty_ranges() {
+        // Ring with more nodes than elements produces some empty chunks
+        // which must not turn into zero-byte optical transfers.
+        let sched = oring_schedule(8, 5, 4);
+        let mut sim = RingSimulator::new(OpticalConfig::new(8, 2));
+        sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
+    }
+
+    #[test]
+    fn lane_parameter_is_applied() {
+        let logical = ring_allreduce(4, 400);
+        let sched = lower_collective_to_optical(&logical, 4, 3);
+        for step in sched.steps() {
+            for t in step {
+                assert_eq!(t.lanes, 3);
+            }
+        }
+    }
+}

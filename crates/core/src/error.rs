@@ -1,0 +1,85 @@
+//! Error types for Wrht planning and lowering.
+
+use optical_sim::OpticalError;
+use std::fmt;
+
+/// Errors from plan construction, lowering or simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WrhtError {
+    /// Group size must be at least 2.
+    GroupSizeTooSmall(usize),
+    /// Group size `m` needs `⌊m/2⌋ <= w` wavelengths for its tree steps.
+    GroupSizeNeedsMoreWavelengths {
+        /// Requested group size.
+        m: usize,
+        /// Available wavelengths.
+        wavelengths: usize,
+    },
+    /// The deployment has no nodes.
+    NoNodes,
+    /// No feasible group size exists for the given wavelength budget.
+    NoFeasiblePlan {
+        /// Node count.
+        n: usize,
+        /// Available wavelengths.
+        wavelengths: usize,
+    },
+    /// An error bubbled up from the optical substrate.
+    Optical(OpticalError),
+}
+
+impl fmt::Display for WrhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrhtError::GroupSizeTooSmall(m) => {
+                write!(f, "group size must be >= 2, got {m}")
+            }
+            WrhtError::GroupSizeNeedsMoreWavelengths { m, wavelengths } => write!(
+                f,
+                "group size {m} needs {} wavelengths but only {wavelengths} available",
+                m / 2
+            ),
+            WrhtError::NoNodes => write!(f, "deployment has no nodes"),
+            WrhtError::NoFeasiblePlan { n, wavelengths } => write!(
+                f,
+                "no feasible Wrht plan for n={n} with {wavelengths} wavelengths"
+            ),
+            WrhtError::Optical(e) => write!(f, "optical substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WrhtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WrhtError::Optical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OpticalError> for WrhtError {
+    fn from(e: OpticalError) -> Self {
+        WrhtError::Optical(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WrhtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WrhtError::GroupSizeNeedsMoreWavelengths {
+            m: 10,
+            wavelengths: 2,
+        };
+        assert!(e.to_string().contains("group size 10"));
+        let e: WrhtError = OpticalError::ZeroLanes.into();
+        assert!(matches!(e, WrhtError::Optical(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

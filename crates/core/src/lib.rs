@@ -1,0 +1,78 @@
+//! # wrht-core — Wavelength Reused Hierarchical Tree all-reduce
+//!
+//! The primary contribution of the reproduced paper (Dai et al., PPoPP'23):
+//! an all-reduce schedule for WDM optical ring interconnects that minimizes
+//! communication steps by collecting data over a **hierarchical tree** whose
+//! groups reuse wavelengths on link-disjoint ring arcs.
+//!
+//! ## Scheme
+//!
+//! * **Reduce stage** — the `N` ring nodes are partitioned into contiguous
+//!   groups of `m`; the middle node of each group (the *representative*)
+//!   receives every other member's buffer in one step. The two sides of a
+//!   group transmit in opposite ring directions; one side's paths are
+//!   nested, so `⌊m/2⌋` wavelengths suffice, and different groups share no
+//!   link, so wavelengths are *reused* across groups. Representatives
+//!   recurse until the survivors can finish with a single **all-to-all**
+//!   step (feasible when `⌈m*²/8⌉ ≤ w` wavelengths cover the Liang–Shen
+//!   all-to-all requirement).
+//! * **Broadcast stage** — the mirror image: representatives push the
+//!   reduced buffer back down the tree.
+//!
+//! Total steps: `2⌈log_m N⌉` or `2⌈log_m N⌉ − 1` ([`steps`]).
+//!
+//! ## Crate layout
+//!
+//! * [`plan`] — group/representative tree construction;
+//! * [`steps`] — the paper's step-count and wavelength-requirement laws;
+//! * [`alltoall`] — the final all-to-all step and its RWA feasibility check;
+//! * [`lower`] — lowering plans to [`optical_sim`] step schedules and to
+//!   logical [`collectives`] schedules (for correctness verification);
+//! * [`cost`] — the analytic communication-time model;
+//! * [`optimizer`] — group-size selection (`m`) minimizing predicted time;
+//! * [`baselines`] — O-Ring (ring all-reduce over the optical ring) and a
+//!   generic collectives→optical lowering.
+//!
+//! ```
+//! use wrht_core::prelude::*;
+//! use optical_sim::OpticalConfig;
+//!
+//! let cfg = OpticalConfig::paper_defaults(64);
+//! let params = WrhtParams::auto(64, 64);
+//! let outcome = plan_and_simulate(&params, &cfg, 1 << 20).unwrap();
+//! assert!(outcome.simulated_time_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod alltoall;
+pub mod baselines;
+pub mod cost;
+pub mod describe;
+pub mod error;
+pub mod lower;
+pub mod optimizer;
+pub mod params;
+pub mod pipeline;
+pub mod plan;
+pub mod steps;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::baselines::{lower_collective_to_optical, oring_schedule};
+    pub use crate::cost::{predict_time_s, CostBreakdown};
+    pub use crate::describe::describe_plan;
+    pub use crate::error::WrhtError;
+    pub use crate::lower::{to_logical_schedule, to_optical_schedule, to_optical_schedule_with, BroadcastMode};
+    pub use crate::optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
+    pub use crate::params::{GroupSize, WrhtParams};
+    pub use crate::pipeline::{optimal_segments, segment_sweep, segmented_time, SegmentPoint};
+    pub use crate::plan::{build_plan, build_plan_over, candidate_plans, candidate_plans_over, Group, Level, StopPolicy, WrhtPlan};
+    pub use crate::steps::{paper_step_count, tree_wavelength_requirement};
+}
+
+pub use error::WrhtError;
+pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
+pub use params::{GroupSize, WrhtParams};
+pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};

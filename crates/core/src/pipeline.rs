@@ -1,0 +1,254 @@
+//! Segmented (pipelined) Wrht — an analytic extension.
+//!
+//! The poster's Wrht moves the **whole** gradient in every step, so the
+//! serialization term is paid once per tree level. Splitting the buffer
+//! into `k` segments and pipelining them through the tree overlaps level
+//! `ℓ` of segment `s` with level `ℓ+1` of segment `s−1`: the schedule runs
+//! for `steps + k − 1` ticks moving `S/k` bytes per tick instead of
+//! `steps` ticks moving `S`.
+//!
+//! Pipelining makes previously step-disjoint tree levels *concurrent* on
+//! the ring, so each concurrent stage must own a wavelength sub-budget.
+//! We model the conservative partition: with `c = min(k, steps)` stages in
+//! flight, each stage gets `⌊w/c⌋` wavelengths (at least its requirement
+//! must fit, else that `k` is infeasible). This keeps every assignment
+//! conflict-free by construction — the same guarantee the stepped schedule
+//! has — at the price of underusing wavelengths when stages need fewer.
+//!
+//! The solver [`optimal_segments`] picks the `k` minimizing the modelled
+//! time; [`segment_sweep`] exposes the whole trade-off curve for the
+//! ablation.
+
+use crate::cost::CostBreakdown;
+use crate::plan::WrhtPlan;
+use optical_sim::OpticalConfig;
+use serde::{Deserialize, Serialize};
+
+/// One point of the segmentation trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentPoint {
+    /// Segment count `k`.
+    pub segments: usize,
+    /// Modelled pipelined time, seconds (`None` encoded as infinity when
+    /// the wavelength sub-budgets cannot fit the plan's requirements).
+    pub time_s: f64,
+    /// Whether the wavelength partition is feasible at this `k`.
+    pub feasible: bool,
+}
+
+/// Per-step wavelength requirement list of a plan (reduce levels,
+/// optional all-to-all, broadcast levels).
+fn step_requirements(plan: &WrhtPlan) -> Vec<usize> {
+    let mut reqs: Vec<usize> = plan
+        .levels
+        .iter()
+        .map(|l| l.lambda_requirement)
+        .collect();
+    if let Some(ata) = &plan.alltoall {
+        reqs.push(ata.lambda_requirement);
+    }
+    let bcast: Vec<usize> = plan
+        .levels
+        .iter()
+        .rev()
+        .map(|l| l.lambda_requirement)
+        .collect();
+    reqs.extend(bcast);
+    reqs
+}
+
+/// Longest member→rep hop distance per step (mirrors `cost::level_max_hops`).
+fn step_hops(plan: &WrhtPlan) -> Vec<usize> {
+    let level_hops = |level: &crate::plan::Level| {
+        level
+            .groups
+            .iter()
+            .map(|g| {
+                let first = *g.members.first().expect("non-empty");
+                let last = *g.members.last().expect("non-empty");
+                (g.rep - first).max(last - g.rep)
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let mut hops: Vec<usize> = plan.levels.iter().map(level_hops).collect();
+    if let Some(ata) = &plan.alltoall {
+        let n = plan.n.max(2);
+        let h = ata
+            .reps
+            .iter()
+            .flat_map(|&a| ata.reps.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| {
+                let cw = (b + n - a) % n;
+                cw.min(n - cw)
+            })
+            .max()
+            .unwrap_or(0);
+        hops.push(h);
+    }
+    let bcast: Vec<usize> = plan.levels.iter().rev().map(level_hops).collect();
+    hops.extend(bcast);
+    hops
+}
+
+/// Modelled time of the `k`-segment pipelined execution of `plan`.
+///
+/// Returns an infeasible point when some stage's wavelength requirement
+/// exceeds its `⌊w/c⌋` sub-budget.
+#[must_use]
+pub fn segmented_time(plan: &WrhtPlan, config: &OpticalConfig, bytes: u64, k: usize) -> SegmentPoint {
+    assert!(k >= 1, "at least one segment");
+    let reqs = step_requirements(plan);
+    let hops = step_hops(plan);
+    let steps = reqs.len();
+    if steps == 0 {
+        return SegmentPoint {
+            segments: k,
+            time_s: 0.0,
+            feasible: true,
+        };
+    }
+    let concurrency = k.min(steps);
+    let sub_budget = config.wavelengths / concurrency;
+    let timing = config.timing();
+    let seg_bytes = bytes.div_ceil(k as u64);
+
+    let mut tick = 0.0f64;
+    for (&req, &h) in reqs.iter().zip(&hops) {
+        if req > sub_budget {
+            return SegmentPoint {
+                segments: k,
+                time_s: f64::INFINITY,
+                feasible: false,
+            };
+        }
+        let lanes = (sub_budget / req.max(1)).max(1);
+        tick = tick.max(timing.transfer_time(seg_bytes, lanes, h));
+    }
+    SegmentPoint {
+        segments: k,
+        time_s: (steps + k - 1) as f64 * tick,
+        feasible: true,
+    }
+}
+
+/// The full trade-off curve for `k ∈ 1..=max_k`.
+#[must_use]
+pub fn segment_sweep(
+    plan: &WrhtPlan,
+    config: &OpticalConfig,
+    bytes: u64,
+    max_k: usize,
+) -> Vec<SegmentPoint> {
+    (1..=max_k.max(1))
+        .map(|k| segmented_time(plan, config, bytes, k))
+        .collect()
+}
+
+/// Pick the segment count minimizing modelled time; ties go to smaller `k`.
+#[must_use]
+pub fn optimal_segments(
+    plan: &WrhtPlan,
+    config: &OpticalConfig,
+    bytes: u64,
+    max_k: usize,
+) -> SegmentPoint {
+    segment_sweep(plan, config, bytes, max_k)
+        .into_iter()
+        .filter(|p| p.feasible)
+        .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite"))
+        .expect("k = 1 is always feasible")
+}
+
+/// Compare against the unsegmented cost model: `k = 1` must reproduce the
+/// stepped plan's per-step maximum structure (a looser, max-based bound of
+/// [`crate::cost::predict_time_s`]).
+#[must_use]
+pub fn unsegmented_upper_bound(cost: &CostBreakdown) -> f64 {
+    let worst = cost
+        .per_step_s
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    worst * cost.per_step_s.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::predict_time_s;
+    use crate::plan::build_plan;
+
+    fn setup(n: usize, m: usize, w: usize) -> (WrhtPlan, OpticalConfig) {
+        (build_plan(n, m, w).unwrap(), OpticalConfig::new(n, w))
+    }
+
+    #[test]
+    fn one_segment_matches_the_stepped_bound() {
+        let (plan, cfg) = setup(256, 8, 64);
+        let bytes = 100 << 20;
+        let k1 = segmented_time(&plan, &cfg, bytes, 1);
+        assert!(k1.feasible);
+        let cost = predict_time_s(&plan, &cfg, bytes);
+        // k = 1 pays steps * max-step-time; the exact stepped sum is <= that.
+        assert!(cost.total_s() <= k1.time_s + 1e-12);
+        assert!((k1.time_s - unsegmented_upper_bound(&cost)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelining_helps_for_large_messages() {
+        let (plan, cfg) = setup(256, 8, 64);
+        let bytes = 500 << 20;
+        let base = segmented_time(&plan, &cfg, bytes, 1).time_s;
+        let best = optimal_segments(&plan, &cfg, bytes, 8);
+        assert!(best.feasible);
+        assert!(
+            best.time_s <= base,
+            "pipelining must not hurt: {} vs {base}",
+            best.time_s
+        );
+    }
+
+    #[test]
+    fn infeasible_when_sub_budget_too_small() {
+        // m = 9 needs 4 wavelengths per tree step; with w = 8 and k >= 3
+        // the sub-budget floor(8/3) = 2 < 4 is infeasible.
+        let (plan, cfg) = setup(81, 9, 8);
+        let p = segmented_time(&plan, &cfg, 1 << 20, 3);
+        assert!(!p.feasible);
+        assert!(p.time_s.is_infinite());
+        // k = 1 is always feasible.
+        assert!(segmented_time(&plan, &cfg, 1 << 20, 1).feasible);
+    }
+
+    #[test]
+    fn optimal_is_argmin_of_the_sweep() {
+        let (plan, cfg) = setup(128, 4, 64);
+        let bytes = 64 << 20;
+        let sweep = segment_sweep(&plan, &cfg, bytes, 16);
+        let best = optimal_segments(&plan, &cfg, bytes, 16);
+        for p in sweep.iter().filter(|p| p.feasible) {
+            assert!(best.time_s <= p.time_s + 1e-15);
+        }
+        assert_eq!(sweep.len(), 16);
+    }
+
+    #[test]
+    fn overhead_limits_segmentation() {
+        // With a huge per-message overhead, many tiny segments lose.
+        let plan = build_plan(64, 4, 16).unwrap();
+        let cfg = OpticalConfig::new(64, 16).with_message_overhead(1e-3);
+        let best = optimal_segments(&plan, &cfg, 1 << 20, 64);
+        assert!(best.segments < 64, "alpha must cap k, got {}", best.segments);
+    }
+
+    #[test]
+    fn empty_plan_costs_nothing() {
+        let plan = build_plan(1, 2, 4).unwrap();
+        let cfg = OpticalConfig::new(2, 4);
+        let p = segmented_time(&plan, &cfg, 1 << 20, 4);
+        assert_eq!(p.time_s, 0.0);
+        assert!(p.feasible);
+    }
+}

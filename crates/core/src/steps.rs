@@ -1,0 +1,147 @@
+//! The paper's counting laws: steps, representatives, wavelengths.
+//!
+//! Section 2 of the paper derives
+//!
+//! * step count `2⌈log_m N⌉` or `2⌈log_m N⌉ − 1`;
+//! * tree-step wavelength requirement `⌊m/2⌋`;
+//! * surviving representatives `m* = ⌈N / m^(⌈log_m N⌉−1)⌉`;
+//! * all-to-all wavelength requirement `⌈(m*)²/8⌉` (Liang–Shen).
+//!
+//! These are pinned here as standalone arithmetic so tests can check the
+//! constructed plans against the published formulas.
+
+/// `⌈log_m n⌉` for `m >= 2`, `n >= 1` (0 for `n == 1`).
+#[must_use]
+pub fn ceil_log(n: usize, m: usize) -> u32 {
+    assert!(m >= 2, "base must be >= 2");
+    assert!(n >= 1, "n must be >= 1");
+    let mut k = 0;
+    let mut reach = 1usize;
+    while reach < n {
+        reach = reach.saturating_mul(m);
+        k += 1;
+    }
+    k
+}
+
+/// Wavelengths a full group of `m` needs in a tree step: `⌊m/2⌋`.
+#[must_use]
+pub fn tree_wavelength_requirement(m: usize) -> usize {
+    m / 2
+}
+
+/// Representatives surviving after `⌈log_m N⌉ − 1` levels:
+/// `m* = ⌈N / m^(⌈log_m N⌉−1)⌉` (the paper's formula; 1 when `n == 1`).
+#[must_use]
+pub fn surviving_reps(n: usize, m: usize) -> usize {
+    let l = ceil_log(n, m);
+    if l == 0 {
+        return 1;
+    }
+    let denom = m.saturating_pow(l - 1);
+    n.div_ceil(denom)
+}
+
+/// Wavelengths an all-to-all among `k` ring nodes needs: `⌈k²/8⌉`
+/// (Liang & Shen's bound for all-to-all in WDM rings; 1 when `k <= 2`).
+#[must_use]
+pub fn alltoall_wavelength_requirement(k: usize) -> usize {
+    if k <= 1 {
+        0
+    } else {
+        (k * k).div_ceil(8)
+    }
+}
+
+/// The paper's step count when the final all-to-all fuses the top of the
+/// tree (`2⌈log_m N⌉ − 1`) and when it does not (`2⌈log_m N⌉`).
+#[must_use]
+pub fn paper_step_count(n: usize, m: usize, fused_alltoall: bool) -> usize {
+    let two_l = 2 * ceil_log(n, m) as usize;
+    if fused_alltoall {
+        two_l.saturating_sub(1)
+    } else {
+        two_l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plan;
+
+    #[test]
+    fn ceil_log_values() {
+        assert_eq!(ceil_log(1, 2), 0);
+        assert_eq!(ceil_log(2, 2), 1);
+        assert_eq!(ceil_log(1024, 2), 10);
+        assert_eq!(ceil_log(1024, 4), 5);
+        assert_eq!(ceil_log(1000, 10), 3);
+        assert_eq!(ceil_log(1001, 10), 4);
+        assert_eq!(ceil_log(27, 3), 3);
+        assert_eq!(ceil_log(28, 3), 4);
+    }
+
+    #[test]
+    fn surviving_reps_formula() {
+        // N = 1024, m = 4: L = 5, m* = ceil(1024 / 4^4) = 4.
+        assert_eq!(surviving_reps(1024, 4), 4);
+        // N = 1000, m = 10: L = 3, m* = ceil(1000/100) = 10.
+        assert_eq!(surviving_reps(1000, 10), 10);
+        // N = 100, m = 7: L = 3, m* = ceil(100/49) = 3.
+        assert_eq!(surviving_reps(100, 7), 3);
+        assert_eq!(surviving_reps(1, 5), 1);
+    }
+
+    #[test]
+    fn alltoall_requirement_values() {
+        assert_eq!(alltoall_wavelength_requirement(0), 0);
+        assert_eq!(alltoall_wavelength_requirement(1), 0);
+        assert_eq!(alltoall_wavelength_requirement(2), 1);
+        assert_eq!(alltoall_wavelength_requirement(4), 2);
+        assert_eq!(alltoall_wavelength_requirement(8), 8);
+        assert_eq!(alltoall_wavelength_requirement(16), 32);
+        assert_eq!(alltoall_wavelength_requirement(22), 61);
+    }
+
+    #[test]
+    fn tree_requirement_is_floor_half() {
+        assert_eq!(tree_wavelength_requirement(2), 1);
+        assert_eq!(tree_wavelength_requirement(7), 3);
+        assert_eq!(tree_wavelength_requirement(8), 4);
+    }
+
+    #[test]
+    fn paper_step_count_values() {
+        assert_eq!(paper_step_count(1024, 4, true), 9);
+        assert_eq!(paper_step_count(1024, 4, false), 10);
+        assert_eq!(paper_step_count(2, 2, true), 1);
+    }
+
+    /// With just enough wavelengths for the `m*`-survivor all-to-all, the
+    /// constructed plan realizes the paper's two-valued law:
+    /// `2⌈log_m N⌉ − 1` steps when the all-to-all fuses the top of the
+    /// tree, `2⌈log_m N⌉` when the *measured* wavelength requirement of the
+    /// concrete assignment exceeds the Liang–Shen bound and the recursion
+    /// must run to a single root instead.
+    #[test]
+    fn plans_match_paper_step_count_in_the_formula_regime() {
+        for (n, m) in [(1024usize, 4usize), (256, 4), (64, 2), (729, 3)] {
+            let m_star = surviving_reps(n, m);
+            let need = alltoall_wavelength_requirement(m_star);
+            let w = need.max(tree_wavelength_requirement(m));
+            let plan = build_plan(n, m, w).unwrap();
+            let fused = plan.alltoall.is_some();
+            assert!(
+                plan.step_count() == paper_step_count(n, m, true)
+                    || plan.step_count() == paper_step_count(n, m, false),
+                "n={n} m={m} w={w}: {} steps",
+                plan.step_count()
+            );
+            if fused && plan.depth() == ceil_log(n, m) as usize - 1 {
+                assert_eq!(plan.final_reps.len(), m_star, "n={n} m={m}");
+                assert_eq!(plan.step_count(), paper_step_count(n, m, true));
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Gradient bucketing (fusion), as PyTorch DDP and Horovod perform it.
+//!
+//! During the backward pass gradients materialize from the **last** layer to
+//! the first; frameworks fuse consecutive gradients into buckets of a
+//! configurable byte budget and launch one all-reduce per bucket, enabling
+//! compute/communication overlap. This module reproduces that policy for
+//! the layer-wise overlap extension experiment.
+
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+
+/// One fused gradient bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Total payload in bytes.
+    pub bytes: u64,
+    /// Names of the layers fused in the bucket, in gradient-ready
+    /// (reverse-forward) order.
+    pub layers: Vec<String>,
+    /// Index of the *earliest* (closest-to-input) forward layer in the
+    /// bucket; the bucket becomes ready when that layer's gradient exists.
+    pub earliest_layer_idx: usize,
+}
+
+/// Fuse `layers` (forward order) into buckets of at most `max_bytes`,
+/// walking backward as gradients become available.
+///
+/// A single layer larger than `max_bytes` gets its own bucket — buckets
+/// never split a layer.
+#[must_use]
+pub fn bucketize(layers: &[Layer], max_bytes: u64) -> Vec<Bucket> {
+    assert!(max_bytes > 0, "bucket budget must be positive");
+    let mut buckets = Vec::new();
+    let mut current = Bucket {
+        bytes: 0,
+        layers: Vec::new(),
+        earliest_layer_idx: usize::MAX,
+    };
+    for (idx, layer) in layers.iter().enumerate().rev() {
+        let g = layer.gradient_bytes();
+        if current.bytes > 0 && current.bytes + g > max_bytes {
+            buckets.push(std::mem::replace(
+                &mut current,
+                Bucket {
+                    bytes: 0,
+                    layers: Vec::new(),
+                    earliest_layer_idx: usize::MAX,
+                },
+            ));
+        }
+        current.bytes += g;
+        current.layers.push(layer.name.clone());
+        current.earliest_layer_idx = idx;
+    }
+    if current.bytes > 0 {
+        buckets.push(current);
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{resnet50, vgg16};
+
+    #[test]
+    fn buckets_cover_all_bytes() {
+        let m = vgg16();
+        let buckets = bucketize(&m.layers, 25 << 20); // 25 MB, DDP default
+        let total: u64 = buckets.iter().map(|b| b.bytes).sum();
+        assert_eq!(total, m.gradient_bytes());
+    }
+
+    #[test]
+    fn buckets_respect_budget_except_giant_layers() {
+        let m = vgg16();
+        let budget = 25u64 << 20;
+        for b in bucketize(&m.layers, budget) {
+            // fc6 alone is ~411 MB and must stand alone.
+            if b.bytes > budget {
+                assert_eq!(b.layers.len(), 1, "oversized bucket must be single-layer");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_reverse_ordered() {
+        let m = resnet50();
+        let buckets = bucketize(&m.layers, 4 << 20);
+        // Earliest-layer indices must strictly decrease bucket to bucket.
+        for w in buckets.windows(2) {
+            assert!(w[0].earliest_layer_idx > w[1].earliest_layer_idx);
+        }
+        // The first bucket contains the last layer (fc).
+        assert_eq!(buckets[0].layers[0], "fc");
+    }
+
+    #[test]
+    fn one_giant_budget_gives_one_bucket() {
+        let m = resnet50();
+        let buckets = bucketize(&m.layers, u64::MAX);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].bytes, m.gradient_bytes());
+        assert_eq!(buckets[0].earliest_layer_idx, 0);
+    }
+
+    #[test]
+    fn tiny_budget_gives_one_bucket_per_layer() {
+        let m = resnet50();
+        let buckets = bucketize(&m.layers, 1);
+        assert_eq!(buckets.len(), m.layers.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_panics() {
+        let _ = bucketize(&resnet50().layers, 0);
+    }
+}

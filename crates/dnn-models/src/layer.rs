@@ -1,0 +1,165 @@
+//! Layer descriptors and parameter-count arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a trainable layer (only what affects parameter counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Whether the layer has a bias vector.
+        bias: bool,
+    },
+    /// Fully connected (dense) layer.
+    Linear {
+        /// Input features.
+        f_in: usize,
+        /// Output features.
+        f_out: usize,
+        /// Whether the layer has a bias vector.
+        bias: bool,
+    },
+    /// Batch normalization (affine): one weight + one bias per channel.
+    BatchNorm {
+        /// Channels.
+        channels: usize,
+    },
+    /// A raw parameter blob (embeddings, LRN scales, ...).
+    Raw {
+        /// Parameter count.
+        count: usize,
+    },
+}
+
+impl LayerKind {
+    /// Trainable parameters of this layer.
+    #[must_use]
+    pub fn params(&self) -> usize {
+        match *self {
+            LayerKind::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                bias,
+            } => c_in * c_out * kernel * kernel + if bias { c_out } else { 0 },
+            LayerKind::Linear { f_in, f_out, bias } => {
+                f_in * f_out + if bias { f_out } else { 0 }
+            }
+            LayerKind::BatchNorm { channels } => 2 * channels,
+            LayerKind::Raw { count } => count,
+        }
+    }
+}
+
+/// A named trainable layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer name (e.g. `"conv2_1"`).
+    pub name: String,
+    /// Structural description.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Convolution with bias.
+    #[must_use]
+    pub fn conv(name: &str, c_in: usize, c_out: usize, kernel: usize) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                bias: true,
+            },
+        }
+    }
+
+    /// Convolution without bias (as used before batch-norm).
+    #[must_use]
+    pub fn conv_nobias(name: &str, c_in: usize, c_out: usize, kernel: usize) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                bias: false,
+            },
+        }
+    }
+
+    /// Dense layer with bias.
+    #[must_use]
+    pub fn linear(name: &str, f_in: usize, f_out: usize) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::Linear {
+                f_in,
+                f_out,
+                bias: true,
+            },
+        }
+    }
+
+    /// Batch normalization over `channels`.
+    #[must_use]
+    pub fn batch_norm(name: &str, channels: usize) -> Self {
+        Self {
+            name: name.into(),
+            kind: LayerKind::BatchNorm { channels },
+        }
+    }
+
+    /// Trainable parameters.
+    #[must_use]
+    pub fn params(&self) -> usize {
+        self.kind.params()
+    }
+
+    /// Gradient bytes at 4 bytes per parameter (fp32).
+    #[must_use]
+    pub fn gradient_bytes(&self) -> u64 {
+        (self.params() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_param_arithmetic() {
+        // AlexNet conv1: 3 -> 96, 11x11, bias.
+        assert_eq!(Layer::conv("conv1", 3, 96, 11).params(), 34_944);
+        assert_eq!(Layer::conv_nobias("c", 3, 64, 7).params(), 9_408);
+    }
+
+    #[test]
+    fn linear_param_arithmetic() {
+        // AlexNet fc6: 9216 -> 4096, bias.
+        assert_eq!(Layer::linear("fc6", 9216, 4096).params(), 37_752_832);
+    }
+
+    #[test]
+    fn batch_norm_params() {
+        assert_eq!(Layer::batch_norm("bn", 64).params(), 128);
+    }
+
+    #[test]
+    fn gradient_bytes_are_4x_params() {
+        let l = Layer::linear("fc", 10, 10);
+        assert_eq!(l.gradient_bytes(), 110 * 4);
+    }
+
+    #[test]
+    fn raw_blob() {
+        assert_eq!(LayerKind::Raw { count: 42 }.params(), 42);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dnn-models — DNN workloads for distributed-training communication studies
+//!
+//! The Wrht evaluation measures all-reduce time for the gradients of four
+//! convolutional networks trained on ImageNet: AlexNet (62.3 M parameters),
+//! VGG16 (138 M), ResNet50 (25 M) and GoogLeNet (6.7977 M). This crate
+//! provides:
+//!
+//! * [`layer`] — layer descriptors with exact parameter-count arithmetic;
+//! * [`zoo`] — per-layer tables for the four models, cross-checked against
+//!   the published totals;
+//! * [`bucket`] — gradient fusion into fixed-size buckets (as DDP/Horovod
+//!   do), used by the layer-wise overlap extension;
+//! * [`training`] — a data-parallel iteration model that overlaps backward
+//!   computation with bucketed all-reduce.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bucket;
+pub mod layer;
+pub mod training;
+pub mod transformer;
+pub mod zoo;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::bucket::{bucketize, Bucket};
+    pub use crate::layer::{Layer, LayerKind};
+    pub use crate::training::{IterationModel, OverlapReport};
+    pub use crate::transformer::{bert_large, gpt2_small, transformer, TransformerConfig};
+    pub use crate::zoo::{alexnet, googlenet, paper_models, resnet50, vgg16, Model};
+}
+
+pub use layer::{Layer, LayerKind};
+pub use zoo::{alexnet, googlenet, paper_models, resnet50, vgg16, Model};

@@ -1,0 +1,182 @@
+//! Transformer workloads — an extension beyond the poster's four CNNs.
+//!
+//! Modern all-reduce traffic is dominated by transformer gradients; these
+//! generators produce layer tables with standard parameter arithmetic so
+//! the same experiments run on BERT/GPT-class models.
+
+use crate::layer::{Layer, LayerKind};
+use crate::zoo::Model;
+
+/// Configuration of a standard pre-LN transformer encoder/decoder stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Number of transformer blocks.
+    pub layers: usize,
+    /// Hidden width `d_model`.
+    pub d_model: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Token vocabulary size.
+    pub vocab: usize,
+    /// Maximum sequence length (positional table).
+    pub max_seq: usize,
+    /// Whether the token embedding is tied to the output head.
+    pub tied_embeddings: bool,
+}
+
+/// Build the layer table for a transformer stack.
+#[must_use]
+pub fn transformer(name: &str, cfg: TransformerConfig) -> Model {
+    let d = cfg.d_model;
+    let mut layers = Vec::new();
+    layers.push(Layer {
+        name: "embed.tokens".into(),
+        kind: LayerKind::Raw {
+            count: cfg.vocab * d,
+        },
+    });
+    layers.push(Layer {
+        name: "embed.positions".into(),
+        kind: LayerKind::Raw {
+            count: cfg.max_seq * d,
+        },
+    });
+    for b in 0..cfg.layers {
+        let p = format!("block{b}");
+        // Attention: Q, K, V, output projections (with bias).
+        for proj in ["q", "k", "v", "o"] {
+            layers.push(Layer::linear(&format!("{p}.attn.{proj}"), d, d));
+        }
+        // Two LayerNorms per block.
+        layers.push(Layer {
+            name: format!("{p}.ln1"),
+            kind: LayerKind::Raw { count: 2 * d },
+        });
+        layers.push(Layer {
+            name: format!("{p}.ln2"),
+            kind: LayerKind::Raw { count: 2 * d },
+        });
+        // Feed-forward.
+        layers.push(Layer::linear(&format!("{p}.ff.up"), d, cfg.d_ff));
+        layers.push(Layer::linear(&format!("{p}.ff.down"), cfg.d_ff, d));
+    }
+    layers.push(Layer {
+        name: "ln_final".into(),
+        kind: LayerKind::Raw { count: 2 * d },
+    });
+    if !cfg.tied_embeddings {
+        layers.push(Layer {
+            name: "lm_head".into(),
+            kind: LayerKind::Raw {
+                count: cfg.vocab * d,
+            },
+        });
+    }
+    let reported = layers.iter().map(Layer::params).sum();
+    Model {
+        name: name.into(),
+        layers,
+        paper_reported_params: reported,
+    }
+}
+
+/// GPT-2 (117 M class): 12 blocks, d=768, ff=3072, tied embeddings.
+#[must_use]
+pub fn gpt2_small() -> Model {
+    transformer(
+        "GPT2-small",
+        TransformerConfig {
+            layers: 12,
+            d_model: 768,
+            d_ff: 3072,
+            vocab: 50257,
+            max_seq: 1024,
+            tied_embeddings: true,
+        },
+    )
+}
+
+/// BERT-Large (340 M class): 24 blocks, d=1024, ff=4096.
+#[must_use]
+pub fn bert_large() -> Model {
+    transformer(
+        "BERT-large",
+        TransformerConfig {
+            layers: 24,
+            d_model: 1024,
+            d_ff: 4096,
+            vocab: 30522,
+            max_seq: 512,
+            tied_embeddings: true,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt2_small_is_roughly_124m() {
+        let m = gpt2_small();
+        let p = m.params() as f64;
+        // Published GPT-2 small: 124.4 M parameters.
+        assert!(
+            (p / 124.4e6 - 1.0).abs() < 0.02,
+            "got {} params",
+            m.params()
+        );
+    }
+
+    #[test]
+    fn bert_large_is_roughly_335m() {
+        let m = bert_large();
+        let p = m.params() as f64;
+        // Published BERT-large: ~335 M (encoder, tied head).
+        assert!((p / 335.0e6 - 1.0).abs() < 0.05, "got {} params", m.params());
+    }
+
+    #[test]
+    fn block_count_matches_config() {
+        let m = transformer(
+            "tiny",
+            TransformerConfig {
+                layers: 3,
+                d_model: 64,
+                d_ff: 256,
+                vocab: 1000,
+                max_seq: 128,
+                tied_embeddings: false,
+            },
+        );
+        // 2 embeddings + 3 blocks * 8 + final LN + untied head.
+        assert_eq!(m.layers.len(), 2 + 3 * 8 + 1 + 1);
+    }
+
+    #[test]
+    fn untied_head_adds_vocab_times_d() {
+        let base = TransformerConfig {
+            layers: 1,
+            d_model: 64,
+            d_ff: 256,
+            vocab: 1000,
+            max_seq: 16,
+            tied_embeddings: true,
+        };
+        let tied = transformer("t", base);
+        let untied = transformer(
+            "u",
+            TransformerConfig {
+                tied_embeddings: false,
+                ..base
+            },
+        );
+        assert_eq!(untied.params() - tied.params(), 1000 * 64);
+    }
+
+    #[test]
+    fn gradient_bytes_track_params() {
+        let m = gpt2_small();
+        assert_eq!(m.gradient_bytes(), (m.params() * 4) as u64);
+    }
+}

@@ -1,0 +1,239 @@
+//! The four DNN models of the paper's evaluation, as per-layer tables.
+//!
+//! Parameter totals are cross-checked against the numbers the paper quotes
+//! (AlexNet 62.3 M, VGG16 138 M, ResNet50 25 M, GoogLeNet 6.7977 M); unit
+//! tests pin the arithmetic.
+
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+
+/// A named model: an ordered list of trainable layers (forward order).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Model {
+    /// Model name.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<Layer>,
+    /// Parameter count the paper quotes for this model.
+    pub paper_reported_params: usize,
+}
+
+impl Model {
+    /// Total trainable parameters (sum over layers).
+    #[must_use]
+    pub fn params(&self) -> usize {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Gradient size in bytes at fp32.
+    #[must_use]
+    pub fn gradient_bytes(&self) -> u64 {
+        (self.params() * 4) as u64
+    }
+
+    /// Relative deviation of the table total from the paper's quote.
+    #[must_use]
+    pub fn deviation_from_paper(&self) -> f64 {
+        let computed = self.params() as f64;
+        let reported = self.paper_reported_params as f64;
+        (computed - reported).abs() / reported
+    }
+}
+
+/// AlexNet (Krizhevsky et al., 2012), single-tower (ungrouped) variant —
+/// its 62,378,344 parameters are the "62.3 M" the paper quotes.
+#[must_use]
+pub fn alexnet() -> Model {
+    Model {
+        name: "AlexNet".into(),
+        layers: vec![
+            Layer::conv("conv1", 3, 96, 11),
+            Layer::conv("conv2", 96, 256, 5),
+            Layer::conv("conv3", 256, 384, 3),
+            Layer::conv("conv4", 384, 384, 3),
+            Layer::conv("conv5", 384, 256, 3),
+            Layer::linear("fc6", 256 * 6 * 6, 4096),
+            Layer::linear("fc7", 4096, 4096),
+            Layer::linear("fc8", 4096, 1000),
+        ],
+        paper_reported_params: 62_300_000,
+    }
+}
+
+/// VGG16 (Simonyan & Zisserman, 2014): 138,357,544 parameters.
+#[must_use]
+pub fn vgg16() -> Model {
+    let mut layers = Vec::new();
+    // (block, convs, c_in, c_out)
+    let blocks: [(usize, usize, usize, usize); 5] = [
+        (1, 2, 3, 64),
+        (2, 2, 64, 128),
+        (3, 3, 128, 256),
+        (4, 3, 256, 512),
+        (5, 3, 512, 512),
+    ];
+    for (block, convs, c_in, c_out) in blocks {
+        for i in 0..convs {
+            let cin = if i == 0 { c_in } else { c_out };
+            layers.push(Layer::conv(&format!("conv{block}_{}", i + 1), cin, c_out, 3));
+        }
+    }
+    layers.push(Layer::linear("fc6", 512 * 7 * 7, 4096));
+    layers.push(Layer::linear("fc7", 4096, 4096));
+    layers.push(Layer::linear("fc8", 4096, 1000));
+    Model {
+        name: "VGG16".into(),
+        layers,
+        paper_reported_params: 138_000_000,
+    }
+}
+
+/// ResNet50 (He et al., 2016), torchvision construction:
+/// 25,557,032 parameters including batch-norm affine weights.
+#[must_use]
+pub fn resnet50() -> Model {
+    let mut layers = Vec::new();
+    layers.push(Layer::conv_nobias("conv1", 3, 64, 7));
+    layers.push(Layer::batch_norm("bn1", 64));
+
+    // (stage, blocks, width); expansion 4.
+    let stages: [(usize, usize, usize); 4] =
+        [(1, 3, 64), (2, 4, 128), (3, 6, 256), (4, 3, 512)];
+    let mut c_in = 64;
+    for (stage, blocks, width) in stages {
+        for b in 0..blocks {
+            let prefix = format!("layer{stage}.{b}");
+            layers.push(Layer::conv_nobias(&format!("{prefix}.conv1"), c_in, width, 1));
+            layers.push(Layer::batch_norm(&format!("{prefix}.bn1"), width));
+            layers.push(Layer::conv_nobias(&format!("{prefix}.conv2"), width, width, 3));
+            layers.push(Layer::batch_norm(&format!("{prefix}.bn2"), width));
+            layers.push(Layer::conv_nobias(
+                &format!("{prefix}.conv3"),
+                width,
+                width * 4,
+                1,
+            ));
+            layers.push(Layer::batch_norm(&format!("{prefix}.bn3"), width * 4));
+            if b == 0 {
+                layers.push(Layer::conv_nobias(
+                    &format!("{prefix}.downsample"),
+                    c_in,
+                    width * 4,
+                    1,
+                ));
+                layers.push(Layer::batch_norm(
+                    &format!("{prefix}.downsample_bn"),
+                    width * 4,
+                ));
+            }
+            c_in = width * 4;
+        }
+    }
+    layers.push(Layer::linear("fc", 2048, 1000));
+    Model {
+        name: "ResNet50".into(),
+        layers,
+        paper_reported_params: 25_000_000,
+    }
+}
+
+/// GoogLeNet / Inception-v1 (Szegedy et al., 2015), main branch only
+/// (no auxiliary classifiers), original biased convolutions.
+#[must_use]
+pub fn googlenet() -> Model {
+    let mut layers = Vec::new();
+    layers.push(Layer::conv("conv1", 3, 64, 7));
+    layers.push(Layer::conv("conv2_reduce", 64, 64, 1));
+    layers.push(Layer::conv("conv2", 64, 192, 3));
+
+    // (name, in, #1x1, #3x3r, #3x3, #5x5r, #5x5, pool-proj)
+    type InceptionSpec = (&'static str, usize, usize, usize, usize, usize, usize, usize);
+    let modules: [InceptionSpec; 9] = [
+        ("3a", 192, 64, 96, 128, 16, 32, 32),
+        ("3b", 256, 128, 128, 192, 32, 96, 64),
+        ("4a", 480, 192, 96, 208, 16, 48, 64),
+        ("4b", 512, 160, 112, 224, 24, 64, 64),
+        ("4c", 512, 128, 128, 256, 24, 64, 64),
+        ("4d", 512, 112, 144, 288, 32, 64, 64),
+        ("4e", 528, 256, 160, 320, 32, 128, 128),
+        ("5a", 832, 256, 160, 320, 32, 128, 128),
+        ("5b", 832, 384, 192, 384, 48, 128, 128),
+    ];
+    for (name, cin, c1, c3r, c3, c5r, c5, pp) in modules {
+        layers.push(Layer::conv(&format!("inception{name}.1x1"), cin, c1, 1));
+        layers.push(Layer::conv(&format!("inception{name}.3x3r"), cin, c3r, 1));
+        layers.push(Layer::conv(&format!("inception{name}.3x3"), c3r, c3, 3));
+        layers.push(Layer::conv(&format!("inception{name}.5x5r"), cin, c5r, 1));
+        layers.push(Layer::conv(&format!("inception{name}.5x5"), c5r, c5, 5));
+        layers.push(Layer::conv(&format!("inception{name}.pool_proj"), cin, pp, 1));
+    }
+    layers.push(Layer::linear("fc", 1024, 1000));
+    Model {
+        name: "GoogLeNet".into(),
+        layers,
+        paper_reported_params: 6_797_700,
+    }
+}
+
+/// The four models of Figure 2, in the paper's order.
+#[must_use]
+pub fn paper_models() -> Vec<Model> {
+    vec![alexnet(), vgg16(), resnet50(), googlenet()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_total_is_exact() {
+        assert_eq!(alexnet().params(), 62_378_344);
+        assert!(alexnet().deviation_from_paper() < 0.005);
+    }
+
+    #[test]
+    fn vgg16_total_is_exact() {
+        assert_eq!(vgg16().params(), 138_357_544);
+        assert!(vgg16().deviation_from_paper() < 0.01);
+    }
+
+    #[test]
+    fn resnet50_total_is_exact() {
+        assert_eq!(resnet50().params(), 25_557_032);
+        assert!(resnet50().deviation_from_paper() < 0.03);
+    }
+
+    #[test]
+    fn googlenet_total_matches_paper_within_tolerance() {
+        let m = googlenet();
+        // The poster quotes 6.7977 M; inception-v1 main-branch tables in the
+        // literature land between 6.6 M and 7.0 M depending on bias/LRN
+        // conventions. Require agreement within 4 %.
+        assert!(
+            m.deviation_from_paper() < 0.04,
+            "GoogLeNet params {} deviate {:.2}% from paper",
+            m.params(),
+            m.deviation_from_paper() * 100.0
+        );
+    }
+
+    #[test]
+    fn gradient_bytes_fp32() {
+        assert_eq!(vgg16().gradient_bytes(), 138_357_544 * 4);
+    }
+
+    #[test]
+    fn layer_counts_are_sane() {
+        assert_eq!(alexnet().layers.len(), 8);
+        assert_eq!(vgg16().layers.len(), 16);
+        // 1 stem conv + bn, 16 blocks * 6 + 4 downsample pairs, + fc.
+        assert_eq!(resnet50().layers.len(), 2 + 16 * 6 + 4 * 2 + 1);
+        assert_eq!(googlenet().layers.len(), 3 + 9 * 6 + 1);
+    }
+
+    #[test]
+    fn paper_models_order() {
+        let names: Vec<String> = paper_models().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, ["AlexNet", "VGG16", "ResNet50", "GoogLeNet"]);
+    }
+}

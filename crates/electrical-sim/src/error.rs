@@ -1,0 +1,67 @@
+//! Error types for the electrical network simulator.
+
+use std::fmt;
+
+/// Errors produced while building networks or running flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Referenced a host outside the network.
+    HostOutOfRange {
+        /// Offending host index.
+        host: usize,
+        /// Number of hosts.
+        hosts: usize,
+    },
+    /// A flow had identical endpoints.
+    SelfFlow(usize),
+    /// A flow of zero bytes was submitted.
+    EmptyFlow {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+    },
+    /// No route exists between two hosts.
+    NoRoute {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+    },
+    /// Invalid construction parameter.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::HostOutOfRange { host, hosts } => {
+                write!(f, "host {host} out of range ({hosts} hosts)")
+            }
+            NetError::SelfFlow(h) => write!(f, "flow from host {h} to itself"),
+            NetError::EmptyFlow { src, dst } => {
+                write!(f, "zero-byte flow from {src} to {dst}")
+            }
+            NetError::NoRoute { src, dst } => write!(f, "no route from {src} to {dst}"),
+            NetError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fields() {
+        assert!(NetError::HostOutOfRange { host: 7, hosts: 4 }
+            .to_string()
+            .contains('7'));
+        assert!(NetError::NoRoute { src: 1, dst: 2 }.to_string().contains("no route"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # electrical-sim — a flow-level simulator for electrical interconnects
+//!
+//! The Wrht paper times its electrical baselines (Ring all-reduce and
+//! Recursive Doubling) with SimGrid. This crate reimplements the part of
+//! SimGrid those experiments rely on: the **fluid model**, in which each
+//! active point-to-point flow receives a max-min fair share of every link it
+//! crosses and the simulation advances from flow completion to flow
+//! completion.
+//!
+//! Provided pieces:
+//!
+//! * [`graph::Network`] — directed links with capacity and latency, plus
+//!   per-topology routing;
+//! * [`topology`] — builders for switched star ("cluster"), ring, full mesh
+//!   and two-level fat-tree networks;
+//! * [`maxmin`] — progressive-filling max-min fair allocation;
+//! * [`sim::FluidSimulator`] — the event loop;
+//! * [`runner`] — barrier-stepped execution of collective schedules.
+//!
+//! ```
+//! use electrical_sim::prelude::*;
+//!
+//! let net = star_cluster(4, 12.5e9, 500e-9); // 4 hosts, 100 Gb/s, 0.5 us
+//! let mut sim = FluidSimulator::new(net);
+//! sim.submit(FlowSpec::new(0, 1, 1_000_000));
+//! let report = sim.run().unwrap();
+//! assert!(report.makespan_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod flow;
+pub mod graph;
+pub mod maxmin;
+pub mod runner;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+
+/// Common re-exports.
+pub mod prelude {
+    pub use crate::error::NetError;
+    pub use crate::flow::FlowSpec;
+    pub use crate::graph::{LinkId, Network};
+    pub use crate::runner::{run_steps, StepTransfer};
+    pub use crate::sim::{FluidSimulator, RunReport};
+    pub use crate::stats::{offered_load, LoadReport};
+    pub use crate::topology::{fat_tree_two_level, full_mesh, ring, star_cluster, torus_2d};
+}
+
+pub use error::NetError;
+pub use flow::FlowSpec;
+pub use graph::{LinkId, Network};
+pub use sim::{FluidSimulator, RunReport};

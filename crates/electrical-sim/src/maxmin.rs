@@ -1,0 +1,182 @@
+//! Progressive-filling max-min fair bandwidth allocation.
+//!
+//! This is the heart of SimGrid's fluid network model: every active flow
+//! gets the largest rate such that no link is oversubscribed and no flow can
+//! be raised without lowering a flow of equal or smaller rate. The classic
+//! algorithm saturates the most-contended link, freezes the flows crossing
+//! it, subtracts their bandwidth and repeats.
+
+use crate::graph::{LinkId, Network};
+
+/// Compute max-min fair rates (bytes/s) for `routes`, one route per flow.
+///
+/// Flows with empty routes are given an infinite rate (they complete in
+/// latency only); callers prevent this case for real networks.
+#[must_use]
+pub fn maxmin_rates(net: &Network, routes: &[Vec<LinkId>]) -> Vec<f64> {
+    let n_flows = routes.len();
+    let n_links = net.links().len();
+    let mut remaining: Vec<f64> = net.links().iter().map(|l| l.capacity_bps).collect();
+    let mut active_on_link: Vec<usize> = vec![0; n_links];
+    // Which links each flow still counts on (all of them until frozen).
+    for route in routes {
+        for &l in route {
+            active_on_link[l.0] += 1;
+        }
+    }
+
+    let mut rate = vec![f64::INFINITY; n_flows];
+    let mut frozen = vec![false; n_flows];
+    let mut unfrozen = n_flows;
+
+    while unfrozen > 0 {
+        // Bottleneck share: smallest fair share among links with active
+        // flows. All links at that share saturate simultaneously, so every
+        // flow crossing any of them freezes this round — this keeps
+        // symmetric workloads (e.g. ring steps) at one round total.
+        let mut best_share = f64::INFINITY;
+        for l in 0..n_links {
+            if active_on_link[l] > 0 {
+                let share = remaining[l] / active_on_link[l] as f64;
+                if share < best_share {
+                    best_share = share;
+                }
+            }
+        }
+        if best_share == f64::INFINITY {
+            // Remaining flows cross no active link (empty routes): done.
+            break;
+        }
+        let threshold = best_share * (1.0 + 1e-12);
+        let mut progressed = false;
+        for (f, route) in routes.iter().enumerate() {
+            if frozen[f] {
+                continue;
+            }
+            let bottlenecked = route.iter().any(|&l| {
+                active_on_link[l.0] > 0
+                    && remaining[l.0] / active_on_link[l.0] as f64 <= threshold
+            });
+            if !bottlenecked {
+                continue;
+            }
+            frozen[f] = true;
+            progressed = true;
+            unfrozen -= 1;
+            rate[f] = best_share;
+            for &l in route {
+                remaining[l.0] = (remaining[l.0] - best_share).max(0.0);
+                active_on_link[l.0] -= 1;
+            }
+        }
+        if !progressed {
+            break; // Defensive: numerical corner, avoid spinning.
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ring, star_cluster};
+
+    fn routes(net: &Network, pairs: &[(usize, usize)]) -> Vec<Vec<LinkId>> {
+        pairs.iter().map(|&(s, d)| net.route(s, d).unwrap()).collect()
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let r = maxmin_rates(&net, &routes(&net, &[(0, 1)]));
+        assert!((r[0] - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_a_common_uplink() {
+        let net = star_cluster(4, 1e9, 0.0);
+        // Both flows leave host 0: share its uplink.
+        let r = maxmin_rates(&net, &routes(&net, &[(0, 1), (0, 2)]));
+        assert!((r[0] - 5e8).abs() < 1.0);
+        assert!((r[1] - 5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn disjoint_flows_do_not_interfere() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let r = maxmin_rates(&net, &routes(&net, &[(0, 1), (2, 3)]));
+        assert!(r.iter().all(|&x| (x - 1e9).abs() < 1.0));
+    }
+
+    #[test]
+    fn incast_shares_the_downlink() {
+        let net = star_cluster(8, 1e9, 0.0);
+        let pairs: Vec<_> = (1..5).map(|s| (s, 0usize)).collect();
+        let r = maxmin_rates(&net, &routes(&net, &pairs));
+        for &x in &r {
+            assert!((x - 2.5e8).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn maxmin_is_not_just_equal_split() {
+        // Classic 3-flow example on a line; emulate with a ring of 3 where
+        // flow A crosses two links and flows B, C one each.
+        let net = ring(3, 1e9, 0.0);
+        // A: 0 -> 2 the long way is 1 hop ccw; force multi-hop with 0->1->2
+        // unavailable, so instead: flows (0,1), (1,2), (0,2 via cw 2 hops?).
+        // On a 3-ring, 0->2 shortest is 1 hop ccw (link 2n side) — disjoint.
+        // Use (0,1),(0,1),(1,2): two flows share link 0, one rides alone.
+        let r = maxmin_rates(&net, &routes(&net, &[(0, 1), (0, 1), (1, 2)]));
+        assert!((r[0] - 5e8).abs() < 1.0);
+        assert!((r[1] - 5e8).abs() < 1.0);
+        assert!((r[2] - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_link_oversubscribed() {
+        let net = ring(8, 1e9, 0.0);
+        let pairs: Vec<_> = (0..8).map(|i| (i, (i + 3) % 8)).collect();
+        let flows = routes(&net, &pairs);
+        let rates = maxmin_rates(&net, &flows);
+        let mut load = vec![0.0f64; net.links().len()];
+        for (route, &rate) in flows.iter().zip(&rates) {
+            for &l in route {
+                load[l.0] += rate;
+            }
+        }
+        for (l, &used) in load.iter().enumerate() {
+            assert!(
+                used <= net.links()[l].capacity_bps * (1.0 + 1e-9),
+                "link {l} oversubscribed: {used}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flow_has_a_saturated_bottleneck() {
+        let net = ring(6, 1e9, 0.0);
+        let pairs: Vec<_> = (0..6).map(|i| (i, (i + 2) % 6)).collect();
+        let flows = routes(&net, &pairs);
+        let rates = maxmin_rates(&net, &flows);
+        let mut load = vec![0.0f64; net.links().len()];
+        for (route, &rate) in flows.iter().zip(&rates) {
+            for &l in route {
+                load[l.0] += rate;
+            }
+        }
+        // Max-min property: each flow crosses at least one (nearly)
+        // saturated link.
+        for route in &flows {
+            assert!(route.iter().any(|&l| {
+                load[l.0] >= net.links()[l.0].capacity_bps * (1.0 - 1e-6)
+            }));
+        }
+    }
+
+    #[test]
+    fn empty_flow_set() {
+        let net = star_cluster(2, 1e9, 0.0);
+        assert!(maxmin_rates(&net, &[]).is_empty());
+    }
+}

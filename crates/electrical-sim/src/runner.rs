@@ -1,0 +1,111 @@
+//! Barrier-stepped execution of collective schedules over the fluid model.
+//!
+//! All-reduce algorithms are expressed as sequences of steps; the runner
+//! starts every transfer of a step simultaneously, waits for the slowest
+//! (the barrier all-reduce implementations impose), adds a per-message host
+//! overhead, and moves to the next step — mirroring how the paper times its
+//! SimGrid baselines.
+
+use crate::error::Result;
+use crate::flow::FlowSpec;
+use crate::graph::Network;
+use crate::sim::run_flows;
+use serde::{Deserialize, Serialize};
+
+/// One transfer inside a step (sizes in bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepTransfer {
+    /// Source host.
+    pub src: usize,
+    /// Destination host.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// Timing report for a stepped collective run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteppedReport {
+    /// Total time, seconds.
+    pub total_time_s: f64,
+    /// Per-step durations, seconds.
+    pub step_times_s: Vec<f64>,
+}
+
+/// Execute `steps` over `net`, paying `per_message_overhead_s` once per step
+/// (protocol/launch cost, analogous to the optical per-message overhead).
+pub fn run_steps(
+    net: &Network,
+    steps: &[Vec<StepTransfer>],
+    per_message_overhead_s: f64,
+) -> Result<SteppedReport> {
+    let mut step_times = Vec::with_capacity(steps.len());
+    for step in steps {
+        if step.is_empty() {
+            step_times.push(0.0);
+            continue;
+        }
+        let flows: Vec<FlowSpec> = step
+            .iter()
+            .map(|t| FlowSpec::new(t.src, t.dst, t.bytes))
+            .collect();
+        let report = run_flows(net, &flows)?;
+        step_times.push(per_message_overhead_s + report.makespan_s);
+    }
+    Ok(SteppedReport {
+        total_time_s: step_times.iter().sum(),
+        step_times_s: step_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::star_cluster;
+
+    #[test]
+    fn steps_are_sequential_and_overhead_is_per_step() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let steps = vec![
+            vec![StepTransfer {
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+            }],
+            vec![StepTransfer {
+                src: 1,
+                dst: 2,
+                bytes: 1_000_000,
+            }],
+        ];
+        let r = run_steps(&net, &steps, 1e-6).unwrap();
+        assert_eq!(r.step_times_s.len(), 2);
+        assert!((r.total_time_s - (2e-3 + 2e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_steps_cost_nothing() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let r = run_steps(&net, &[vec![]], 1e-6).unwrap();
+        assert_eq!(r.total_time_s, 0.0);
+    }
+
+    #[test]
+    fn parallel_transfers_within_a_step() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let step = vec![
+            StepTransfer {
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+            },
+            StepTransfer {
+                src: 2,
+                dst: 3,
+                bytes: 1_000_000,
+            },
+        ];
+        let r = run_steps(&net, &[step], 0.0).unwrap();
+        assert!((r.total_time_s - 1e-3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! Topology builders.
+//!
+//! All builders take per-link `capacity_bps` in **bytes** per second and
+//! `latency_s` in seconds, matching SimGrid's platform files after unit
+//! conversion.
+
+use crate::graph::{Link, Network, Router};
+
+/// A switched cluster: every host has a full-duplex port into one
+/// non-blocking switch (SimGrid's `<cluster>` without a backbone).
+///
+/// This is the electrical platform the paper's E-Ring and RD baselines run
+/// on: the switch is ideal, so contention happens only at host ports.
+#[must_use]
+pub fn star_cluster(hosts: usize, capacity_bps: f64, latency_s: f64) -> Network {
+    let link = Link {
+        capacity_bps,
+        latency_s,
+    };
+    // 2 links per host: uplink 2i, downlink 2i+1.
+    let links = vec![link; 2 * hosts];
+    Network::from_parts(hosts, links, Router::Star)
+}
+
+/// A bidirectional ring of point-to-point links.
+#[must_use]
+pub fn ring(hosts: usize, capacity_bps: f64, latency_s: f64) -> Network {
+    let link = Link {
+        capacity_bps,
+        latency_s,
+    };
+    // Clockwise links 0..n, counter-clockwise n..2n.
+    let links = vec![link; 2 * hosts];
+    Network::from_parts(hosts, links, Router::Ring)
+}
+
+/// A full mesh: a dedicated directed link for every ordered host pair.
+/// Useful as an idealized (contention-free) electrical reference.
+#[must_use]
+pub fn full_mesh(hosts: usize, capacity_bps: f64, latency_s: f64) -> Network {
+    let link = Link {
+        capacity_bps,
+        latency_s,
+    };
+    let links = vec![link; hosts * hosts];
+    Network::from_parts(hosts, links, Router::FullMesh)
+}
+
+/// A two-level fat tree (edge + spine) with static ECMP.
+///
+/// `edges * hosts_per_edge` hosts; each edge switch connects to every spine.
+/// Edge-to-spine links get `spine_factor` times the host-link capacity so
+/// oversubscription can be modelled (1.0 = non-oversubscribed per spine
+/// link; total uplink capacity is `spines * spine_factor` host links).
+#[must_use]
+pub fn fat_tree_two_level(
+    edges: usize,
+    hosts_per_edge: usize,
+    spines: usize,
+    capacity_bps: f64,
+    latency_s: f64,
+) -> Network {
+    fat_tree_two_level_oversub(edges, hosts_per_edge, spines, capacity_bps, latency_s, 1.0)
+}
+
+/// [`fat_tree_two_level`] with an explicit spine-link capacity factor.
+#[must_use]
+pub fn fat_tree_two_level_oversub(
+    edges: usize,
+    hosts_per_edge: usize,
+    spines: usize,
+    capacity_bps: f64,
+    latency_s: f64,
+    spine_factor: f64,
+) -> Network {
+    let hosts = edges * hosts_per_edge;
+    let host_link = Link {
+        capacity_bps,
+        latency_s,
+    };
+    let spine_link = Link {
+        capacity_bps: capacity_bps * spine_factor,
+        latency_s,
+    };
+    let mut links = vec![host_link; 2 * hosts];
+    links.extend(std::iter::repeat_n(spine_link, 2 * edges * spines));
+    Network::from_parts(
+        hosts,
+        links,
+        Router::FatTree {
+            edges,
+            hosts_per_edge,
+            spines,
+        },
+    )
+}
+
+/// A 2-D torus (`rows * cols` hosts) with dimension-order routing —
+/// the classic HPC interconnect shape, for topology-sensitivity studies.
+#[must_use]
+pub fn torus_2d(rows: usize, cols: usize, capacity_bps: f64, latency_s: f64) -> Network {
+    let link = Link {
+        capacity_bps,
+        latency_s,
+    };
+    let hosts = rows * cols;
+    // Four directed links per host: east, west, south, north.
+    let links = vec![link; 4 * hosts];
+    Network::from_parts(hosts, links, Router::Torus2D { rows, cols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_link_count() {
+        let net = star_cluster(16, 1e9, 1e-6);
+        assert_eq!(net.links().len(), 32);
+        assert_eq!(net.hosts(), 16);
+    }
+
+    #[test]
+    fn ring_link_count() {
+        let net = ring(10, 1e9, 1e-6);
+        assert_eq!(net.links().len(), 20);
+    }
+
+    #[test]
+    fn mesh_link_count() {
+        let net = full_mesh(6, 1e9, 1e-6);
+        assert_eq!(net.links().len(), 36);
+    }
+
+    #[test]
+    fn torus_routes_are_dimension_ordered_and_minimal() {
+        let net = torus_2d(4, 5, 1e9, 1e-6);
+        assert_eq!(net.hosts(), 20);
+        assert_eq!(net.links().len(), 80);
+        for src in 0..20usize {
+            for dst in 0..20usize {
+                if src == dst {
+                    continue;
+                }
+                let hops = net.route(src, dst).unwrap().len();
+                let (r0, c0) = (src / 5, src % 5);
+                let (r1, c1) = (dst / 5, dst % 5);
+                let dx = {
+                    let d = (c1 + 5 - c0) % 5;
+                    d.min(5 - d)
+                };
+                let dy = {
+                    let d = (r1 + 4 - r0) % 4;
+                    d.min(4 - d)
+                };
+                assert_eq!(hops, dx + dy, "src={src} dst={dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_neighbor_exchange_is_contention_free() {
+        use crate::flow::FlowSpec;
+        use crate::sim::run_flows;
+        let net = torus_2d(4, 4, 1e9, 0.0);
+        // Every host sends east: all flows use distinct east links.
+        let flows: Vec<FlowSpec> = (0..16)
+            .map(|h| {
+                let (r, c) = (h / 4, h % 4);
+                FlowSpec::new(h, r * 4 + (c + 1) % 4, 1_000_000)
+            })
+            .collect();
+        let report = run_flows(&net, &flows).unwrap();
+        assert!((report.makespan_s - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fat_tree_counts_and_capacity() {
+        let net = fat_tree_two_level_oversub(4, 8, 2, 1e9, 1e-6, 2.0);
+        assert_eq!(net.hosts(), 32);
+        // 2*32 host links + 2*4*2 spine links.
+        assert_eq!(net.links().len(), 64 + 16);
+        assert_eq!(net.links()[64].capacity_bps, 2e9);
+        assert_eq!(net.links()[0].capacity_bps, 1e9);
+    }
+}

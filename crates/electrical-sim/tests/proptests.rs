@@ -1,0 +1,143 @@
+//! Property tests for the fluid model: the defining invariants of max-min
+//! fairness and flow-level simulation.
+
+use electrical_sim::flow::FlowSpec;
+use electrical_sim::graph::LinkId;
+use electrical_sim::maxmin::maxmin_rates;
+use electrical_sim::sim::run_flows;
+use electrical_sim::topology::{fat_tree_two_level, ring, star_cluster};
+use electrical_sim::Network;
+use proptest::prelude::*;
+
+fn arb_pairs(n: usize, max: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 1..max)
+        .prop_map(|v| v.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+fn routes(net: &Network, pairs: &[(usize, usize)]) -> Vec<Vec<LinkId>> {
+    pairs
+        .iter()
+        .map(|&(s, d)| net.route(s, d).unwrap())
+        .collect()
+}
+
+/// Check the two defining max-min properties on an allocation.
+fn check_maxmin(net: &Network, flows: &[Vec<LinkId>], rates: &[f64]) {
+    let mut load = vec![0.0f64; net.links().len()];
+    for (route, &rate) in flows.iter().zip(rates) {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        for &l in route {
+            load[l.0] += rate;
+        }
+    }
+    // 1. Feasibility: no link above capacity.
+    for (l, &used) in load.iter().enumerate() {
+        assert!(
+            used <= net.links()[l].capacity_bps * (1.0 + 1e-6),
+            "link {l} oversubscribed"
+        );
+    }
+    // 2. Every flow has a saturated bottleneck link.
+    for (f, route) in flows.iter().enumerate() {
+        let has_bottleneck = route.iter().any(|&l| {
+            load[l.0] >= net.links()[l.0].capacity_bps * (1.0 - 1e-6)
+        });
+        assert!(has_bottleneck, "flow {f} could be raised");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn maxmin_invariants_on_star(pairs in arb_pairs(12, 24)) {
+        prop_assume!(!pairs.is_empty());
+        let net = star_cluster(12, 1e9, 0.0);
+        let flows = routes(&net, &pairs);
+        let rates = maxmin_rates(&net, &flows);
+        check_maxmin(&net, &flows, &rates);
+    }
+
+    #[test]
+    fn maxmin_invariants_on_ring(pairs in arb_pairs(10, 20)) {
+        prop_assume!(!pairs.is_empty());
+        let net = ring(10, 2e9, 0.0);
+        let flows = routes(&net, &pairs);
+        let rates = maxmin_rates(&net, &flows);
+        check_maxmin(&net, &flows, &rates);
+    }
+
+    #[test]
+    fn maxmin_invariants_on_fat_tree(pairs in arb_pairs(16, 20)) {
+        prop_assume!(!pairs.is_empty());
+        let net = fat_tree_two_level(4, 4, 2, 1e9, 0.0);
+        let flows = routes(&net, &pairs);
+        let rates = maxmin_rates(&net, &flows);
+        check_maxmin(&net, &flows, &rates);
+    }
+
+    /// Adding a flow never raises the minimum allocated rate (per-flow
+    /// monotonicity does NOT hold for max-min — slowing one flow can free
+    /// capacity for another — but the fairness floor is monotone), and the
+    /// extended allocation still satisfies the max-min invariants.
+    #[test]
+    fn maxmin_floor_is_monotone_under_additional_load(
+        pairs in arb_pairs(8, 10),
+        extra_src in 0usize..8,
+        extra_dst in 0usize..8,
+    ) {
+        prop_assume!(!pairs.is_empty() && extra_src != extra_dst);
+        let net = star_cluster(8, 1e9, 0.0);
+        let flows = routes(&net, &pairs);
+        let before = maxmin_rates(&net, &flows);
+        let min_before = before.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut extended = flows.clone();
+        extended.push(net.route(extra_src, extra_dst).unwrap());
+        let after = maxmin_rates(&net, &extended);
+        let min_after = after.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!(min_after <= min_before * (1.0 + 1e-9));
+        check_maxmin(&net, &extended, &after);
+    }
+
+    /// Fluid completion time is bounded below by each flow's ideal time
+    /// (latency + size/capacity) and every flow does finish.
+    #[test]
+    fn fluid_run_respects_physics(
+        pairs in arb_pairs(10, 12),
+        kb in 1u64..500,
+    ) {
+        prop_assume!(!pairs.is_empty());
+        let cap = 1e9;
+        let lat = 1e-6;
+        let net = star_cluster(10, cap, lat);
+        let bytes = kb * 1024;
+        let specs: Vec<FlowSpec> = pairs.iter().map(|&(s, d)| FlowSpec::new(s, d, bytes)).collect();
+        let report = run_flows(&net, &specs).unwrap();
+        let ideal = 2.0 * lat + bytes as f64 / cap;
+        for f in &report.flows {
+            prop_assert!(f.finish_s >= ideal - 1e-12);
+        }
+        prop_assert!(report.makespan_s >= ideal - 1e-12);
+        // Makespan is also bounded by fully serializing everything through
+        // one port.
+        let serial = 2.0 * lat + (pairs.len() as u64 * bytes) as f64 / cap;
+        prop_assert!(report.makespan_s <= serial + 1e-9);
+    }
+
+    /// Identical flows released together finish together (fairness).
+    #[test]
+    fn identical_contending_flows_finish_together(k in 2usize..8, kb in 1u64..100) {
+        let net = star_cluster(k + 1, 1e9, 0.0);
+        // k flows all into host 0.
+        let specs: Vec<FlowSpec> =
+            (1..=k).map(|s| FlowSpec::new(s, 0, kb * 1024)).collect();
+        let report = run_flows(&net, &specs).unwrap();
+        let first = report.flows[0].finish_s;
+        for f in &report.flows {
+            prop_assert!((f.finish_s - first).abs() < 1e-9);
+        }
+        // And they take exactly k times the solo duration.
+        let solo = kb as f64 * 1024.0 / 1e9;
+        prop_assert!((first - solo * k as f64).abs() / first < 1e-6);
+    }
+}

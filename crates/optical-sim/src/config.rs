@@ -1,0 +1,174 @@
+//! Simulator configuration: the physical constants of the optical ring.
+//!
+//! Defaults follow the TeraRack description the paper builds on: up to 64
+//! DWDM wavelengths per waveguide at 25 Gb/s each (so a node that drives all
+//! 64 channels reaches 1.6 Tb/s), nanosecond-scale per-hop propagation and a
+//! fixed per-message overhead covering SerDes plus E/O + O/E conversion at
+//! the endpoints.
+
+use crate::error::{OpticalError, Result};
+use crate::timing::TimingModel;
+use serde::{Deserialize, Serialize};
+
+/// 25 Gb/s expressed in bytes per second.
+pub const DEFAULT_LAMBDA_BANDWIDTH_BPS: f64 = 25.0e9 / 8.0;
+/// Default wavelengths per waveguide (TeraRack: 64).
+pub const DEFAULT_WAVELENGTHS: usize = 64;
+/// Default fixed per-message overhead in seconds (SerDes + E/O + O/E).
+pub const DEFAULT_MESSAGE_OVERHEAD_S: f64 = 50e-9;
+/// Default per-hop propagation delay in seconds (~1 m of fibre + bypass).
+pub const DEFAULT_HOP_PROPAGATION_S: f64 = 5e-9;
+
+/// Full description of an optical ring deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpticalConfig {
+    /// Number of computing nodes on the ring.
+    pub nodes: usize,
+    /// WDM channels per waveguide.
+    pub wavelengths: usize,
+    /// Bandwidth of a single wavelength, bytes/s.
+    pub lambda_bandwidth_bps: f64,
+    /// Fixed per-message overhead, seconds.
+    pub message_overhead_s: f64,
+    /// Propagation delay per ring hop, seconds.
+    pub hop_propagation_s: f64,
+}
+
+impl OpticalConfig {
+    /// Configuration with default TeraRack-flavoured physical constants.
+    #[must_use]
+    pub fn new(nodes: usize, wavelengths: usize) -> Self {
+        Self {
+            nodes,
+            wavelengths,
+            lambda_bandwidth_bps: DEFAULT_LAMBDA_BANDWIDTH_BPS,
+            message_overhead_s: DEFAULT_MESSAGE_OVERHEAD_S,
+            hop_propagation_s: DEFAULT_HOP_PROPAGATION_S,
+        }
+    }
+
+    /// The configuration used throughout the paper's evaluation:
+    /// `nodes` GPUs, 64 wavelengths, 25 Gb/s per wavelength.
+    #[must_use]
+    pub fn paper_defaults(nodes: usize) -> Self {
+        Self::new(nodes, DEFAULT_WAVELENGTHS)
+    }
+
+    /// Override per-wavelength bandwidth (bytes/s), builder style.
+    #[must_use]
+    pub fn with_lambda_bandwidth(mut self, bps: f64) -> Self {
+        self.lambda_bandwidth_bps = bps;
+        self
+    }
+
+    /// Override the fixed per-message overhead, builder style.
+    #[must_use]
+    pub fn with_message_overhead(mut self, seconds: f64) -> Self {
+        self.message_overhead_s = seconds;
+        self
+    }
+
+    /// Override per-hop propagation, builder style.
+    #[must_use]
+    pub fn with_hop_propagation(mut self, seconds: f64) -> Self {
+        self.hop_propagation_s = seconds;
+        self
+    }
+
+    /// Validate all parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes < 2 {
+            return Err(OpticalError::RingTooSmall(self.nodes));
+        }
+        if self.wavelengths == 0 {
+            return Err(OpticalError::BadConfig("wavelengths must be >= 1"));
+        }
+        if !(self.lambda_bandwidth_bps.is_finite() && self.lambda_bandwidth_bps > 0.0) {
+            return Err(OpticalError::BadConfig(
+                "lambda_bandwidth_bps must be finite and positive",
+            ));
+        }
+        if !(self.message_overhead_s.is_finite() && self.message_overhead_s >= 0.0) {
+            return Err(OpticalError::BadConfig(
+                "message_overhead_s must be finite and non-negative",
+            ));
+        }
+        if !(self.hop_propagation_s.is_finite() && self.hop_propagation_s >= 0.0) {
+            return Err(OpticalError::BadConfig(
+                "hop_propagation_s must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Extract the timing parameters as a [`TimingModel`].
+    #[must_use]
+    pub fn timing(&self) -> TimingModel {
+        TimingModel {
+            bytes_per_sec_per_lambda: self.lambda_bandwidth_bps,
+            message_overhead_s: self.message_overhead_s,
+            hop_propagation_s: self.hop_propagation_s,
+        }
+    }
+
+    /// Aggregate bandwidth of one node driving every wavelength, bytes/s.
+    #[must_use]
+    pub fn aggregate_node_bandwidth_bps(&self) -> f64 {
+        self.lambda_bandwidth_bps * self.wavelengths as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_terarack() {
+        let c = OpticalConfig::paper_defaults(128);
+        assert_eq!(c.wavelengths, 64);
+        let tbps = c.aggregate_node_bandwidth_bps() * 8.0 / 1e12;
+        assert!((tbps - 1.6).abs() < 1e-9, "expected 1.6 Tb/s, got {tbps}");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = OpticalConfig::new(8, 4)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(1e-6)
+            .with_hop_propagation(2e-9);
+        assert_eq!(c.lambda_bandwidth_bps, 1e9);
+        assert_eq!(c.message_overhead_s, 1e-6);
+        assert_eq!(c.hop_propagation_s, 2e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(OpticalConfig::new(1, 4).validate().is_err());
+        assert!(OpticalConfig::new(4, 0).validate().is_err());
+        assert!(OpticalConfig::new(4, 4)
+            .with_lambda_bandwidth(-1.0)
+            .validate()
+            .is_err());
+        assert!(OpticalConfig::new(4, 4)
+            .with_lambda_bandwidth(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(OpticalConfig::new(4, 4)
+            .with_message_overhead(-1.0)
+            .validate()
+            .is_err());
+        assert!(OpticalConfig::new(4, 4)
+            .with_hop_propagation(f64::INFINITY)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn timing_projection() {
+        let c = OpticalConfig::new(8, 4);
+        let t = c.timing();
+        assert_eq!(t.bytes_per_sec_per_lambda, c.lambda_bandwidth_bps);
+        assert_eq!(t.message_overhead_s, c.message_overhead_s);
+    }
+}

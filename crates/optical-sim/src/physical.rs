@@ -1,0 +1,201 @@
+//! Physical-layer feasibility: insertion loss and the optical power budget.
+//!
+//! Every micro-ring a lightpath *bypasses* attenuates the signal slightly;
+//! the add and drop operations and fibre propagation cost more. A lightpath
+//! is feasible only while the accumulated loss stays inside the budget
+//! between laser launch power and receiver sensitivity. This bounds the
+//! hop count of any single transmission — a constraint TeraRack satisfies
+//! ring-wide, but which tighter deployments must check. The Wrht planner's
+//! longest paths (group sides, the all-to-all arcs) can be validated
+//! against this model before committing a schedule.
+
+use crate::error::{OpticalError, Result};
+use crate::sim::StepSchedule;
+use crate::topology::RingTopology;
+use serde::{Deserialize, Serialize};
+
+/// Loss/budget constants in decibels (defaults from the silicon-photonics
+/// literature TeraRack builds on).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalModel {
+    /// Laser launch power, dBm.
+    pub launch_dbm: f64,
+    /// Receiver sensitivity, dBm (minimum detectable power).
+    pub sensitivity_dbm: f64,
+    /// Loss per bypassed node (through micro-ring), dB.
+    pub bypass_loss_db: f64,
+    /// Loss at add (modulator) plus drop (filter) combined, dB.
+    pub add_drop_loss_db: f64,
+    /// Fibre loss per hop span, dB (sub-metre rack spans are tiny).
+    pub fibre_loss_per_hop_db: f64,
+    /// Link margin reserved for crosstalk/ageing, dB.
+    pub margin_db: f64,
+}
+
+impl Default for PhysicalModel {
+    fn default() -> Self {
+        Self {
+            launch_dbm: 10.0,
+            sensitivity_dbm: -20.0,
+            bypass_loss_db: 0.1,
+            add_drop_loss_db: 3.0,
+            fibre_loss_per_hop_db: 0.01,
+            margin_db: 3.0,
+        }
+    }
+}
+
+impl PhysicalModel {
+    /// Total loss of a lightpath with `hops` spans (`hops − 1` bypassed
+    /// nodes), dB.
+    #[must_use]
+    pub fn path_loss_db(&self, hops: usize) -> f64 {
+        let bypassed = hops.saturating_sub(1) as f64;
+        self.add_drop_loss_db
+            + bypassed * self.bypass_loss_db
+            + hops as f64 * self.fibre_loss_per_hop_db
+    }
+
+    /// The power budget available to spend on loss, dB.
+    #[must_use]
+    pub fn budget_db(&self) -> f64 {
+        self.launch_dbm - self.sensitivity_dbm - self.margin_db
+    }
+
+    /// Longest feasible lightpath, in hops.
+    #[must_use]
+    pub fn max_hops(&self) -> usize {
+        let budget = self.budget_db();
+        if budget < self.path_loss_db(1) {
+            return 0;
+        }
+        let per_hop = self.bypass_loss_db + self.fibre_loss_per_hop_db;
+        if per_hop <= 0.0 {
+            return usize::MAX;
+        }
+        // Solve add_drop + (h-1)*bypass + h*fibre <= budget for h.
+        let h = (budget - self.add_drop_loss_db + self.bypass_loss_db) / per_hop;
+        h.floor() as usize
+    }
+
+    /// Check a single hop count.
+    pub fn check_hops(&self, hops: usize) -> Result<()> {
+        let max = self.max_hops();
+        if hops > max {
+            Err(OpticalError::PowerBudgetExceeded {
+                hops,
+                max_hops: max,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Validate every transfer of a stepped schedule against the budget.
+    pub fn validate_schedule(&self, topo: &RingTopology, sched: &StepSchedule) -> Result<()> {
+        for step in sched.steps() {
+            for tr in step {
+                let path = tr.resolve(topo)?;
+                self.check_hops(path.hops())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Transfer;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn default_budget_covers_a_full_rack_ring() {
+        let m = PhysicalModel::default();
+        // 10 - (-20) - 3 = 27 dB budget; ~0.11 dB/hop after 3 dB add/drop:
+        // comfortably above 218 hops — a 256-node rack ring round trip.
+        assert!(m.max_hops() >= 218, "max_hops = {}", m.max_hops());
+        m.check_hops(200).unwrap();
+    }
+
+    #[test]
+    fn loss_is_monotone_in_hops() {
+        let m = PhysicalModel::default();
+        let mut prev = 0.0;
+        for h in 1..50 {
+            let loss = m.path_loss_db(h);
+            assert!(loss > prev);
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn tight_budget_rejects_long_paths() {
+        let m = PhysicalModel {
+            launch_dbm: 0.0,
+            sensitivity_dbm: -10.0,
+            bypass_loss_db: 1.0,
+            add_drop_loss_db: 4.0,
+            fibre_loss_per_hop_db: 0.0,
+            margin_db: 1.0,
+        };
+        // Budget 9 dB; loss(h) = 4 + (h-1): feasible while h <= 6.
+        assert_eq!(m.max_hops(), 6);
+        m.check_hops(6).unwrap();
+        assert!(matches!(
+            m.check_hops(7),
+            Err(OpticalError::PowerBudgetExceeded {
+                hops: 7,
+                max_hops: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn hopeless_budget_allows_nothing() {
+        let m = PhysicalModel {
+            launch_dbm: 0.0,
+            sensitivity_dbm: -2.0,
+            bypass_loss_db: 0.5,
+            add_drop_loss_db: 5.0,
+            fibre_loss_per_hop_db: 0.0,
+            margin_db: 0.0,
+        };
+        assert_eq!(m.max_hops(), 0);
+    }
+
+    #[test]
+    fn schedule_validation_spots_overlong_transfers() {
+        let topo = RingTopology::new(64);
+        let tight = PhysicalModel {
+            launch_dbm: 0.0,
+            sensitivity_dbm: -10.0,
+            bypass_loss_db: 1.0,
+            add_drop_loss_db: 4.0,
+            fibre_loss_per_hop_db: 0.0,
+            margin_db: 1.0,
+        };
+        let ok = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(4),
+            100,
+        )]]);
+        tight.validate_schedule(&topo, &ok).unwrap();
+        let bad = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(20),
+            100,
+        )]]);
+        assert!(tight.validate_schedule(&topo, &bad).is_err());
+    }
+
+    #[test]
+    fn zero_loss_model_is_unbounded() {
+        let m = PhysicalModel {
+            bypass_loss_db: 0.0,
+            fibre_loss_per_hop_db: 0.0,
+            ..PhysicalModel::default()
+        };
+        assert_eq!(m.max_hops(), usize::MAX);
+    }
+}

@@ -1,0 +1,98 @@
+//! Energy model for optical transmissions.
+//!
+//! The paper motivates optical interconnects partly by their lower power
+//! cost. This module provides a simple but standard accounting: a per-bit
+//! dynamic energy for modulation/detection plus a static laser power per
+//! active wavelength for the duration of a run. Constants default to values
+//! in the silicon-photonics literature the paper cites (single-digit pJ/bit).
+
+use crate::stats::RunStats;
+use serde::{Deserialize, Serialize};
+
+/// Energy accounting constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Dynamic energy per transmitted bit, joules.
+    pub joules_per_bit: f64,
+    /// Static laser + thermal-tuning power per active wavelength, watts.
+    pub watts_per_active_lambda: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            joules_per_bit: 2.0e-12,        // 2 pJ/bit
+            watts_per_active_lambda: 0.015, // 15 mW per lambda
+        }
+    }
+}
+
+/// Energy breakdown for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Dynamic (per-bit) energy, joules.
+    pub dynamic_j: f64,
+    /// Static (laser) energy, joules.
+    pub static_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy, joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+}
+
+impl EnergyModel {
+    /// Estimate the energy of a stepped run from its statistics.
+    #[must_use]
+    pub fn estimate(&self, stats: &RunStats) -> EnergyReport {
+        let mut dynamic_j = 0.0;
+        let mut static_j = 0.0;
+        for step in &stats.steps {
+            dynamic_j += step.bytes as f64 * 8.0 * self.joules_per_bit;
+            static_j += step.wavelengths_used as f64 * self.watts_per_active_lambda * step.duration_s;
+        }
+        EnergyReport {
+            dynamic_j,
+            static_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StepStats;
+
+    #[test]
+    fn energy_scales_with_bytes_and_time() {
+        let model = EnergyModel {
+            joules_per_bit: 1e-12,
+            watts_per_active_lambda: 0.01,
+        };
+        let stats = RunStats {
+            steps: vec![StepStats {
+                index: 0,
+                transfers: 1,
+                duration_s: 2.0,
+                bytes: 1_000,
+                wavelengths_used: 4,
+                peak_wavelength: 4,
+                total_lanes: 4,
+                max_hops: 1,
+            }],
+        };
+        let e = model.estimate(&stats);
+        assert!((e.dynamic_j - 8_000.0 * 1e-12).abs() < 1e-18);
+        assert!((e.static_j - 4.0 * 0.01 * 2.0).abs() < 1e-15);
+        assert!((e.total_j() - (e.dynamic_j + e.static_j)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn empty_run_consumes_nothing() {
+        let e = EnergyModel::default().estimate(&RunStats::default());
+        assert_eq!(e.total_j(), 0.0);
+    }
+}

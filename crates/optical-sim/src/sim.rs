@@ -1,0 +1,463 @@
+//! The ring simulator: stepped and event-driven execution of schedules.
+
+use crate::config::OpticalConfig;
+use crate::engine::EventQueue;
+use crate::error::{OpticalError, Result};
+use crate::path::LightPath;
+use crate::request::Transfer;
+use crate::rwa::{Occupancy, Strategy};
+use crate::stats::{RunStats, StepStats};
+use crate::topology::RingTopology;
+use serde::{Deserialize, Serialize};
+
+/// A step-synchronous communication schedule: every transfer of a step
+/// starts together, and a step ends when its slowest transfer completes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StepSchedule {
+    steps: Vec<Vec<Transfer>>,
+}
+
+impl StepSchedule {
+    /// Build from explicit steps.
+    #[must_use]
+    pub fn from_steps(steps: Vec<Vec<Transfer>>) -> Self {
+        Self { steps }
+    }
+
+    /// Append a step.
+    pub fn push_step(&mut self, step: Vec<Transfer>) {
+        self.steps.push(step);
+    }
+
+    /// The steps, in order.
+    #[must_use]
+    pub fn steps(&self) -> &[Vec<Transfer>] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the schedule has no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total transfers across all steps.
+    #[must_use]
+    pub fn transfer_count(&self) -> usize {
+        self.steps.iter().map(Vec::len).sum()
+    }
+
+    /// Total payload bytes across all steps.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .flatten()
+            .map(|t| t.bytes)
+            .sum()
+    }
+}
+
+/// Result of a stepped run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Total simulated communication time, seconds.
+    pub total_time_s: f64,
+    /// Per-step statistics.
+    pub stats: RunStats,
+}
+
+/// Result of an event-driven run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventReport {
+    /// Makespan: completion time of the last transfer, seconds.
+    pub makespan_s: f64,
+    /// Per-transfer (start, finish) times in submission order.
+    pub transfer_times: Vec<(f64, f64)>,
+    /// Peak number of concurrently active transfers.
+    pub peak_concurrency: usize,
+}
+
+/// Simulator for one optical ring deployment.
+#[derive(Debug, Clone)]
+pub struct RingSimulator {
+    config: OpticalConfig,
+    topo: RingTopology,
+}
+
+impl RingSimulator {
+    /// Build a simulator; panics on invalid configuration
+    /// (use [`RingSimulator::try_new`] to handle errors).
+    #[must_use]
+    pub fn new(config: OpticalConfig) -> Self {
+        Self::try_new(config).expect("invalid optical configuration")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(config: OpticalConfig) -> Result<Self> {
+        config.validate()?;
+        let topo = RingTopology::try_new(config.nodes)?;
+        Ok(Self { config, topo })
+    }
+
+    /// The ring topology.
+    #[must_use]
+    pub fn topology(&self) -> &RingTopology {
+        &self.topo
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &OpticalConfig {
+        &self.config
+    }
+
+    /// Execute a stepped schedule with the given RWA strategy.
+    ///
+    /// Fails if any step cannot be wavelength-assigned within the configured
+    /// channel count — Wrht plans are constructed to always fit.
+    pub fn run_stepped(&mut self, schedule: &StepSchedule, strategy: Strategy) -> Result<StepReport> {
+        let timing = self.config.timing();
+        let mut stats = RunStats::default();
+        for (index, step) in schedule.steps.iter().enumerate() {
+            let mut occ = Occupancy::new(self.topo.nodes(), self.config.wavelengths);
+            let mut duration = 0.0f64;
+            let mut bytes = 0u64;
+            let mut total_lanes = 0usize;
+            let mut max_hops = 0usize;
+            for tr in step {
+                let path = tr.resolve(&self.topo)?;
+                occ.assign(&path, tr.lanes, strategy).map_err(|e| match e {
+                    OpticalError::WavelengthsExhausted {
+                        available,
+                        requested,
+                        ..
+                    } => OpticalError::WavelengthsExhausted {
+                        available,
+                        requested,
+                        step: index,
+                    },
+                    other => other,
+                })?;
+                let t = timing.transfer_time(tr.bytes, tr.lanes, path.hops());
+                duration = duration.max(t);
+                bytes += tr.bytes;
+                total_lanes += tr.lanes;
+                max_hops = max_hops.max(path.hops());
+            }
+            stats.steps.push(StepStats {
+                index,
+                transfers: step.len(),
+                duration_s: duration,
+                bytes,
+                wavelengths_used: occ.distinct_wavelengths_used(),
+                peak_wavelength: occ.peak_wavelengths_used(),
+                total_lanes,
+                max_hops,
+            });
+        }
+        Ok(StepReport {
+            total_time_s: stats.total_time_s(),
+            stats,
+        })
+    }
+
+    /// Execute transfers event-driven: each transfer is released at a given
+    /// time, waits until its lanes are free along its path (FIFO among
+    /// waiters), transmits, then releases its wavelengths.
+    ///
+    /// This mode exposes wavelength *contention* that the stepped model hides
+    /// and is used by the contention ablation and cross-checking tests.
+    pub fn run_event_driven(&mut self, released: &[(f64, Transfer)]) -> Result<EventReport> {
+        #[derive(Debug)]
+        enum Ev {
+            Release(usize),
+            Complete(usize),
+        }
+
+        let timing = self.config.timing();
+        let mut occ = Occupancy::new(self.topo.nodes(), self.config.wavelengths);
+
+        // Pre-resolve paths and validate feasibility in isolation.
+        let mut paths: Vec<LightPath> = Vec::with_capacity(released.len());
+        for (_, tr) in released {
+            let path = tr.resolve(&self.topo)?;
+            if tr.lanes > self.config.wavelengths {
+                return Err(OpticalError::WavelengthsExhausted {
+                    available: self.config.wavelengths,
+                    requested: tr.lanes,
+                    step: 0,
+                });
+            }
+            paths.push(path);
+        }
+
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        for (i, (t, _)) in released.iter().enumerate() {
+            queue.schedule_at(*t, Ev::Release(i));
+        }
+
+        let mut waiting: Vec<usize> = Vec::new();
+        let mut assigned: Vec<Vec<crate::wavelength::Wavelength>> =
+            vec![Vec::new(); released.len()];
+        let mut times = vec![(f64::NAN, f64::NAN); released.len()];
+        let mut active = 0usize;
+        let mut peak = 0usize;
+        let mut makespan = 0.0f64;
+
+        // Try to start every waiter that now fits, in FIFO order.
+        #[allow(clippy::too_many_arguments)] // local helper shared by two arms
+        fn drain_waiting(
+            waiting: &mut Vec<usize>,
+            occ: &mut Occupancy,
+            paths: &[LightPath],
+            released: &[(f64, Transfer)],
+            assigned: &mut [Vec<crate::wavelength::Wavelength>],
+            times: &mut [(f64, f64)],
+            queue: &mut EventQueue<Ev>,
+            timing: &crate::timing::TimingModel,
+            active: &mut usize,
+            peak: &mut usize,
+        ) {
+            let mut i = 0;
+            while i < waiting.len() {
+                let id = waiting[i];
+                let tr = &released[id].1;
+                match occ.assign(&paths[id], tr.lanes, Strategy::FirstFit) {
+                    Ok(lanes) => {
+                        assigned[id] = lanes;
+                        let dur = timing.transfer_time(tr.bytes, tr.lanes, paths[id].hops());
+                        times[id].0 = queue.now();
+                        queue.schedule_in(dur, Ev::Complete(id));
+                        *active += 1;
+                        *peak = (*peak).max(*active);
+                        waiting.remove(i);
+                    }
+                    Err(_) => i += 1,
+                }
+            }
+        }
+
+        while let Some((now, ev)) = queue.pop() {
+            match ev {
+                Ev::Release(id) => {
+                    waiting.push(id);
+                    drain_waiting(
+                        &mut waiting,
+                        &mut occ,
+                        &paths,
+                        released,
+                        &mut assigned,
+                        &mut times,
+                        &mut queue,
+                        &timing,
+                        &mut active,
+                        &mut peak,
+                    );
+                }
+                Ev::Complete(id) => {
+                    for &lambda in &assigned[id] {
+                        occ.release(&paths[id], lambda);
+                    }
+                    times[id].1 = now;
+                    makespan = makespan.max(now);
+                    active -= 1;
+                    drain_waiting(
+                        &mut waiting,
+                        &mut occ,
+                        &paths,
+                        released,
+                        &mut assigned,
+                        &mut times,
+                        &mut queue,
+                        &timing,
+                        &mut active,
+                        &mut peak,
+                    );
+                }
+            }
+        }
+
+        debug_assert!(waiting.is_empty(), "transfers starved in event-driven run");
+        Ok(EventReport {
+            makespan_s: makespan,
+            transfer_times: times,
+            peak_concurrency: peak,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Direction, NodeId};
+
+    fn small_cfg() -> OpticalConfig {
+        OpticalConfig::new(8, 4)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(0.0)
+            .with_hop_propagation(0.0)
+    }
+
+    #[test]
+    fn empty_schedule_takes_no_time() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let r = sim
+            .run_stepped(&StepSchedule::default(), Strategy::FirstFit)
+            .unwrap();
+        assert_eq!(r.total_time_s, 0.0);
+        assert_eq!(r.stats.step_count(), 0);
+    }
+
+    #[test]
+    fn step_duration_is_slowest_transfer() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let step = vec![
+            Transfer::shortest(NodeId(0), NodeId(1), 1_000_000), // 1 ms at 1 GB/s
+            Transfer::shortest(NodeId(4), NodeId(5), 2_000_000), // 2 ms
+        ];
+        let r = sim
+            .run_stepped(&StepSchedule::from_steps(vec![step]), Strategy::FirstFit)
+            .unwrap();
+        assert!((r.total_time_s - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steps_are_sequential() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let s1 = vec![Transfer::shortest(NodeId(0), NodeId(1), 1_000_000)];
+        let s2 = vec![Transfer::shortest(NodeId(1), NodeId(2), 1_000_000)];
+        let r = sim
+            .run_stepped(&StepSchedule::from_steps(vec![s1, s2]), Strategy::FirstFit)
+            .unwrap();
+        assert!((r.total_time_s - 2e-3).abs() < 1e-12);
+        assert_eq!(r.stats.step_count(), 2);
+    }
+
+    #[test]
+    fn striping_accelerates_within_step() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let slow = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(1),
+            4_000_000,
+        )]]);
+        let fast = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(1),
+            4_000_000,
+        )
+        .with_lanes(4)]]);
+        let t_slow = sim.run_stepped(&slow, Strategy::FirstFit).unwrap().total_time_s;
+        let t_fast = sim.run_stepped(&fast, Strategy::FirstFit).unwrap().total_time_s;
+        assert!((t_slow / t_fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavelength_exhaustion_reports_step() {
+        let mut sim = RingSimulator::new(small_cfg()); // 4 wavelengths
+        let overload: Vec<Transfer> = (0..5)
+            .map(|i| {
+                Transfer::directed(NodeId(i), NodeId(i + 1), 100, Direction::Clockwise)
+                    .with_lanes(1)
+            })
+            .collect();
+        // 5 transfers over node boundaries 0..5 share no segment; fits.
+        sim.run_stepped(
+            &StepSchedule::from_steps(vec![overload]),
+            Strategy::FirstFit,
+        )
+        .unwrap();
+        // But 5 nested transfers to one receiver cannot fit in 4 lambdas.
+        let nested: Vec<Transfer> = (0..5)
+            .map(|i| Transfer::directed(NodeId(i), NodeId(5), 100, Direction::Clockwise))
+            .collect();
+        let err = sim
+            .run_stepped(
+                &StepSchedule::from_steps(vec![vec![], nested]),
+                Strategy::FirstFit,
+            )
+            .unwrap_err();
+        match err {
+            OpticalError::WavelengthsExhausted { step, .. } => assert_eq!(step, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_driven_serializes_contending_transfers() {
+        let cfg = OpticalConfig::new(8, 1)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(0.0)
+            .with_hop_propagation(0.0);
+        let mut sim = RingSimulator::new(cfg);
+        // Two transfers over the same segment, one wavelength: must serialize.
+        let released = vec![
+            (0.0, Transfer::directed(NodeId(0), NodeId(2), 1_000_000, Direction::Clockwise)),
+            (0.0, Transfer::directed(NodeId(1), NodeId(3), 1_000_000, Direction::Clockwise)),
+        ];
+        let r = sim.run_event_driven(&released).unwrap();
+        assert!((r.makespan_s - 2e-3).abs() < 1e-12);
+        assert_eq!(r.peak_concurrency, 1);
+        // Second starts when first completes.
+        assert!((r.transfer_times[1].0 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_driven_parallelizes_disjoint_transfers() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let released = vec![
+            (0.0, Transfer::shortest(NodeId(0), NodeId(1), 1_000_000)),
+            (0.0, Transfer::shortest(NodeId(4), NodeId(5), 1_000_000)),
+        ];
+        let r = sim.run_event_driven(&released).unwrap();
+        assert!((r.makespan_s - 1e-3).abs() < 1e-12);
+        assert_eq!(r.peak_concurrency, 2);
+    }
+
+    #[test]
+    fn event_driven_matches_stepped_for_conflict_free_step() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let transfers = vec![
+            Transfer::shortest(NodeId(0), NodeId(1), 500_000),
+            Transfer::shortest(NodeId(2), NodeId(3), 1_500_000),
+            Transfer::shortest(NodeId(5), NodeId(6), 1_000_000),
+        ];
+        let stepped = sim
+            .run_stepped(
+                &StepSchedule::from_steps(vec![transfers.clone()]),
+                Strategy::FirstFit,
+            )
+            .unwrap();
+        let released: Vec<_> = transfers.into_iter().map(|t| (0.0, t)).collect();
+        let event = sim.run_event_driven(&released).unwrap();
+        assert!((stepped.total_time_s - event.makespan_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_lane_request_errors_eventdriven() {
+        let mut sim = RingSimulator::new(small_cfg()); // 4 lambdas
+        let released = vec![(0.0, Transfer::shortest(NodeId(0), NodeId(1), 100).with_lanes(9))];
+        assert!(sim.run_event_driven(&released).is_err());
+    }
+
+    #[test]
+    fn schedule_accessors() {
+        let mut s = StepSchedule::default();
+        assert!(s.is_empty());
+        s.push_step(vec![Transfer::shortest(NodeId(0), NodeId(1), 10)]);
+        s.push_step(vec![
+            Transfer::shortest(NodeId(1), NodeId(2), 20),
+            Transfer::shortest(NodeId(2), NodeId(3), 30),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.transfer_count(), 3);
+        assert_eq!(s.total_bytes(), 60);
+    }
+}

@@ -1,0 +1,97 @@
+//! Transfer-time model for optical lightpaths.
+//!
+//! A message of `bytes` striped across `lanes` wavelengths travelling `hops`
+//! ring segments costs
+//!
+//! ```text
+//! T = overhead + bytes / (lanes * B) + hops * propagation
+//! ```
+//!
+//! `overhead` bundles SerDes and E/O + O/E conversion at the endpoints (it is
+//! paid once per message, not per hop, because intermediate micro-rings
+//! bypass the signal optically).
+
+use serde::{Deserialize, Serialize};
+
+/// Timing constants for lightpath transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Bandwidth per wavelength, bytes/s.
+    pub bytes_per_sec_per_lambda: f64,
+    /// Fixed overhead per message, seconds.
+    pub message_overhead_s: f64,
+    /// Propagation per hop, seconds.
+    pub hop_propagation_s: f64,
+}
+
+impl TimingModel {
+    /// Time to deliver `bytes` over `lanes` parallel wavelengths across
+    /// `hops` segments. `lanes` must be >= 1 (checked by callers).
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64, lanes: usize, hops: usize) -> f64 {
+        debug_assert!(lanes >= 1);
+        let serialization = bytes as f64 / (lanes as f64 * self.bytes_per_sec_per_lambda);
+        self.message_overhead_s + serialization + hops as f64 * self.hop_propagation_s
+    }
+
+    /// Pure serialization component (no overhead/propagation).
+    #[must_use]
+    pub fn serialization_time(&self, bytes: u64, lanes: usize) -> f64 {
+        bytes as f64 / (lanes as f64 * self.bytes_per_sec_per_lambda)
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self {
+            bytes_per_sec_per_lambda: crate::config::DEFAULT_LAMBDA_BANDWIDTH_BPS,
+            message_overhead_s: crate::config::DEFAULT_MESSAGE_OVERHEAD_S,
+            hop_propagation_s: crate::config::DEFAULT_HOP_PROPAGATION_S,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel {
+            bytes_per_sec_per_lambda: 1e9, // 1 GB/s per lambda for easy math
+            message_overhead_s: 1e-6,
+            hop_propagation_s: 1e-8,
+        }
+    }
+
+    #[test]
+    fn lanes_divide_serialization() {
+        let m = model();
+        let t1 = m.transfer_time(1_000_000, 1, 0);
+        let t4 = m.transfer_time(1_000_000, 4, 0);
+        // 1 MB at 1 GB/s = 1 ms; at 4 lanes = 250 us, plus 1 us overhead each.
+        assert!((t1 - (1e-3 + 1e-6)).abs() < 1e-12);
+        assert!((t4 - (0.25e-3 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hops_add_propagation() {
+        let m = model();
+        let t0 = m.transfer_time(0, 1, 0);
+        let t10 = m.transfer_time(0, 1, 10);
+        assert!((t10 - t0 - 10.0 * 1e-8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_overhead_and_hops() {
+        let m = model();
+        assert!((m.transfer_time(0, 8, 0) - 1e-6).abs() < 1e-15);
+        assert_eq!(m.serialization_time(0, 3), 0.0);
+    }
+
+    #[test]
+    fn monotone_in_bytes_and_antitone_in_lanes() {
+        let m = model();
+        assert!(m.transfer_time(2_000, 1, 1) > m.transfer_time(1_000, 1, 1));
+        assert!(m.transfer_time(2_000, 2, 1) < m.transfer_time(2_000, 1, 1));
+    }
+}

@@ -1,0 +1,105 @@
+//! Compare every implemented all-reduce algorithm — logical correctness,
+//! step counts, bytes moved, and simulated time on both substrates — for a
+//! configurable node count.
+//!
+//! ```text
+//! cargo run --release --example compare_algorithms -- [nodes]
+//! ```
+
+use collectives::analysis::analyze;
+use collectives::halving_doubling::halving_doubling;
+use collectives::rd::recursive_doubling;
+use collectives::ring::ring_allreduce;
+use collectives::tree::binomial_tree;
+use collectives::{verify_allreduce, Schedule};
+use electrical_sim::runner::{run_steps, StepTransfer};
+use optical_sim::{RingSimulator, Strategy};
+use wrht_bench::ExperimentConfig;
+use wrht_core::baselines::lower_collective_to_optical;
+use wrht_core::{plan_and_simulate, WrhtParams};
+
+fn electrical_time(cfg: &ExperimentConfig, n: usize, sched: &Schedule) -> f64 {
+    let net = cfg.electrical(n);
+    let steps: Vec<Vec<StepTransfer>> = sched
+        .step_transfers(cfg.bytes_per_elem)
+        .into_iter()
+        .map(|s| {
+            s.into_iter()
+                .filter(|&(_, _, b)| b > 0)
+                .map(|(src, dst, bytes)| StepTransfer { src, dst, bytes })
+                .collect()
+        })
+        .collect();
+    run_steps(&net, &steps, cfg.electrical_step_overhead_s)
+        .expect("fluid run")
+        .total_time_s
+}
+
+fn optical_time(cfg: &ExperimentConfig, n: usize, sched: &Schedule, lanes: usize) -> f64 {
+    let mut sim = RingSimulator::new(cfg.optical(n));
+    sim.run_stepped(
+        &lower_collective_to_optical(sched, cfg.bytes_per_elem, lanes),
+        Strategy::FirstFit,
+    )
+    .expect("optical run")
+    .total_time_s
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
+    let cfg = ExperimentConfig::default();
+    let elems = 25 << 20 >> 2; // 25 MB of fp32 gradients
+    let bytes = (elems * cfg.bytes_per_elem) as u64;
+
+    println!("All-reduce of {} MB across {n} nodes", bytes >> 20);
+    println!(
+        "{:>18} {:>7} {:>14} {:>14} {:>14} {:>8} {:>8}",
+        "algorithm", "steps", "elems moved", "electrical ms", "optical ms", "bw-opt", "lat-opt"
+    );
+
+    type Builder = fn(usize, usize) -> Schedule;
+    let algorithms: Vec<(&str, Builder)> = vec![
+        ("ring", ring_allreduce as Builder),
+        ("recursive-doubling", recursive_doubling as Builder),
+        ("halving-doubling", halving_doubling as Builder),
+        ("binomial-tree", binomial_tree as Builder),
+    ];
+
+    for (name, build) in &algorithms {
+        // Prove correctness on a small instance (executing 25 MB buffers
+        // per node logically would be needlessly slow), then time the
+        // full-size schedule on both substrates.
+        verify_allreduce(&build(n, 64)).expect("all baselines are correct");
+        let sched = &build(n, elems);
+        let a = analyze(sched);
+        println!(
+            "{:>18} {:>7} {:>14} {:>14.3} {:>14.3} {:>8.2} {:>8.2}",
+            name,
+            sched.step_count(),
+            sched.total_elems_moved(),
+            electrical_time(&cfg, n, sched) * 1e3,
+            optical_time(&cfg, n, sched, 1) * 1e3,
+            a.bandwidth_optimality(n, elems),
+            a.latency_optimality(n)
+        );
+    }
+
+
+    let outcome = plan_and_simulate(
+        &WrhtParams::auto(n, cfg.wavelengths),
+        &cfg.optical(n),
+        bytes,
+    )
+    .expect("Wrht plan");
+    println!(
+        "{:>18} {:>7} {:>14} {:>14} {:>14.3}",
+        format!("wrht(m={})", outcome.m),
+        outcome.plan.step_count(),
+        "-",
+        "-",
+        outcome.simulated_time_s * 1e3
+    );
+}

@@ -1,0 +1,38 @@
+//! Transformer gradients over the optical ring: how Wrht scales to
+//! GPT-2/BERT-class models (an extension workload beyond the paper's CNNs).
+//!
+//! ```text
+//! cargo run --release --example transformer_scaling
+//! ```
+
+use dnn_models::transformer::{bert_large, gpt2_small};
+use wrht_bench::{fig2_row, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    for model in [gpt2_small(), bert_large()] {
+        println!(
+            "{} — {:.1} M params, {:.0} MB gradient",
+            model.name,
+            model.params() as f64 / 1e6,
+            model.gradient_bytes() as f64 / 1e6
+        );
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>12} {:>4}",
+            "nodes", "E-Ring ms", "RD ms", "O-Ring ms", "WRHT ms", "m"
+        );
+        for &n in &[128usize, 512] {
+            let r = fig2_row(&cfg, n, model.gradient_bytes());
+            println!(
+                "{:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>4}",
+                n,
+                r.e_ring_s * 1e3,
+                r.rd_s * 1e3,
+                r.o_ring_s * 1e3,
+                r.wrht_s * 1e3,
+                r.wrht_m
+            );
+        }
+        println!();
+    }
+}

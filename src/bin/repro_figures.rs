@@ -1,0 +1,238 @@
+//! Regenerate every figure and headline number of the Wrht paper.
+//!
+//! ```text
+//! repro-figures [command] [--small]
+//!
+//! Commands:
+//!   fig2         Figure 2: E-Ring / RD / O-Ring / WRHT across models & scales
+//!   headline     The abstract's reduction percentages
+//!   steps        Step-count law across N and m
+//!   wavelengths  Wavelength requirements (tree + all-to-all)
+//!   ablation-m   Group-size sensitivity (extension)
+//!   ablation-w   Wavelength-budget sensitivity (extension)
+//!   ablation-fit First Fit vs Best Fit RWA (extension)
+//!   overlap      Layer-wise bucketed overlap (extension)
+//!   variants     Wrht+ variants: depth-optimal stop, multicast, segments
+//!   contention   Event-driven wavelength contention on synthetic traffic
+//!   all          Everything above (default)
+//!
+//! `--small` shrinks the node scales for a fast smoke run.
+//! JSON copies of every series are written to `results/`.
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use wrht_bench::ablations::{
+    group_size_sweep, overlap_study, rwa_strategy_compare, variant_study, wavelength_sweep,
+};
+use wrht_bench::contention::{run_contention, Pattern};
+use wrht_bench::report::{
+    render_contention, render_fig2, render_fit, render_group_size, render_headline,
+    render_overlap, render_variants, render_wavelengths, to_json,
+};
+use wrht_bench::{fig2_series, headline, ExperimentConfig};
+use wrht_core::steps::{
+    alltoall_wavelength_requirement, paper_step_count, surviving_reps,
+    tree_wavelength_requirement,
+};
+use wrht_core::{build_plan, choose_group_size, WrhtParams};
+
+fn write_json(dir: &Path, name: &str, payload: &str) {
+    let _ = fs::create_dir_all(dir);
+    let path = dir.join(name);
+    if let Err(e) = fs::write(&path, payload) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn cmd_fig2(cfg: &ExperimentConfig, results: &Path) {
+    let mut all = Vec::new();
+    for model in dnn_models::paper_models() {
+        let series = fig2_series(cfg, &model);
+        print!("{}", render_fig2(&series));
+        println!();
+        all.push(series);
+    }
+    write_json(results, "fig2.json", &to_json(&all));
+    let h = headline(&all);
+    print!("{}", render_headline(&h));
+    write_json(results, "headline.json", &to_json(&h));
+}
+
+fn cmd_headline(cfg: &ExperimentConfig, results: &Path) {
+    let all: Vec<_> = dnn_models::paper_models()
+        .iter()
+        .map(|m| fig2_series(cfg, m))
+        .collect();
+    let h = headline(&all);
+    print!("{}", render_headline(&h));
+    write_json(results, "headline.json", &to_json(&h));
+}
+
+fn cmd_steps() {
+    println!("== Step-count law: 2*ceil(log_m N) or 2*ceil(log_m N) - 1 ==");
+    println!(
+        "{:>6} {:>4} {:>10} {:>12} {:>12} {:>8}",
+        "N", "m", "m* (paper)", "paper fused", "paper full", "plan"
+    );
+    for &n in &[128usize, 256, 512, 1024, 4096] {
+        for &m in &[2usize, 4, 8, 16] {
+            let w = 64;
+            if tree_wavelength_requirement(m) > w {
+                continue;
+            }
+            let plan = build_plan(n, m, w).expect("feasible plan");
+            println!(
+                "{:>6} {:>4} {:>10} {:>12} {:>12} {:>8}",
+                n,
+                m,
+                surviving_reps(n, m),
+                paper_step_count(n, m, true),
+                paper_step_count(n, m, false),
+                plan.step_count()
+            );
+        }
+    }
+    println!();
+}
+
+fn cmd_wavelengths() {
+    println!("== Wavelength requirements ==");
+    println!("tree step, group size m -> floor(m/2):");
+    for &m in &[2usize, 4, 8, 16, 32] {
+        println!("  m={m:>3}: {} wavelengths", tree_wavelength_requirement(m));
+    }
+    println!("all-to-all among m* reps -> ceil(m*^2/8) (Liang-Shen bound):");
+    for &k in &[2usize, 4, 8, 16, 22] {
+        println!(
+            "  m*={k:>3}: {} wavelengths",
+            alltoall_wavelength_requirement(k)
+        );
+    }
+    println!();
+}
+
+fn cmd_ablation_m(cfg: &ExperimentConfig, results: &Path) {
+    let n = *cfg.scales.last().expect("scales non-empty");
+    let bytes = dnn_models::alexnet().gradient_bytes();
+    let ms: Vec<usize> = (2..=32).collect();
+    let points = group_size_sweep(cfg, n, bytes, &ms);
+    print!("{}", render_group_size(&points, n));
+    let optical = cfg.optical(n);
+    if let Ok((m, _, cost)) =
+        choose_group_size(&WrhtParams::auto(n, cfg.wavelengths), &optical, bytes)
+    {
+        println!(
+            "optimizer picks m = {m} at {:.3} ms (AlexNet gradient)",
+            cost.total_s() * 1e3
+        );
+    }
+    println!();
+    write_json(results, "ablation_group_size.json", &to_json(&points));
+}
+
+fn cmd_ablation_w(cfg: &ExperimentConfig, results: &Path) {
+    let n = cfg.scales[cfg.scales.len() / 2];
+    let bytes = dnn_models::vgg16().gradient_bytes();
+    let ws = [1usize, 2, 4, 8, 16, 32, 64];
+    let points = wavelength_sweep(cfg, n, bytes, &ws);
+    print!("{}", render_wavelengths(&points, n));
+    println!();
+    write_json(results, "ablation_wavelengths.json", &to_json(&points));
+}
+
+fn cmd_ablation_fit(cfg: &ExperimentConfig, results: &Path) {
+    let n = *cfg.scales.last().expect("scales non-empty");
+    let mut out = Vec::new();
+    for model in dnn_models::paper_models() {
+        let c = rwa_strategy_compare(cfg, n, model.gradient_bytes());
+        println!("[{}]", model.name);
+        print!("{}", render_fit(&c, n));
+        out.push((model.name.clone(), c));
+    }
+    println!();
+    write_json(results, "ablation_fit.json", &to_json(&out));
+}
+
+fn cmd_overlap(cfg: &ExperimentConfig, results: &Path) {
+    let n = cfg.scales[0];
+    let points: Vec<_> = dnn_models::paper_models()
+        .iter()
+        .map(|m| overlap_study(cfg, m, n, 25 << 20))
+        .collect();
+    print!("{}", render_overlap(&points, n));
+    println!();
+    write_json(results, "overlap.json", &to_json(&points));
+}
+
+fn cmd_variants(cfg: &ExperimentConfig, results: &Path) {
+    let n = cfg.scales[cfg.scales.len() / 2];
+    let points: Vec<_> = dnn_models::paper_models()
+        .iter()
+        .map(|m| variant_study(cfg, m, n))
+        .collect();
+    print!("{}", render_variants(&points, n));
+    println!();
+    write_json(results, "variants.json", &to_json(&points));
+}
+
+fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
+    let n = *cfg.scales.first().expect("scales non-empty");
+    // A narrow budget makes the contention the stepped model hides visible.
+    let w = 4;
+    let mut narrow = cfg.clone();
+    narrow.wavelengths = w;
+    let optical = narrow.optical(n);
+    let reports: Vec<_> = [Pattern::Permutation, Pattern::UniformRandom, Pattern::Incast]
+        .into_iter()
+        .map(|p| run_contention(&optical, p, 2 * n, 16 << 20, 2023))
+        .collect();
+    print!("{}", render_contention(&reports, n, w));
+    println!();
+    write_json(results, "contention.json", &to_json(&reports));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("all", String::as_str);
+    let cfg = if small {
+        ExperimentConfig::small()
+    } else {
+        ExperimentConfig::default()
+    };
+    let results = Path::new("results");
+
+    match cmd {
+        "fig2" => cmd_fig2(&cfg, results),
+        "headline" => cmd_headline(&cfg, results),
+        "steps" => cmd_steps(),
+        "wavelengths" => cmd_wavelengths(),
+        "ablation-m" => cmd_ablation_m(&cfg, results),
+        "ablation-w" => cmd_ablation_w(&cfg, results),
+        "ablation-fit" => cmd_ablation_fit(&cfg, results),
+        "overlap" => cmd_overlap(&cfg, results),
+        "variants" => cmd_variants(&cfg, results),
+        "contention" => cmd_contention(&cfg, results),
+        "all" => {
+            cmd_fig2(&cfg, results);
+            println!();
+            cmd_steps();
+            cmd_wavelengths();
+            cmd_ablation_m(&cfg, results);
+            cmd_ablation_w(&cfg, results);
+            cmd_ablation_fit(&cfg, results);
+            cmd_overlap(&cfg, results);
+            cmd_variants(&cfg, results);
+            cmd_contention(&cfg, results);
+        }
+        other => {
+            eprintln!("unknown command '{other}'; see the binary docs for usage");
+            std::process::exit(2);
+        }
+    }
+}

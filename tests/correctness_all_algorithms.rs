@@ -1,0 +1,99 @@
+//! Cross-crate correctness: every all-reduce schedule in the repository —
+//! the baselines and Wrht itself — must compute an exact element-wise sum
+//! on every node, for arbitrary node counts, buffer lengths, group sizes
+//! and wavelength budgets.
+
+use collectives::halving_doubling::halving_doubling;
+use collectives::rd::recursive_doubling;
+use collectives::ring::ring_allreduce;
+use collectives::tree::binomial_tree;
+use collectives::verify_allreduce;
+use proptest::prelude::*;
+use wrht_core::lower::to_logical_schedule;
+use wrht_core::plan::build_plan;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_is_always_an_allreduce(n in 1usize..40, elems in 1usize..200) {
+        verify_allreduce(&ring_allreduce(n, elems)).unwrap();
+    }
+
+    #[test]
+    fn recursive_doubling_is_always_an_allreduce(n in 1usize..40, elems in 1usize..200) {
+        verify_allreduce(&recursive_doubling(n, elems)).unwrap();
+    }
+
+    #[test]
+    fn halving_doubling_is_always_an_allreduce(n in 1usize..40, elems in 1usize..200) {
+        verify_allreduce(&halving_doubling(n, elems)).unwrap();
+    }
+
+    #[test]
+    fn binomial_tree_is_always_an_allreduce(n in 1usize..40, elems in 1usize..200) {
+        verify_allreduce(&binomial_tree(n, elems)).unwrap();
+    }
+
+    #[test]
+    fn wrht_is_always_an_allreduce(
+        n in 1usize..200,
+        m in 2usize..12,
+        w in 1usize..32,
+        elems in 1usize..64,
+    ) {
+        // Only feasible (m, w) combinations build plans.
+        prop_assume!(m / 2 <= w);
+        let plan = build_plan(n, m, w).unwrap();
+        let sched = to_logical_schedule(&plan, elems);
+        verify_allreduce(&sched).unwrap();
+    }
+
+    #[test]
+    fn wrht_wavelength_accounting_is_within_budget(
+        n in 2usize..300,
+        m in 2usize..16,
+        w in 1usize..64,
+    ) {
+        prop_assume!(m / 2 <= w);
+        let plan = build_plan(n, m, w).unwrap();
+        // Every tree level's lambda requirement fits, and the measured
+        // all-to-all requirement fits too.
+        prop_assert!(plan.peak_lambda_requirement() <= w.max(1));
+        for level in &plan.levels {
+            prop_assert!(level.lambda_requirement * level.lanes <= w.max(level.lambda_requirement));
+        }
+    }
+
+    #[test]
+    fn wrht_step_count_obeys_paper_law_bounds(
+        n in 2usize..2048,
+        m in 2usize..16,
+    ) {
+        // With the minimal wavelength budget for the tree, the plan's step
+        // count never exceeds the paper's 2*ceil(log_m N) and is at least 1.
+        let w = (m / 2).max(1);
+        let plan = build_plan(n, m, w).unwrap();
+        let upper = wrht_core::steps::paper_step_count(n, m, false);
+        prop_assert!(plan.step_count() >= 1);
+        prop_assert!(
+            plan.step_count() <= upper.max(1),
+            "n={n} m={m}: {} > {}",
+            plan.step_count(),
+            upper
+        );
+    }
+}
+
+#[test]
+fn wrht_exact_paper_example_scales() {
+    // The Figure 2 grid itself, at every (scale, m in small set).
+    for n in [128usize, 256, 512, 1024] {
+        for m in [2usize, 4, 8] {
+            let plan = build_plan(n, m, 64).unwrap();
+            let sched = to_logical_schedule(&plan, 16);
+            verify_allreduce(&sched)
+                .unwrap_or_else(|e| panic!("n={n} m={m}: {e}"));
+        }
+    }
+}

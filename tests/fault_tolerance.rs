@@ -1,0 +1,78 @@
+//! Fault-tolerance extension: re-planning the all-reduce over survivors
+//! after node failures, end to end.
+
+use collectives::execute;
+use optical_sim::{OpticalConfig, RingSimulator, Strategy};
+use proptest::prelude::*;
+use wrht_core::lower::{to_logical_schedule, to_optical_schedule};
+use wrht_core::plan::build_plan_over;
+
+/// Execute a survivor plan logically and check every survivor ends with
+/// the sum over survivors only (failed nodes neither contribute nor
+/// receive).
+fn check_survivor_allreduce(ring_n: usize, survivors: &[usize], m: usize, w: usize) {
+    let plan = build_plan_over(ring_n, survivors, m, w).unwrap();
+    let elems = 5;
+    let sched = to_logical_schedule(&plan, elems);
+    // Unique contributions per (node, elem).
+    let inputs: Vec<Vec<f64>> = (0..ring_n)
+        .map(|node| (0..elems).map(|i| (node * elems + i + 1) as f64).collect())
+        .collect();
+    let outputs = execute(&sched, &inputs);
+    for &s in survivors {
+        for i in 0..elems {
+            let want: f64 = survivors
+                .iter()
+                .map(|&node| (node * elems + i + 1) as f64)
+                .sum();
+            assert_eq!(
+                outputs[s][i], want,
+                "survivor {s} elem {i} (ring {ring_n}, m {m}, w {w})"
+            );
+        }
+    }
+    // Failed nodes keep their original buffers (nothing writes to them).
+    for node in 0..ring_n {
+        if !survivors.contains(&node) {
+            assert_eq!(outputs[node], inputs[node], "failed node {node} was touched");
+        }
+    }
+}
+
+#[test]
+fn survivor_allreduce_after_specific_failures() {
+    let survivors: Vec<usize> = (0..32).filter(|p| ![0, 7, 8, 30].contains(p)).collect();
+    check_survivor_allreduce(32, &survivors, 4, 8);
+}
+
+#[test]
+fn survivor_plans_simulate_within_budget() {
+    let survivors: Vec<usize> = (0..64).filter(|p| p % 5 != 0).collect();
+    let w = 8;
+    let plan = build_plan_over(64, &survivors, 4, w).unwrap();
+    let sched = to_optical_schedule(&plan, 1 << 20);
+    let mut sim = RingSimulator::new(OpticalConfig::new(64, w));
+    let report = sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
+    assert!(report.stats.peak_wavelengths() <= w);
+    assert!(report.total_time_s > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any survivor subset yields a correct survivor-only all-reduce.
+    #[test]
+    fn random_failure_sets_still_allreduce(
+        ring_n in 4usize..48,
+        failures in proptest::collection::hash_set(0usize..48, 0..6),
+        m in 2usize..6,
+        w in 1usize..16,
+    ) {
+        prop_assume!(m / 2 <= w);
+        let survivors: Vec<usize> = (0..ring_n)
+            .filter(|p| !failures.contains(p))
+            .collect();
+        prop_assume!(!survivors.is_empty());
+        check_survivor_allreduce(ring_n, &survivors, m, w);
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration of the physical-layer model and schedule analysis with
+//! Wrht plans at paper scales.
+
+use collectives::analysis::analyze;
+use optical_sim::physical::PhysicalModel;
+use optical_sim::topology::RingTopology;
+use wrht_core::lower::{to_logical_schedule, to_optical_schedule};
+use wrht_core::plan::build_plan;
+
+/// Every transfer of every Figure-2 Wrht plan fits the default (TeraRack-
+/// consistent) optical power budget — the longest lightpaths are the
+/// all-to-all arcs between representatives, about N/2 hops.
+#[test]
+fn paper_scale_plans_fit_the_default_power_budget() {
+    let model = PhysicalModel::default();
+    for n in [128usize, 256] {
+        let topo = RingTopology::new(n);
+        for m in [2usize, 5, 8] {
+            let plan = build_plan(n, m, 64).unwrap();
+            let sched = to_optical_schedule(&plan, 1 << 20);
+            model
+                .validate_schedule(&topo, &sched)
+                .unwrap_or_else(|e| panic!("n={n} m={m}: {e}"));
+        }
+    }
+}
+
+/// A deliberately starved budget rejects the long all-to-all arcs but
+/// accepts the short first-level transfers.
+#[test]
+fn starved_budget_rejects_long_arcs_only() {
+    let tight = PhysicalModel {
+        launch_dbm: 0.0,
+        sensitivity_dbm: -10.0,
+        bypass_loss_db: 1.0,
+        add_drop_loss_db: 4.0,
+        fibre_loss_per_hop_db: 0.0,
+        margin_db: 1.0,
+    };
+    assert_eq!(tight.max_hops(), 6);
+    let n = 256;
+    let topo = RingTopology::new(n);
+    let plan = build_plan(n, 8, 64).unwrap();
+    let sched = to_optical_schedule(&plan, 1 << 20);
+    // Level 0 transfers span at most floor(8/2) = 4 hops: fine.
+    let first_level =
+        optical_sim::StepSchedule::from_steps(vec![sched.steps()[0].clone()]);
+    tight.validate_schedule(&topo, &first_level).unwrap();
+    // The full schedule contains longer arcs and must fail.
+    assert!(tight.validate_schedule(&topo, &sched).is_err());
+}
+
+/// Wrht's logical schedule has the hierarchical signature: latency-optimal
+/// step counts, but representative nodes carry more traffic than leaves.
+#[test]
+fn wrht_schedule_analysis_signature() {
+    let n = 128;
+    let plan = build_plan(n, 4, 16).unwrap();
+    let sched = to_logical_schedule(&plan, 1000);
+    let a = analyze(&sched);
+
+    // Far fewer steps than the ring's 2(n-1).
+    assert!(a.steps <= 9, "steps = {}", a.steps);
+    assert!(a.latency_optimality(n) < 2.0);
+
+    // Load concentrates: the busiest node sends several full buffers while
+    // a leaf sends exactly one.
+    let min_sent = a.sent_per_node.iter().copied().min().unwrap();
+    assert_eq!(min_sent, 1000, "a leaf sends its buffer once");
+    assert!(a.send_imbalance() > 1.5);
+
+    // Leaves are active in exactly two steps (their reduce + broadcast).
+    let leaf_active = a
+        .active_steps_per_node
+        .iter()
+        .copied()
+        .min()
+        .unwrap();
+    assert_eq!(leaf_active, 2);
+}
+
+/// Bandwidth-vs-latency positioning across all algorithms, paper scale.
+#[test]
+fn algorithm_positioning_is_as_theory_predicts() {
+    use collectives::halving_doubling::halving_doubling;
+    use collectives::rd::recursive_doubling;
+    use collectives::ring::ring_allreduce;
+    let n = 64;
+    let elems = 6400;
+
+    let ring = analyze(&ring_allreduce(n, elems));
+    let rd = analyze(&recursive_doubling(n, elems));
+    let hd = analyze(&halving_doubling(n, elems));
+
+    // Ring: bandwidth-optimal, latency-poor.
+    assert!(ring.bandwidth_optimality(n, elems) <= rd.bandwidth_optimality(n, elems));
+    assert!(ring.latency_optimality(n) > rd.latency_optimality(n));
+    // Halving-doubling sits between: near-bandwidth-optimal at 2 log n steps.
+    assert!(hd.bandwidth_optimality(n, elems) < 1.2);
+    assert!(hd.latency_optimality(n) <= 2.0 + 1e-9);
+}
