@@ -127,9 +127,8 @@ pub struct FitCompare {
 /// `n` nodes and `bytes` per message.
 pub fn rwa_strategy_compare(cfg: &ExperimentConfig, n: usize, bytes: u64) -> FitCompare {
     let optical = cfg.optical(n);
-    let (m, plan, _) =
-        choose_group_size(&WrhtParams::auto(n, cfg.wavelengths), &optical, bytes)
-            .expect("feasible plan");
+    let (m, plan, _) = choose_group_size(&WrhtParams::auto(n, cfg.wavelengths), &optical, bytes)
+        .expect("feasible plan");
     let sched = to_optical_schedule(&plan, bytes);
     let mut sim = RingSimulator::new(optical);
     let ff = sim
@@ -219,8 +218,7 @@ pub fn variant_study(cfg: &ExperimentConfig, model: &Model, n: usize) -> Variant
     let bytes = model.gradient_bytes();
     let w = cfg.wavelengths;
 
-    let paper = plan_and_simulate(&WrhtParams::auto(n, w), &optical, bytes)
-        .expect("paper plan");
+    let paper = plan_and_simulate(&WrhtParams::auto(n, w), &optical, bytes).expect("paper plan");
 
     let plus_params = WrhtParams::auto(n, w).with_stop_policy(StopPolicy::BestDepth);
     let plus = plan_and_simulate(&plus_params, &optical, bytes).expect("best-depth plan");

@@ -113,11 +113,7 @@ pub fn run_contention(
 /// previous step *would* have finished under ideal timing, and let the
 /// event engine resolve residual wavelength contention. Returns
 /// `(stepped_s, event_driven_s)` — equal when barriers cost nothing.
-pub fn wrht_barrier_sensitivity(
-    config: &OpticalConfig,
-    plan: &WrhtPlan,
-    bytes: u64,
-) -> (f64, f64) {
+pub fn wrht_barrier_sensitivity(config: &OpticalConfig, plan: &WrhtPlan, bytes: u64) -> (f64, f64) {
     let sched = to_optical_schedule(plan, bytes);
     let mut sim = RingSimulator::new(config.clone());
     let stepped = sim

@@ -11,6 +11,15 @@
 //! * [`ablations`] — group-size, wavelength-count, RWA-strategy and
 //!   overlap extension studies;
 //! * [`report`] — table/JSON rendering.
+//!
+//! ```
+//! use wrht_bench::{fig2_row, ExperimentConfig};
+//!
+//! let cfg = ExperimentConfig::small();
+//! let row = fig2_row(&cfg, 32, dnn_models::googlenet().gradient_bytes());
+//! assert!(row.wrht_s > 0.0 && row.wrht_s.is_finite());
+//! assert!(row.wrht_s < row.o_ring_s, "Wrht beats O-Ring in every cell");
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -28,7 +28,17 @@ pub fn render_fig2(series: &Fig2Series) -> String {
     let _ = writeln!(
         out,
         "{:>6} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8} {:>4} {:>6}",
-        "nodes", "E-Ring ms", "norm", "RD ms", "norm", "O-Ring ms", "norm", "WRHT ms", "norm", "m", "steps"
+        "nodes",
+        "E-Ring ms",
+        "norm",
+        "RD ms",
+        "norm",
+        "O-Ring ms",
+        "norm",
+        "WRHT ms",
+        "norm",
+        "m",
+        "steps"
     );
     for r in &series.rows {
         let _ = writeln!(

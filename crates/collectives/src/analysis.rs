@@ -5,6 +5,16 @@
 //! same again for all-gather-equivalent work (bandwidth bound `2S(n−1)/n`),
 //! and any algorithm needs at least `⌈log₂ n⌉` communication rounds
 //! (latency bound). These metrics quantify where each algorithm sits.
+//!
+//! ```
+//! use collectives::analysis::analyze;
+//! use collectives::ring::ring_allreduce;
+//!
+//! let a = analyze(&ring_allreduce(16, 1600));
+//! assert_eq!(a.steps, 2 * (16 - 1));
+//! assert!(a.bandwidth_optimality(16, 1600) < 1.01); // ring is bandwidth-optimal
+//! assert!(a.latency_optimality(16) > 2.0); // but latency-poor
+//! ```
 
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
@@ -122,7 +132,7 @@ mod tests {
         let elems = 1600;
         let a = analyze(&recursive_doubling(n, elems));
         assert!((a.latency_optimality(n) - 1.0).abs() < 1e-9); // 4 steps
-        // Sends log2(n) * S: ratio = 4 / (2*15/16) ~= 2.13.
+                                                               // Sends log2(n) * S: ratio = 4 / (2*15/16) ~= 2.13.
         assert!(a.bandwidth_optimality(n, elems) > 2.0);
     }
 

@@ -6,6 +6,14 @@ use std::ops::Range;
 ///
 /// The first `elems % n` chunks get one extra element, so sizes differ by at
 /// most one and the union of all chunks is exactly `0..elems`.
+///
+/// ```
+/// use collectives::chunks::chunk_range;
+///
+/// assert_eq!(chunk_range(10, 3, 0), 0..4);
+/// assert_eq!(chunk_range(10, 3, 1), 4..7);
+/// assert_eq!(chunk_range(10, 3, 2), 7..10);
+/// ```
 #[must_use]
 pub fn chunk_range(elems: usize, n: usize, i: usize) -> Range<usize> {
     assert!(n > 0, "cannot chunk into zero pieces");

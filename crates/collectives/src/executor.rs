@@ -5,6 +5,15 @@
 //! so intra-step ordering cannot matter (this is what a barrier-synchronous
 //! network gives you). Receiver side applies [`Op::ReduceInto`] (add) or
 //! [`Op::Copy`] (overwrite).
+//!
+//! ```
+//! use collectives::executor::execute;
+//! use collectives::ring::ring_allreduce;
+//!
+//! let inputs = vec![vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
+//! let outputs = execute(&ring_allreduce(3, 2), &inputs);
+//! assert!(outputs.iter().all(|buf| buf == &vec![111.0, 222.0]));
+//! ```
 
 use crate::schedule::{Op, Schedule, ScheduleError};
 
@@ -49,15 +58,13 @@ pub fn execute(schedule: &Schedule, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
 /// (`node * elems + idx + 1`), which catches duplicated as well as missing
 /// contributions.
 pub fn verify_allreduce(schedule: &Schedule) -> Result<(), String> {
-    schedule.validate().map_err(|e: ScheduleError| e.to_string())?;
+    schedule
+        .validate()
+        .map_err(|e: ScheduleError| e.to_string())?;
     let n = schedule.n;
     let elems = schedule.elems;
     let inputs: Vec<Vec<f64>> = (0..n)
-        .map(|node| {
-            (0..elems)
-                .map(|i| (node * elems + i + 1) as f64)
-                .collect()
-        })
+        .map(|node| (0..elems).map(|i| (node * elems + i + 1) as f64).collect())
         .collect();
     let expected: Vec<f64> = (0..elems)
         .map(|i| (0..n).map(|node| (node * elems + i + 1) as f64).sum())

@@ -79,8 +79,12 @@ pub fn halving_doubling(n: usize, elems: usize) -> Schedule {
             let partner = j ^ dist;
             let send = snapshot[j].clone();
             if !send.is_empty() {
-                step.transfers
-                    .push(TransferSpec::new(node_of(j), node_of(partner), send, Op::Copy));
+                step.transfers.push(TransferSpec::new(
+                    node_of(j),
+                    node_of(partner),
+                    send,
+                    Op::Copy,
+                ));
             }
             let other = snapshot[partner].clone();
             ranges[j] = ranges[j].start.min(other.start)..ranges[j].end.max(other.end);

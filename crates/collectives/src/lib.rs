@@ -19,6 +19,15 @@
 //! * [`halving_doubling::halving_doubling`] — Rabenseifner's recursive
 //!   halving reduce-scatter + recursive doubling all-gather;
 //! * [`tree::binomial_tree`] — binomial-tree reduce + broadcast.
+//!
+//! ```
+//! use collectives::prelude::*;
+//!
+//! let sched = ring_allreduce(8, 64);
+//! assert_eq!(sched.step_count(), 2 * (8 - 1));
+//! // Executing the schedule over real buffers proves it is an all-reduce.
+//! verify_allreduce(&sched).unwrap();
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -40,8 +49,8 @@ pub mod prelude {
     pub use crate::executor::{execute, verify_allreduce};
     pub use crate::halving_doubling::halving_doubling;
     pub use crate::primitives::{
-        concat, ring_allgather, ring_reduce_scatter, tree_broadcast, tree_reduce,
-        verify_broadcast, verify_reduce, verify_reduce_scatter,
+        concat, ring_allgather, ring_reduce_scatter, tree_broadcast, tree_reduce, verify_broadcast,
+        verify_reduce, verify_reduce_scatter,
     };
     pub use crate::rd::recursive_doubling;
     pub use crate::ring::ring_allreduce;

@@ -207,8 +207,7 @@ mod tests {
     fn reduce_scatter_ownership() {
         for n in 2..=9 {
             let s = ring_reduce_scatter(n, 36);
-            verify_reduce_scatter(&s, |c| (c + n - 1) % n)
-                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+            verify_reduce_scatter(&s, |c| (c + n - 1) % n).unwrap_or_else(|e| panic!("n={n}: {e}"));
         }
     }
 

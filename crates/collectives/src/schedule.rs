@@ -30,7 +30,12 @@ impl TransferSpec {
     /// Convenience constructor.
     #[must_use]
     pub fn new(src: usize, dst: usize, range: Range<usize>, op: Op) -> Self {
-        Self { src, dst, range, op }
+        Self {
+            src,
+            dst,
+            range,
+            op,
+        }
     }
 
     /// Number of elements moved.
@@ -250,7 +255,12 @@ mod tests {
 
     fn tiny() -> Schedule {
         let mut s = Schedule::new(2, 4, "test");
-        s.push_step(Step::new(vec![TransferSpec::new(0, 1, 0..4, Op::ReduceInto)]));
+        s.push_step(Step::new(vec![TransferSpec::new(
+            0,
+            1,
+            0..4,
+            Op::ReduceInto,
+        )]));
         s.push_step(Step::new(vec![TransferSpec::new(1, 0, 0..4, Op::Copy)]));
         s
     }

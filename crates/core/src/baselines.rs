@@ -77,7 +77,10 @@ mod tests {
             .total_time_s;
         let chunk = (elems / n * bpe) as f64;
         let expected = (2 * (n - 1)) as f64 * (1e-6 + chunk / 1e9 + 1e-8);
-        assert!((t - expected).abs() / expected < 1e-9, "t={t} exp={expected}");
+        assert!(
+            (t - expected).abs() / expected < 1e-9,
+            "t={t} exp={expected}"
+        );
     }
 
     #[test]

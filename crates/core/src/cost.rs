@@ -116,8 +116,8 @@ mod tests {
         let sched = to_optical_schedule(&plan, bytes);
         let mut sim = RingSimulator::new(cfg);
         let report = sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
-        let rel = (predicted.total_s() - report.total_time_s).abs()
-            / report.total_time_s.max(1e-30);
+        let rel =
+            (predicted.total_s() - report.total_time_s).abs() / report.total_time_s.max(1e-30);
         assert!(
             rel < 1e-9,
             "n={n} m={m} w={w}: predicted {} vs simulated {}",

@@ -46,7 +46,11 @@ pub fn describe_plan(plan: &WrhtPlan) -> String {
             ata.lanes
         );
     } else {
-        let _ = writeln!(out, "  reduce runs to a single root: node {}", plan.final_reps[0]);
+        let _ = writeln!(
+            out,
+            "  reduce runs to a single root: node {}",
+            plan.final_reps[0]
+        );
     }
     out
 }

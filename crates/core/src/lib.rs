@@ -64,11 +64,16 @@ pub mod prelude {
     pub use crate::cost::{predict_time_s, CostBreakdown};
     pub use crate::describe::describe_plan;
     pub use crate::error::WrhtError;
-    pub use crate::lower::{to_logical_schedule, to_optical_schedule, to_optical_schedule_with, BroadcastMode};
+    pub use crate::lower::{
+        to_logical_schedule, to_optical_schedule, to_optical_schedule_with, BroadcastMode,
+    };
     pub use crate::optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
     pub use crate::params::{GroupSize, WrhtParams};
     pub use crate::pipeline::{optimal_segments, segment_sweep, segmented_time, SegmentPoint};
-    pub use crate::plan::{build_plan, build_plan_over, candidate_plans, candidate_plans_over, Group, Level, StopPolicy, WrhtPlan};
+    pub use crate::plan::{
+        build_plan, build_plan_over, candidate_plans, candidate_plans_over, Group, Level,
+        StopPolicy, WrhtPlan,
+    };
     pub use crate::steps::{paper_step_count, tree_wavelength_requirement};
 }
 

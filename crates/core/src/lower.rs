@@ -179,8 +179,12 @@ pub fn to_logical_schedule(plan: &WrhtPlan, elems: usize) -> Schedule {
         let mut step = Step::default();
         for group in &level.groups {
             for &member in group.members.iter().filter(|&&p| p != group.rep) {
-                step.transfers
-                    .push(TransferSpec::new(member, group.rep, 0..elems, Op::ReduceInto));
+                step.transfers.push(TransferSpec::new(
+                    member,
+                    group.rep,
+                    0..elems,
+                    Op::ReduceInto,
+                ));
             }
         }
         sched.push_step(step);
@@ -233,8 +237,7 @@ mod tests {
         ] {
             let plan = build_plan(n, m, w).unwrap();
             let sched = to_logical_schedule(&plan, 12);
-            verify_allreduce(&sched)
-                .unwrap_or_else(|e| panic!("n={n} m={m} w={w}: {e}"));
+            verify_allreduce(&sched).unwrap_or_else(|e| panic!("n={n} m={m} w={w}: {e}"));
         }
     }
 

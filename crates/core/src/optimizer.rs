@@ -3,7 +3,7 @@
 //!
 //! The search space is small (`m ∈ 2..=2w+1`, a handful of stop levels per
 //! `m`) but each candidate costs a plan construction including trial RWA;
-//! the sweep is embarrassingly parallel and fans out over crossbeam scoped
+//! the sweep is embarrassingly parallel and fans out over std scoped
 //! threads for large rings.
 
 use crate::cost::{predict_time_s, CostBreakdown};
@@ -68,7 +68,7 @@ fn best_in_range(
 /// [`StopPolicy::BestDepth`], every stop level) for the plan minimizing
 /// predicted communication time for `bytes` per message.
 ///
-/// The sweep parallelizes across crossbeam scoped threads when the ring is
+/// The sweep parallelizes across std scoped threads when the ring is
 /// large enough for planning cost to matter.
 pub fn choose_group_size(
     params: &WrhtParams,
@@ -84,10 +84,10 @@ pub fn choose_group_size(
             .unwrap_or(4)
             .min(ms.len());
         let chunk = ms.len().div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = ms
                 .chunks(chunk)
-                .map(|slice| scope.spawn(move |_| best_in_range(slice, params, config, bytes)))
+                .map(|slice| scope.spawn(move || best_in_range(slice, params, config, bytes)))
                 .collect();
             handles
                 .into_iter()
@@ -100,7 +100,6 @@ pub fn choose_group_size(
                         .then(a.0.cmp(&b.0))
                 })
         })
-        .expect("crossbeam scope")
     } else {
         best_in_range(&ms, params, config, bytes)
     };
@@ -182,8 +181,7 @@ mod tests {
         for (n, w, mb) in [(64usize, 64usize, 25u64), (128, 32, 100), (512, 64, 500)] {
             let config = OpticalConfig::new(n, w);
             let bytes = mb << 20;
-            let paper =
-                choose_group_size(&WrhtParams::auto(n, w), &config, bytes).unwrap();
+            let paper = choose_group_size(&WrhtParams::auto(n, w), &config, bytes).unwrap();
             let plus = choose_group_size(
                 &WrhtParams::auto(n, w).with_stop_policy(StopPolicy::BestDepth),
                 &config,
@@ -224,7 +222,7 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_sweeps_agree() {
-        // n >= 512 triggers the crossbeam path; compare against a manual
+        // n >= 512 triggers the threaded path; compare against a manual
         // serial scan.
         let n = 512;
         let w = 16;
@@ -246,8 +244,7 @@ mod tests {
         let n = 128;
         let w = 16;
         let config = OpticalConfig::new(n, w);
-        let outcome =
-            plan_and_simulate(&WrhtParams::auto(n, w), &config, 25 << 20).unwrap();
+        let outcome = plan_and_simulate(&WrhtParams::auto(n, w), &config, 25 << 20).unwrap();
         let rel = (outcome.predicted.total_s() - outcome.simulated_time_s).abs()
             / outcome.simulated_time_s;
         assert!(rel < 1e-9, "rel={rel}");
@@ -258,8 +255,7 @@ mod tests {
         let n = 64;
         let w = 8;
         let config = OpticalConfig::new(n, w);
-        let outcome =
-            plan_and_simulate(&WrhtParams::fixed(n, w, 4), &config, 1 << 20).unwrap();
+        let outcome = plan_and_simulate(&WrhtParams::fixed(n, w, 4), &config, 1 << 20).unwrap();
         assert_eq!(outcome.m, 4);
         assert_eq!(outcome.plan.m, 4);
     }
@@ -267,8 +263,7 @@ mod tests {
     #[test]
     fn infeasible_fixed_m_errors() {
         let config = OpticalConfig::new(64, 2);
-        let err =
-            plan_and_simulate(&WrhtParams::fixed(64, 2, 63), &config, 1 << 20).unwrap_err();
+        let err = plan_and_simulate(&WrhtParams::fixed(64, 2, 63), &config, 1 << 20).unwrap_err();
         assert!(matches!(
             err,
             WrhtError::GroupSizeNeedsMoreWavelengths { .. }
@@ -284,8 +279,7 @@ mod tests {
         let w = 64;
         let elems = 1 << 20; // 4 MiB gradient
         let config = OpticalConfig::paper_defaults(n);
-        let wrht =
-            plan_and_simulate(&WrhtParams::auto(n, w), &config, (elems * 4) as u64).unwrap();
+        let wrht = plan_and_simulate(&WrhtParams::auto(n, w), &config, (elems * 4) as u64).unwrap();
         let mut sim = RingSimulator::new(config);
         let oring = sim
             .run_stepped(&oring_schedule(n, elems, 4), Strategy::FirstFit)

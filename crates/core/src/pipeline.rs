@@ -39,11 +39,7 @@ pub struct SegmentPoint {
 /// Per-step wavelength requirement list of a plan (reduce levels,
 /// optional all-to-all, broadcast levels).
 fn step_requirements(plan: &WrhtPlan) -> Vec<usize> {
-    let mut reqs: Vec<usize> = plan
-        .levels
-        .iter()
-        .map(|l| l.lambda_requirement)
-        .collect();
+    let mut reqs: Vec<usize> = plan.levels.iter().map(|l| l.lambda_requirement).collect();
     if let Some(ata) = &plan.alltoall {
         reqs.push(ata.lambda_requirement);
     }
@@ -97,7 +93,12 @@ fn step_hops(plan: &WrhtPlan) -> Vec<usize> {
 /// Returns an infeasible point when some stage's wavelength requirement
 /// exceeds its `⌊w/c⌋` sub-budget.
 #[must_use]
-pub fn segmented_time(plan: &WrhtPlan, config: &OpticalConfig, bytes: u64, k: usize) -> SegmentPoint {
+pub fn segmented_time(
+    plan: &WrhtPlan,
+    config: &OpticalConfig,
+    bytes: u64,
+    k: usize,
+) -> SegmentPoint {
     assert!(k >= 1, "at least one segment");
     let reqs = step_requirements(plan);
     let hops = step_hops(plan);
@@ -166,11 +167,7 @@ pub fn optimal_segments(
 /// [`crate::cost::predict_time_s`]).
 #[must_use]
 pub fn unsegmented_upper_bound(cost: &CostBreakdown) -> f64 {
-    let worst = cost
-        .per_step_s
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let worst = cost.per_step_s.iter().copied().fold(0.0f64, f64::max);
     worst * cost.per_step_s.len() as f64
 }
 
@@ -240,7 +237,11 @@ mod tests {
         let plan = build_plan(64, 4, 16).unwrap();
         let cfg = OpticalConfig::new(64, 16).with_message_overhead(1e-3);
         let best = optimal_segments(&plan, &cfg, 1 << 20, 64);
-        assert!(best.segments < 64, "alpha must cap k, got {}", best.segments);
+        assert!(
+            best.segments < 64,
+            "alpha must cap k, got {}",
+            best.segments
+        );
     }
 
     #[test]

@@ -148,6 +148,15 @@ pub enum StopPolicy {
 /// representatives, recurse **until the wavelengths suffice for an
 /// all-to-all among the survivors** (checked both against the `⌈m*²/8⌉`
 /// bound and an actual trial wavelength assignment).
+///
+/// ```
+/// use wrht_core::plan::build_plan;
+///
+/// let plan = build_plan(64, 8, 64).unwrap();
+/// assert_eq!(plan.m, 8);
+/// assert_eq!(plan.levels[0].groups.len(), 64 / 8);
+/// assert!(plan.step_count() >= 1);
+/// ```
 pub fn build_plan(n: usize, m: usize, w: usize) -> Result<WrhtPlan> {
     let mut candidates = candidate_plans(n, m, w)?;
     // candidate_plans returns earliest-stop first.
@@ -167,7 +176,12 @@ pub fn candidate_plans(n: usize, m: usize, w: usize) -> Result<Vec<WrhtPlan>> {
 /// fault-tolerance extension: when nodes fail, the all-reduce re-plans over
 /// the survivors (failed nodes' micro-rings keep bypassing light, so paths
 /// may pass through them).
-pub fn build_plan_over(ring_n: usize, participants: &[usize], m: usize, w: usize) -> Result<WrhtPlan> {
+pub fn build_plan_over(
+    ring_n: usize,
+    participants: &[usize],
+    m: usize,
+    w: usize,
+) -> Result<WrhtPlan> {
     let mut candidates = candidate_plans_over(ring_n, participants, m, w)?;
     Ok(candidates.swap_remove(0))
 }
@@ -236,10 +250,7 @@ pub fn candidate_plans_over(
             }
         }
         // Partition into contiguous groups of m and recurse on the middles.
-        let groups: Vec<Group> = active
-            .chunks(m)
-            .map(|c| Group::new(c.to_vec()))
-            .collect();
+        let groups: Vec<Group> = active.chunks(m).map(|c| Group::new(c.to_vec())).collect();
         let lambda_requirement = groups
             .iter()
             .map(Group::wavelength_requirement)

@@ -9,6 +9,15 @@
 //!
 //! These are pinned here as standalone arithmetic so tests can check the
 //! constructed plans against the published formulas.
+//!
+//! ```
+//! use wrht_core::steps::*;
+//!
+//! assert_eq!(ceil_log(1024, 8), 4); // 8^4 = 4096 >= 1024 > 8^3
+//! assert_eq!(tree_wavelength_requirement(8), 4); // floor(m/2)
+//! assert_eq!(alltoall_wavelength_requirement(8), 8); // ceil(8*8/8)
+//! assert_eq!(paper_step_count(64, 8, false), 2 * ceil_log(64, 8) as usize);
+//! ```
 
 /// `⌈log_m n⌉` for `m >= 2`, `n >= 1` (0 for `n == 1`).
 #[must_use]

@@ -3,7 +3,9 @@
 use optical_sim::{OpticalConfig, RingSimulator, Strategy};
 use proptest::prelude::*;
 use wrht_core::cost::predict_time_s;
-use wrht_core::lower::{to_logical_schedule, to_optical_schedule, to_optical_schedule_with, BroadcastMode};
+use wrht_core::lower::{
+    to_logical_schedule, to_optical_schedule, to_optical_schedule_with, BroadcastMode,
+};
 use wrht_core::pipeline::{optimal_segments, segmented_time};
 use wrht_core::plan::{build_plan, candidate_plans};
 use wrht_core::steps::{ceil_log, paper_step_count};

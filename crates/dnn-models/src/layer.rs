@@ -48,9 +48,7 @@ impl LayerKind {
                 kernel,
                 bias,
             } => c_in * c_out * kernel * kernel + if bias { c_out } else { 0 },
-            LayerKind::Linear { f_in, f_out, bias } => {
-                f_in * f_out + if bias { f_out } else { 0 }
-            }
+            LayerKind::Linear { f_in, f_out, bias } => f_in * f_out + if bias { f_out } else { 0 },
             LayerKind::BatchNorm { channels } => 2 * channels,
             LayerKind::Raw { count } => count,
         }

@@ -12,6 +12,15 @@
 //!   do), used by the layer-wise overlap extension;
 //! * [`training`] — a data-parallel iteration model that overlaps backward
 //!   computation with bucketed all-reduce.
+//!
+//! ```
+//! use dnn_models::prelude::*;
+//!
+//! let model = alexnet();
+//! assert_eq!(model.params(), 62_378_344); // the paper's 62.3 M
+//! assert_eq!(model.gradient_bytes(), 4 * model.params() as u64); // fp32
+//! assert_eq!(paper_models().len(), 4);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

@@ -133,9 +133,7 @@ mod tests {
         // A linear-cost network with per-message overhead: overlapping can
         // pay more total overhead, but per-bucket cost here is sublinear so
         // overlapped must not exceed sequential + fused-launch savings.
-        let r = simulate_iteration(&m.layers, &buckets, model(), |bytes| {
-            bytes as f64 / 10e9
-        });
+        let r = simulate_iteration(&m.layers, &buckets, model(), |bytes| bytes as f64 / 10e9);
         assert!(r.overlapped_s <= r.sequential_s + 1e-12);
         assert!(r.hidden_fraction > 0.0);
     }
@@ -145,9 +143,7 @@ mod tests {
         let m = resnet50();
         let buckets = bucketize(&m.layers, 25 << 20);
         // Extremely slow network: everything is exposed.
-        let r = simulate_iteration(&m.layers, &buckets, model(), |bytes| {
-            bytes as f64 / 1e6
-        });
+        let r = simulate_iteration(&m.layers, &buckets, model(), |bytes| bytes as f64 / 1e6);
         let total_comm: f64 = buckets.iter().map(|b| b.bytes as f64 / 1e6).sum();
         // First bucket can only start after its layers are done, so the
         // iteration is at least the total communication time.
@@ -161,7 +157,10 @@ mod tests {
         let buckets = bucketize(&m.layers, 25 << 20);
         let r = simulate_iteration(&m.layers, &buckets, model(), |_| 1e-3);
         for w in r.bucket_times.windows(2) {
-            assert!(w[1].1 >= w[0].2 - 1e-15, "bucket started before prior finished");
+            assert!(
+                w[1].1 >= w[0].2 - 1e-15,
+                "bucket started before prior finished"
+            );
         }
     }
 

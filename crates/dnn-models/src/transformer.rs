@@ -3,6 +3,14 @@
 //! Modern all-reduce traffic is dominated by transformer gradients; these
 //! generators produce layer tables with standard parameter arithmetic so
 //! the same experiments run on BERT/GPT-class models.
+//!
+//! ```
+//! use dnn_models::transformer::{bert_large, gpt2_small};
+//!
+//! // Both land near their published parameter counts.
+//! assert!((gpt2_small().params() as f64 / 124e6 - 1.0).abs() < 0.1);
+//! assert!((bert_large().params() as f64 / 340e6 - 1.0).abs() < 0.1);
+//! ```
 
 use crate::layer::{Layer, LayerKind};
 use crate::zoo::Model;
@@ -133,7 +141,11 @@ mod tests {
         let m = bert_large();
         let p = m.params() as f64;
         // Published BERT-large: ~335 M (encoder, tied head).
-        assert!((p / 335.0e6 - 1.0).abs() < 0.05, "got {} params", m.params());
+        assert!(
+            (p / 335.0e6 - 1.0).abs() < 0.05,
+            "got {} params",
+            m.params()
+        );
     }
 
     #[test]

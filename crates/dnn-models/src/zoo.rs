@@ -75,7 +75,12 @@ pub fn vgg16() -> Model {
     for (block, convs, c_in, c_out) in blocks {
         for i in 0..convs {
             let cin = if i == 0 { c_in } else { c_out };
-            layers.push(Layer::conv(&format!("conv{block}_{}", i + 1), cin, c_out, 3));
+            layers.push(Layer::conv(
+                &format!("conv{block}_{}", i + 1),
+                cin,
+                c_out,
+                3,
+            ));
         }
     }
     layers.push(Layer::linear("fc6", 512 * 7 * 7, 4096));
@@ -97,15 +102,24 @@ pub fn resnet50() -> Model {
     layers.push(Layer::batch_norm("bn1", 64));
 
     // (stage, blocks, width); expansion 4.
-    let stages: [(usize, usize, usize); 4] =
-        [(1, 3, 64), (2, 4, 128), (3, 6, 256), (4, 3, 512)];
+    let stages: [(usize, usize, usize); 4] = [(1, 3, 64), (2, 4, 128), (3, 6, 256), (4, 3, 512)];
     let mut c_in = 64;
     for (stage, blocks, width) in stages {
         for b in 0..blocks {
             let prefix = format!("layer{stage}.{b}");
-            layers.push(Layer::conv_nobias(&format!("{prefix}.conv1"), c_in, width, 1));
+            layers.push(Layer::conv_nobias(
+                &format!("{prefix}.conv1"),
+                c_in,
+                width,
+                1,
+            ));
             layers.push(Layer::batch_norm(&format!("{prefix}.bn1"), width));
-            layers.push(Layer::conv_nobias(&format!("{prefix}.conv2"), width, width, 3));
+            layers.push(Layer::conv_nobias(
+                &format!("{prefix}.conv2"),
+                width,
+                width,
+                3,
+            ));
             layers.push(Layer::batch_norm(&format!("{prefix}.bn2"), width));
             layers.push(Layer::conv_nobias(
                 &format!("{prefix}.conv3"),
@@ -147,7 +161,16 @@ pub fn googlenet() -> Model {
     layers.push(Layer::conv("conv2", 64, 192, 3));
 
     // (name, in, #1x1, #3x3r, #3x3, #5x5r, #5x5, pool-proj)
-    type InceptionSpec = (&'static str, usize, usize, usize, usize, usize, usize, usize);
+    type InceptionSpec = (
+        &'static str,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+    );
     let modules: [InceptionSpec; 9] = [
         ("3a", 192, 64, 96, 128, 16, 32, 32),
         ("3b", 256, 128, 128, 192, 32, 96, 64),
@@ -165,7 +188,12 @@ pub fn googlenet() -> Model {
         layers.push(Layer::conv(&format!("inception{name}.3x3"), c3r, c3, 3));
         layers.push(Layer::conv(&format!("inception{name}.5x5r"), cin, c5r, 1));
         layers.push(Layer::conv(&format!("inception{name}.5x5"), c5r, c5, 5));
-        layers.push(Layer::conv(&format!("inception{name}.pool_proj"), cin, pp, 1));
+        layers.push(Layer::conv(
+            &format!("inception{name}.pool_proj"),
+            cin,
+            pp,
+            1,
+        ));
     }
     layers.push(Layer::linear("fc", 1024, 1000));
     Model {

@@ -62,6 +62,8 @@ mod tests {
         assert!(NetError::HostOutOfRange { host: 7, hosts: 4 }
             .to_string()
             .contains('7'));
-        assert!(NetError::NoRoute { src: 1, dst: 2 }.to_string().contains("no route"));
+        assert!(NetError::NoRoute { src: 1, dst: 2 }
+            .to_string()
+            .contains("no route"));
     }
 }

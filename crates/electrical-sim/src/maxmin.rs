@@ -5,6 +5,17 @@
 //! be raised without lowering a flow of equal or smaller rate. The classic
 //! algorithm saturates the most-contended link, freezes the flows crossing
 //! it, subtracts their bandwidth and repeats.
+//!
+//! ```
+//! use electrical_sim::maxmin::maxmin_rates;
+//! use electrical_sim::topology::star_cluster;
+//!
+//! let net = star_cluster(4, 1e9, 0.0);
+//! // Two flows into host 0 share its 1 GB/s downlink fairly.
+//! let routes = vec![net.route(1, 0).unwrap(), net.route(2, 0).unwrap()];
+//! let rates = maxmin_rates(&net, &routes);
+//! assert!((rates[0] - 0.5e9).abs() < 1.0 && (rates[1] - 0.5e9).abs() < 1.0);
+//! ```
 
 use crate::graph::{LinkId, Network};
 
@@ -54,8 +65,7 @@ pub fn maxmin_rates(net: &Network, routes: &[Vec<LinkId>]) -> Vec<f64> {
                 continue;
             }
             let bottlenecked = route.iter().any(|&l| {
-                active_on_link[l.0] > 0
-                    && remaining[l.0] / active_on_link[l.0] as f64 <= threshold
+                active_on_link[l.0] > 0 && remaining[l.0] / active_on_link[l.0] as f64 <= threshold
             });
             if !bottlenecked {
                 continue;
@@ -82,7 +92,10 @@ mod tests {
     use crate::topology::{ring, star_cluster};
 
     fn routes(net: &Network, pairs: &[(usize, usize)]) -> Vec<Vec<LinkId>> {
-        pairs.iter().map(|&(s, d)| net.route(s, d).unwrap()).collect()
+        pairs
+            .iter()
+            .map(|&(s, d)| net.route(s, d).unwrap())
+            .collect()
     }
 
     #[test]
@@ -168,9 +181,9 @@ mod tests {
         // Max-min property: each flow crosses at least one (nearly)
         // saturated link.
         for route in &flows {
-            assert!(route.iter().any(|&l| {
-                load[l.0] >= net.links()[l.0].capacity_bps * (1.0 - 1e-6)
-            }));
+            assert!(route
+                .iter()
+                .any(|&l| { load[l.0] >= net.links()[l.0].capacity_bps * (1.0 - 1e-6) }));
         }
     }
 

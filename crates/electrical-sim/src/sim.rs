@@ -220,7 +220,10 @@ mod tests {
     fn sharing_doubles_completion() {
         let net = star_cluster(4, 1e9, 0.0);
         let mut sim = FluidSimulator::new(net);
-        sim.submit_all([FlowSpec::new(0, 1, 1_000_000), FlowSpec::new(0, 2, 1_000_000)]);
+        sim.submit_all([
+            FlowSpec::new(0, 1, 1_000_000),
+            FlowSpec::new(0, 2, 1_000_000),
+        ]);
         let r = sim.run().unwrap();
         assert!((r.makespan_s - 2e-3).abs() < 1e-9);
     }

@@ -94,9 +94,7 @@ mod tests {
         let report = run_flows(&net, &flows).unwrap();
         assert!(report.makespan_s >= load.bottleneck_lower_bound_s(&net) - 1e-12);
         // Incast saturates the bound exactly.
-        assert!(
-            (report.makespan_s - load.bottleneck_lower_bound_s(&net)).abs() < 1e-9
-        );
+        assert!((report.makespan_s - load.bottleneck_lower_bound_s(&net)).abs() < 1e-9);
     }
 
     #[test]

@@ -3,6 +3,17 @@
 //! All builders take per-link `capacity_bps` in **bytes** per second and
 //! `latency_s` in seconds, matching SimGrid's platform files after unit
 //! conversion.
+//!
+//! ```
+//! use electrical_sim::topology::{ring, star_cluster};
+//!
+//! let star = star_cluster(8, 12.5e9, 500e-9);
+//! assert_eq!(star.hosts(), 8);
+//! // A route in the star crosses the sender's uplink and receiver's downlink.
+//! assert_eq!(star.route(0, 5).unwrap().len(), 2);
+//! // In the ring, neighbours are one directed link apart.
+//! assert_eq!(ring(8, 12.5e9, 0.0).route(3, 4).unwrap().len(), 1);
+//! ```
 
 use crate::graph::{Link, Network, Router};
 

@@ -39,9 +39,9 @@ fn check_maxmin(net: &Network, flows: &[Vec<LinkId>], rates: &[f64]) {
     }
     // 2. Every flow has a saturated bottleneck link.
     for (f, route) in flows.iter().enumerate() {
-        let has_bottleneck = route.iter().any(|&l| {
-            load[l.0] >= net.links()[l.0].capacity_bps * (1.0 - 1e-6)
-        });
+        let has_bottleneck = route
+            .iter()
+            .any(|&l| load[l.0] >= net.links()[l.0].capacity_bps * (1.0 - 1e-6));
         assert!(has_bottleneck, "flow {f} could be raised");
     }
 }

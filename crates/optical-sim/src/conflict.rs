@@ -98,9 +98,7 @@ pub fn validate_assignment(paths: &[LightPath], lanes: &[Vec<Wavelength>]) -> bo
     debug_assert_eq!(paths.len(), lanes.len());
     for i in 0..paths.len() {
         for j in (i + 1)..paths.len() {
-            if paths[i].conflicts_with(&paths[j])
-                && lanes[i].iter().any(|l| lanes[j].contains(l))
-            {
+            if paths[i].conflicts_with(&paths[j]) && lanes[i].iter().any(|l| lanes[j].contains(l)) {
                 return false;
             }
         }

@@ -50,9 +50,7 @@ impl LightPath {
             return false;
         }
         // Paths on a ring are short; a quadratic scan beats building sets.
-        self.segments
-            .iter()
-            .any(|s| other.segments.contains(s))
+        self.segments.iter().any(|s| other.segments.contains(s))
     }
 }
 

@@ -175,17 +175,11 @@ mod tests {
             fibre_loss_per_hop_db: 0.0,
             margin_db: 1.0,
         };
-        let ok = StepSchedule::from_steps(vec![vec![Transfer::shortest(
-            NodeId(0),
-            NodeId(4),
-            100,
-        )]]);
+        let ok =
+            StepSchedule::from_steps(vec![vec![Transfer::shortest(NodeId(0), NodeId(4), 100)]]);
         tight.validate_schedule(&topo, &ok).unwrap();
-        let bad = StepSchedule::from_steps(vec![vec![Transfer::shortest(
-            NodeId(0),
-            NodeId(20),
-            100,
-        )]]);
+        let bad =
+            StepSchedule::from_steps(vec![vec![Transfer::shortest(NodeId(0), NodeId(20), 100)]]);
         assert!(tight.validate_schedule(&topo, &bad).is_err());
     }
 

@@ -52,7 +52,8 @@ impl EnergyModel {
         let mut static_j = 0.0;
         for step in &stats.steps {
             dynamic_j += step.bytes as f64 * 8.0 * self.joules_per_bit;
-            static_j += step.wavelengths_used as f64 * self.watts_per_active_lambda * step.duration_s;
+            static_j +=
+                step.wavelengths_used as f64 * self.watts_per_active_lambda * step.duration_s;
         }
         EnergyReport {
             dynamic_j,

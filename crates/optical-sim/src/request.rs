@@ -102,7 +102,9 @@ mod tests {
     #[test]
     fn resolve_shortest() {
         let t = RingTopology::new(8);
-        let p = Transfer::shortest(NodeId(0), NodeId(6), 10).resolve(&t).unwrap();
+        let p = Transfer::shortest(NodeId(0), NodeId(6), 10)
+            .resolve(&t)
+            .unwrap();
         assert_eq!(p.direction, Direction::CounterClockwise);
         assert_eq!(p.hops(), 2);
     }

@@ -230,10 +230,7 @@ mod tests {
         let mut occ = Occupancy::new(8, 4);
         let p = path(&t, 0, 3, Direction::Clockwise);
         let lanes = occ.assign(&p, 3, Strategy::FirstFit).unwrap();
-        assert_eq!(
-            lanes,
-            vec![Wavelength(0), Wavelength(1), Wavelength(2)]
-        );
+        assert_eq!(lanes, vec![Wavelength(0), Wavelength(1), Wavelength(2)]);
         assert_eq!(occ.distinct_wavelengths_used(), 3);
     }
 

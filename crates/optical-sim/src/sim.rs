@@ -56,11 +56,7 @@ impl StepSchedule {
     /// Total payload bytes across all steps.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.steps
-            .iter()
-            .flatten()
-            .map(|t| t.bytes)
-            .sum()
+        self.steps.iter().flatten().map(|t| t.bytes).sum()
     }
 }
 
@@ -122,7 +118,11 @@ impl RingSimulator {
     ///
     /// Fails if any step cannot be wavelength-assigned within the configured
     /// channel count — Wrht plans are constructed to always fit.
-    pub fn run_stepped(&mut self, schedule: &StepSchedule, strategy: Strategy) -> Result<StepReport> {
+    pub fn run_stepped(
+        &mut self,
+        schedule: &StepSchedule,
+        strategy: Strategy,
+    ) -> Result<StepReport> {
         let timing = self.config.timing();
         let mut stats = RunStats::default();
         for (index, step) in schedule.steps.iter().enumerate() {
@@ -354,8 +354,14 @@ mod tests {
             4_000_000,
         )
         .with_lanes(4)]]);
-        let t_slow = sim.run_stepped(&slow, Strategy::FirstFit).unwrap().total_time_s;
-        let t_fast = sim.run_stepped(&fast, Strategy::FirstFit).unwrap().total_time_s;
+        let t_slow = sim
+            .run_stepped(&slow, Strategy::FirstFit)
+            .unwrap()
+            .total_time_s;
+        let t_fast = sim
+            .run_stepped(&fast, Strategy::FirstFit)
+            .unwrap()
+            .total_time_s;
         assert!((t_slow / t_fast - 4.0).abs() < 1e-9);
     }
 
@@ -399,8 +405,14 @@ mod tests {
         let mut sim = RingSimulator::new(cfg);
         // Two transfers over the same segment, one wavelength: must serialize.
         let released = vec![
-            (0.0, Transfer::directed(NodeId(0), NodeId(2), 1_000_000, Direction::Clockwise)),
-            (0.0, Transfer::directed(NodeId(1), NodeId(3), 1_000_000, Direction::Clockwise)),
+            (
+                0.0,
+                Transfer::directed(NodeId(0), NodeId(2), 1_000_000, Direction::Clockwise),
+            ),
+            (
+                0.0,
+                Transfer::directed(NodeId(1), NodeId(3), 1_000_000, Direction::Clockwise),
+            ),
         ];
         let r = sim.run_event_driven(&released).unwrap();
         assert!((r.makespan_s - 2e-3).abs() < 1e-12);
@@ -443,7 +455,10 @@ mod tests {
     #[test]
     fn infeasible_lane_request_errors_eventdriven() {
         let mut sim = RingSimulator::new(small_cfg()); // 4 lambdas
-        let released = vec![(0.0, Transfer::shortest(NodeId(0), NodeId(1), 100).with_lanes(9))];
+        let released = vec![(
+            0.0,
+            Transfer::shortest(NodeId(0), NodeId(1), 100).with_lanes(9),
+        )];
         assert!(sim.run_event_driven(&released).is_err());
     }
 

@@ -46,7 +46,11 @@ impl RunStats {
     /// Largest wavelength footprint over all steps.
     #[must_use]
     pub fn peak_wavelengths(&self) -> usize {
-        self.steps.iter().map(|s| s.peak_wavelength).max().unwrap_or(0)
+        self.steps
+            .iter()
+            .map(|s| s.peak_wavelength)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of communication steps.

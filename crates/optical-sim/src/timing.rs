@@ -10,6 +10,15 @@
 //! `overhead` bundles SerDes and E/O + O/E conversion at the endpoints (it is
 //! paid once per message, not per hop, because intermediate micro-rings
 //! bypass the signal optically).
+//!
+//! ```
+//! use optical_sim::OpticalConfig;
+//!
+//! let timing = OpticalConfig::new(8, 4).timing();
+//! let one_lane = timing.transfer_time(1 << 20, 1, 2);
+//! let two_lanes = timing.transfer_time(1 << 20, 2, 2);
+//! assert!(two_lanes < one_lane, "striping across lanes cuts serialization");
+//! ```
 
 use serde::{Deserialize, Serialize};
 

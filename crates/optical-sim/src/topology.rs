@@ -4,6 +4,15 @@
 //! model the ring as *two* independent directed cycles (one per propagation
 //! direction) because TeraRack nodes host separate transmit waveguides per
 //! direction; wavelength occupancy is therefore tracked per direction.
+//!
+//! ```
+//! use optical_sim::topology::{Direction, NodeId, RingTopology};
+//!
+//! let t = RingTopology::new(8);
+//! assert_eq!(t.hops(NodeId(6), NodeId(1), Direction::Clockwise), 3);
+//! assert_eq!(t.hops(NodeId(6), NodeId(1), Direction::CounterClockwise), 5);
+//! assert_eq!(t.min_hops(NodeId(6), NodeId(1)), 3);
+//! ```
 
 use crate::error::{OpticalError, Result};
 use serde::{Deserialize, Serialize};
@@ -166,9 +175,7 @@ impl RingTopology {
         if count == 0 {
             return Vec::new();
         }
-        (0..count)
-            .map(|i| NodeId(i * self.n / count))
-            .collect()
+        (0..count).map(|i| NodeId(i * self.n / count)).collect()
     }
 }
 

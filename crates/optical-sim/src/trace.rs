@@ -43,10 +43,7 @@ impl RunTrace {
     /// Total wall-clock span covered by the trace.
     #[must_use]
     pub fn makespan_s(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|e| e.finish_s)
-            .fold(0.0, f64::max)
+        self.entries.iter().map(|e| e.finish_s).fold(0.0, f64::max)
     }
 
     /// Entries of one step.
@@ -116,11 +113,7 @@ pub fn trace_step(
     transfers: Vec<Transfer>,
     strategy: Strategy,
 ) -> Result<RunTrace> {
-    let (_, trace) = run_stepped_traced(
-        sim,
-        &StepSchedule::from_steps(vec![transfers]),
-        strategy,
-    )?;
+    let (_, trace) = run_stepped_traced(sim, &StepSchedule::from_steps(vec![transfers]), strategy)?;
     Ok(trace)
 }
 
@@ -174,9 +167,10 @@ mod tests {
 
     #[test]
     fn lambdas_are_recorded_per_lane() {
-        let sched = StepSchedule::from_steps(vec![vec![
-            Transfer::shortest(NodeId(0), NodeId(3), 1000).with_lanes(3),
-        ]]);
+        let sched =
+            StepSchedule::from_steps(vec![vec![
+                Transfer::shortest(NodeId(0), NodeId(3), 1000).with_lanes(3)
+            ]]);
         let mut s = sim();
         let (_, trace) = run_stepped_traced(&mut s, &sched, Strategy::FirstFit).unwrap();
         assert_eq!(trace.entries[0].lambdas, vec![0, 1, 2]);

@@ -123,10 +123,7 @@ impl WavelengthSet {
     /// True when `self` and `other` share no wavelength.
     #[must_use]
     pub fn is_disjoint(&self, other: &WavelengthSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & b == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
     }
 
     /// Iterate over member wavelengths in increasing order.
@@ -221,10 +218,7 @@ mod tests {
         let s: WavelengthSet = [Wavelength(5), Wavelength(1), Wavelength(3)]
             .into_iter()
             .collect();
-        assert_eq!(
-            s.iter().map(|w| w.0).collect::<Vec<_>>(),
-            vec![1, 3, 5]
-        );
+        assert_eq!(s.iter().map(|w| w.0).collect::<Vec<_>>(), vec![1, 3, 5]);
     }
 
     #[test]

@@ -87,7 +87,6 @@ fn main() {
         );
     }
 
-
     let outcome = plan_and_simulate(
         &WrhtParams::auto(n, cfg.wavelengths),
         &cfg.optical(n),

@@ -22,7 +22,10 @@ fn main() {
     let outcome = plan_and_simulate(&params, &config, gradient_bytes)
         .expect("planning a paper-default ring cannot fail");
 
-    println!("Wrht all-reduce on {n} nodes, {} MB gradient", gradient_bytes >> 20);
+    println!(
+        "Wrht all-reduce on {n} nodes, {} MB gradient",
+        gradient_bytes >> 20
+    );
     println!("  chosen group size m . : {}", outcome.m);
     println!("  tree depth .......... : {}", outcome.plan.depth());
     println!("  communication steps . : {}", outcome.plan.step_count());

@@ -28,13 +28,12 @@ use wrht_bench::ablations::{
 };
 use wrht_bench::contention::{run_contention, Pattern};
 use wrht_bench::report::{
-    render_contention, render_fig2, render_fit, render_group_size, render_headline,
-    render_overlap, render_variants, render_wavelengths, to_json,
+    render_contention, render_fig2, render_fit, render_group_size, render_headline, render_overlap,
+    render_variants, render_wavelengths, to_json,
 };
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
 use wrht_core::steps::{
-    alltoall_wavelength_requirement, paper_step_count, surviving_reps,
-    tree_wavelength_requirement,
+    alltoall_wavelength_requirement, paper_step_count, surviving_reps, tree_wavelength_requirement,
 };
 use wrht_core::{build_plan, choose_group_size, WrhtParams};
 
@@ -184,13 +183,47 @@ fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
     let mut narrow = cfg.clone();
     narrow.wavelengths = w;
     let optical = narrow.optical(n);
-    let reports: Vec<_> = [Pattern::Permutation, Pattern::UniformRandom, Pattern::Incast]
-        .into_iter()
-        .map(|p| run_contention(&optical, p, 2 * n, 16 << 20, 2023))
-        .collect();
+    let reports: Vec<_> = [
+        Pattern::Permutation,
+        Pattern::UniformRandom,
+        Pattern::Incast,
+    ]
+    .into_iter()
+    .map(|p| run_contention(&optical, p, 2 * n, 16 << 20, 2023))
+    .collect();
     print!("{}", render_contention(&reports, n, w));
     println!();
     write_json(results, "contention.json", &to_json(&reports));
+}
+
+/// Dispatch one CLI command; returns `false` for unknown commands.
+fn run_command(cmd: &str, cfg: &ExperimentConfig, results: &Path) -> bool {
+    match cmd {
+        "fig2" => cmd_fig2(cfg, results),
+        "headline" => cmd_headline(cfg, results),
+        "steps" => cmd_steps(),
+        "wavelengths" => cmd_wavelengths(),
+        "ablation-m" => cmd_ablation_m(cfg, results),
+        "ablation-w" => cmd_ablation_w(cfg, results),
+        "ablation-fit" => cmd_ablation_fit(cfg, results),
+        "overlap" => cmd_overlap(cfg, results),
+        "variants" => cmd_variants(cfg, results),
+        "contention" => cmd_contention(cfg, results),
+        "all" => {
+            cmd_fig2(cfg, results);
+            println!();
+            cmd_steps();
+            cmd_wavelengths();
+            cmd_ablation_m(cfg, results);
+            cmd_ablation_w(cfg, results);
+            cmd_ablation_fit(cfg, results);
+            cmd_overlap(cfg, results);
+            cmd_variants(cfg, results);
+            cmd_contention(cfg, results);
+        }
+        _ => return false,
+    }
+    true
 }
 
 fn main() {
@@ -205,34 +238,57 @@ fn main() {
     } else {
         ExperimentConfig::default()
     };
-    let results = Path::new("results");
 
-    match cmd {
-        "fig2" => cmd_fig2(&cfg, results),
-        "headline" => cmd_headline(&cfg, results),
-        "steps" => cmd_steps(),
-        "wavelengths" => cmd_wavelengths(),
-        "ablation-m" => cmd_ablation_m(&cfg, results),
-        "ablation-w" => cmd_ablation_w(&cfg, results),
-        "ablation-fit" => cmd_ablation_fit(&cfg, results),
-        "overlap" => cmd_overlap(&cfg, results),
-        "variants" => cmd_variants(&cfg, results),
-        "contention" => cmd_contention(&cfg, results),
-        "all" => {
-            cmd_fig2(&cfg, results);
-            println!();
-            cmd_steps();
-            cmd_wavelengths();
-            cmd_ablation_m(&cfg, results);
-            cmd_ablation_w(&cfg, results);
-            cmd_ablation_fit(&cfg, results);
-            cmd_overlap(&cfg, results);
-            cmd_variants(&cfg, results);
-            cmd_contention(&cfg, results);
+    if !run_command(cmd, &cfg, Path::new("results")) {
+        eprintln!("unknown command '{cmd}'; see the binary docs for usage");
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A configuration far smaller than `--small`, for fast unit tests.
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            scales: vec![16, 32],
+            ..ExperimentConfig::default()
         }
-        other => {
-            eprintln!("unknown command '{other}'; see the binary docs for usage");
-            std::process::exit(2);
-        }
+    }
+
+    fn temp_results(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("repro-figures-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn headline_command_runs_and_writes_json_on_a_tiny_config() {
+        let results = temp_results("headline");
+        assert!(run_command("headline", &tiny_cfg(), &results));
+        let json = fs::read_to_string(results.join("headline.json"))
+            .expect("headline.json must be written");
+        assert!(json.contains("vs_oring_pct"));
+        let _ = fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn steps_and_wavelengths_commands_run_without_config() {
+        let results = temp_results("laws");
+        assert!(run_command("steps", &tiny_cfg(), &results));
+        assert!(run_command("wavelengths", &tiny_cfg(), &results));
+        let _ = fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn unknown_commands_are_rejected() {
+        let results = temp_results("unknown");
+        assert!(!run_command("not-a-command", &tiny_cfg(), &results));
+        assert!(
+            !results.exists(),
+            "rejected commands must not create output directories"
+        );
     }
 }

@@ -1,0 +1,29 @@
+//! # wrht — workspace facade
+//!
+//! Umbrella crate for the Wrht (Dai et al., PPoPP'23) reproduction: it
+//! re-exports the six member crates so downstream users can depend on one
+//! crate, and it hosts the cross-crate integration suites (`tests/`), the
+//! runnable `examples/` and the `repro-figures` binary.
+//!
+//! ```
+//! use wrht::core::prelude::*;
+//! use wrht::optical::OpticalConfig;
+//!
+//! let outcome = plan_and_simulate(
+//!     &WrhtParams::auto(16, 8),
+//!     &OpticalConfig::new(16, 8),
+//!     1 << 20,
+//! )
+//! .unwrap();
+//! assert!(outcome.simulated_time_s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use collectives;
+pub use dnn_models as models;
+pub use electrical_sim as electrical;
+pub use optical_sim as optical;
+pub use wrht_bench as bench;
+pub use wrht_core as core;

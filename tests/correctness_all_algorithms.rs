@@ -92,8 +92,7 @@ fn wrht_exact_paper_example_scales() {
         for m in [2usize, 4, 8] {
             let plan = build_plan(n, m, 64).unwrap();
             let sched = to_logical_schedule(&plan, 16);
-            verify_allreduce(&sched)
-                .unwrap_or_else(|e| panic!("n={n} m={m}: {e}"));
+            verify_allreduce(&sched).unwrap_or_else(|e| panic!("n={n} m={m}: {e}"));
         }
     }
 }

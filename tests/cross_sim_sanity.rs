@@ -63,10 +63,7 @@ fn electrical_ring_matches_closed_form() {
     let t = run_steps(&net, &steps, overhead).unwrap().total_time_s;
     let chunk = (elems / n * bpe) as f64;
     let expected = (2 * (n - 1)) as f64 * (overhead + 2.0 * lat + chunk / bw);
-    assert!(
-        (t - expected).abs() / expected < 1e-9,
-        "{t} vs {expected}"
-    );
+    assert!((t - expected).abs() / expected < 1e-9, "{t} vs {expected}");
 }
 
 /// Wrht's analytic cost model agrees with the stepped optical simulator to

@@ -50,8 +50,8 @@ fn fig2_cells_are_deterministic() {
 
 #[test]
 fn event_driven_runs_are_deterministic() {
-    use optical_sim::Transfer;
     use optical_sim::NodeId;
+    use optical_sim::Transfer;
     let cfg = OpticalConfig::new(16, 2);
     let mut sim = RingSimulator::new(cfg);
     let released: Vec<(f64, Transfer)> = (0..16)

@@ -10,38 +10,29 @@ use wrht_core::{plan_and_simulate, WrhtError, WrhtParams};
 fn optical_rejects_bad_configurations() {
     assert!(RingSimulator::try_new(OpticalConfig::new(1, 4)).is_err());
     assert!(RingSimulator::try_new(OpticalConfig::new(8, 0)).is_err());
-    assert!(RingSimulator::try_new(
-        OpticalConfig::new(8, 4).with_lambda_bandwidth(f64::NAN)
-    )
-    .is_err());
+    assert!(
+        RingSimulator::try_new(OpticalConfig::new(8, 4).with_lambda_bandwidth(f64::NAN)).is_err()
+    );
 }
 
 #[test]
 fn optical_rejects_bad_transfers_in_schedules() {
     let mut sim = RingSimulator::new(OpticalConfig::new(8, 4));
     // Node out of range.
-    let bad = StepSchedule::from_steps(vec![vec![Transfer::shortest(
-        NodeId(0),
-        NodeId(99),
-        10,
-    )]]);
+    let bad = StepSchedule::from_steps(vec![vec![Transfer::shortest(NodeId(0), NodeId(99), 10)]]);
     assert!(matches!(
         sim.run_stepped(&bad, Strategy::FirstFit),
         Err(OpticalError::NodeOutOfRange { .. })
     ));
     // Self transfer.
-    let bad = StepSchedule::from_steps(vec![vec![Transfer::shortest(
-        NodeId(3),
-        NodeId(3),
-        10,
-    )]]);
+    let bad = StepSchedule::from_steps(vec![vec![Transfer::shortest(NodeId(3), NodeId(3), 10)]]);
     assert!(matches!(
         sim.run_stepped(&bad, Strategy::FirstFit),
         Err(OpticalError::SelfTransfer(_))
     ));
     // Zero lanes.
     let bad = StepSchedule::from_steps(vec![vec![
-        Transfer::shortest(NodeId(0), NodeId(1), 10).with_lanes(0),
+        Transfer::shortest(NodeId(0), NodeId(1), 10).with_lanes(0)
     ]]);
     assert!(matches!(
         sim.run_stepped(&bad, Strategy::FirstFit),
@@ -49,14 +40,7 @@ fn optical_rejects_bad_transfers_in_schedules() {
     ));
     // Wavelength exhaustion (nested senders exceed the budget).
     let nested: Vec<Transfer> = (0..6)
-        .map(|i| {
-            Transfer::directed(
-                NodeId(i),
-                NodeId(6),
-                10,
-                optical_sim::Direction::Clockwise,
-            )
-        })
+        .map(|i| Transfer::directed(NodeId(i), NodeId(6), 10, optical_sim::Direction::Clockwise))
         .collect();
     assert!(matches!(
         sim.run_stepped(&StepSchedule::from_steps(vec![nested]), Strategy::FirstFit),

@@ -20,13 +20,18 @@ fn check_survivor_allreduce(ring_n: usize, survivors: &[usize], m: usize, w: usi
         .collect();
     let outputs = execute(&sched, &inputs);
     for &s in survivors {
-        for i in 0..elems {
+        assert_eq!(
+            outputs[s].len(),
+            elems,
+            "survivor {s} buffer truncated (ring {ring_n}, m {m}, w {w})"
+        );
+        for (i, &got) in outputs[s].iter().enumerate() {
             let want: f64 = survivors
                 .iter()
                 .map(|&node| (node * elems + i + 1) as f64)
                 .sum();
             assert_eq!(
-                outputs[s][i], want,
+                got, want,
                 "survivor {s} elem {i} (ring {ring_n}, m {m}, w {w})"
             );
         }
@@ -34,7 +39,10 @@ fn check_survivor_allreduce(ring_n: usize, survivors: &[usize], m: usize, w: usi
     // Failed nodes keep their original buffers (nothing writes to them).
     for node in 0..ring_n {
         if !survivors.contains(&node) {
-            assert_eq!(outputs[node], inputs[node], "failed node {node} was touched");
+            assert_eq!(
+                outputs[node], inputs[node],
+                "failed node {node} was touched"
+            );
         }
     }
 }

@@ -43,8 +43,7 @@ fn starved_budget_rejects_long_arcs_only() {
     let plan = build_plan(n, 8, 64).unwrap();
     let sched = to_optical_schedule(&plan, 1 << 20);
     // Level 0 transfers span at most floor(8/2) = 4 hops: fine.
-    let first_level =
-        optical_sim::StepSchedule::from_steps(vec![sched.steps()[0].clone()]);
+    let first_level = optical_sim::StepSchedule::from_steps(vec![sched.steps()[0].clone()]);
     tight.validate_schedule(&topo, &first_level).unwrap();
     // The full schedule contains longer arcs and must fail.
     assert!(tight.validate_schedule(&topo, &sched).is_err());
@@ -70,12 +69,7 @@ fn wrht_schedule_analysis_signature() {
     assert!(a.send_imbalance() > 1.5);
 
     // Leaves are active in exactly two steps (their reduce + broadcast).
-    let leaf_active = a
-        .active_steps_per_node
-        .iter()
-        .copied()
-        .min()
-        .unwrap();
+    let leaf_active = a.active_steps_per_node.iter().copied().min().unwrap();
     assert_eq!(leaf_active, 2);
 }
 

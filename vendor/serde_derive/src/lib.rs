@@ -1,0 +1,444 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the stand-in
+//! `serde` crate.
+//!
+//! Supports non-generic structs (named, tuple, unit) and enums (unit, tuple
+//! and struct variants), which covers every derived type in this workspace.
+//! The token stream is parsed by hand because `syn`/`quote` are unavailable
+//! in the offline build environment.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: TokenStream) -> Self {
+        Parser {
+            tokens: input.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]`, `#![...]` attributes and doc comments.
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Punct(p)) = self.peek() {
+                        if p.as_char() == '!' {
+                            self.pos += 1;
+                        }
+                    }
+                    // The bracketed attribute body.
+                    if let Some(TokenTree::Group(_)) = self.peek() {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+/// Split a token sequence on top-level commas. "Top level" accounts for
+/// angle-bracket depth (`Vec<(A, B)>` styles) — groups are single tokens so
+/// only `<`/`>` puncts need tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle: i32 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parse one field-or-variant segment's leading name (after attrs + vis).
+fn segment_leading_ident(seg: &[TokenTree]) -> Option<(String, usize)> {
+    let mut p = Parser {
+        tokens: seg.to_vec(),
+        pos: 0,
+    };
+    p.skip_attributes();
+    p.skip_visibility();
+    let start = p.pos;
+    match p.next() {
+        Some(TokenTree::Ident(id)) => Some((id.to_string(), start)),
+        _ => None,
+    }
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for seg in split_top_level_commas(group_tokens) {
+        if seg.is_empty() {
+            continue;
+        }
+        let (name, _) =
+            segment_leading_ident(&seg).ok_or_else(|| "expected field name".to_string())?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(group_tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(group_tokens)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(group_tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for seg in split_top_level_commas(group_tokens) {
+        if seg.is_empty() {
+            continue;
+        }
+        let mut p = Parser {
+            tokens: seg,
+            pos: 0,
+        };
+        p.skip_attributes();
+        let name = p.expect_ident()?;
+        let fields = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantFields::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantFields::Named(parse_named_fields(&inner)?)
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Kind), String> {
+    let mut p = Parser::new(input);
+    p.skip_attributes();
+    p.skip_visibility();
+    let keyword = p.expect_ident()?;
+    let name = p.expect_ident()?;
+    if let Some(TokenTree::Punct(pu)) = p.peek() {
+        if pu.as_char() == '<' {
+            return Err(format!(
+                "derive on generic type `{name}` is not supported by the vendored serde"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Kind::NamedStruct(parse_named_fields(&inner)?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Kind::TupleStruct(count_tuple_fields(&inner))))
+            }
+            Some(TokenTree::Punct(pu)) if pu.as_char() == ';' => Ok((name, Kind::UnitStruct)),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok((name, Kind::Enum(parse_variants(&inner)?)))
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = match parse_item(input) {
+        Ok(x) => x,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                              ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                  ::serde::Value::Seq(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                  ::serde::Value::Map(::std::vec![{}]))])",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, kind) = match parse_item(input) {
+        Ok(x) => x,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__m, {f:?})?"))
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__s.get({i}).ok_or_else(|| \
+                         ::serde::DeError::custom(\"tuple too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__s.get({i})\
+                                         .ok_or_else(|| ::serde::DeError::custom(\
+                                         \"tuple variant too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({})) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(__mm, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __mm = __inner.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     return match __s {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }};\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(__m) = __v.as_map() {{\n\
+                     if __m.len() == 1 {{\n\
+                         let (__k, __inner) = &__m[0];\n\
+                         return match __k.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }};\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"expected enum representation for `{name}`\"))",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
