@@ -8,11 +8,11 @@
 //! * [`overlap_study`] — the layer-wise bucketed all-reduce extension with
 //!   compute/communication overlap.
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, SubstrateKind};
 use dnn_models::bucket::bucketize;
 use dnn_models::training::{simulate_iteration, IterationModel};
 use dnn_models::Model;
-use optical_sim::{RingSimulator, Strategy};
+use optical_sim::Strategy;
 use serde::{Deserialize, Serialize};
 use wrht_core::baselines::oring_schedule;
 use wrht_core::cost::predict_time_s;
@@ -44,14 +44,14 @@ pub fn group_size_sweep(
     group_sizes: &[usize],
 ) -> Vec<GroupSizePoint> {
     let optical = cfg.optical(n);
+    let mut substrate = cfg.substrate(SubstrateKind::Optical, n, Strategy::FirstFit);
     group_sizes
         .iter()
         .filter_map(|&m| {
             let plan = build_plan(n, m, cfg.wavelengths).ok()?;
             let predicted = predict_time_s(&plan, &optical, bytes);
             let sched = to_optical_schedule(&plan, bytes);
-            let mut sim = RingSimulator::new(optical.clone());
-            let report = sim.run_stepped(&sched, Strategy::FirstFit).ok()?;
+            let report = substrate.execute(&sched).ok()?;
             Some(GroupSizePoint {
                 m,
                 predicted_s: predicted.total_s(),
@@ -91,12 +91,9 @@ pub fn wavelength_sweep(
             local.wavelengths = w;
             let optical = local.optical(n);
             let wrht = plan_and_simulate(&WrhtParams::auto(n, w), &optical, bytes).ok()?;
-            let mut sim = RingSimulator::new(optical);
-            let o_ring = sim
-                .run_stepped(
-                    &oring_schedule(n, elems, cfg.bytes_per_elem),
-                    Strategy::FirstFit,
-                )
+            let mut substrate = local.substrate(SubstrateKind::Optical, n, Strategy::FirstFit);
+            let o_ring = substrate
+                .execute(&oring_schedule(n, elems, cfg.bytes_per_elem))
                 .ok()?;
             Some(WavelengthPoint {
                 w,
@@ -130,18 +127,19 @@ pub fn rwa_strategy_compare(cfg: &ExperimentConfig, n: usize, bytes: u64) -> Fit
     let (m, plan, _) = choose_group_size(&WrhtParams::auto(n, cfg.wavelengths), &optical, bytes)
         .expect("feasible plan");
     let sched = to_optical_schedule(&plan, bytes);
-    let mut sim = RingSimulator::new(optical);
-    let ff = sim
-        .run_stepped(&sched, Strategy::FirstFit)
+    let ff = cfg
+        .substrate(SubstrateKind::Optical, n, Strategy::FirstFit)
+        .execute(&sched)
         .expect("first-fit run");
-    let bf = sim
-        .run_stepped(&sched, Strategy::BestFit)
+    let bf = cfg
+        .substrate(SubstrateKind::Optical, n, Strategy::BestFit)
+        .execute(&sched)
         .expect("best-fit run");
     FitCompare {
         first_fit_s: ff.total_time_s,
         best_fit_s: bf.total_time_s,
-        first_fit_peak: ff.stats.peak_wavelengths(),
-        best_fit_peak: bf.stats.peak_wavelengths(),
+        first_fit_peak: ff.peak_wavelengths(),
+        best_fit_peak: bf.peak_wavelengths(),
         m,
     }
 }
@@ -223,12 +221,13 @@ pub fn variant_study(cfg: &ExperimentConfig, model: &Model, n: usize) -> Variant
     let plus_params = WrhtParams::auto(n, w).with_stop_policy(StopPolicy::BestDepth);
     let plus = plan_and_simulate(&plus_params, &optical, bytes).expect("best-depth plan");
 
-    let mut sim = RingSimulator::new(optical.clone());
-    let mc = sim
-        .run_stepped(
-            &to_optical_schedule_with(&plus.plan, bytes, BroadcastMode::Multicast),
-            Strategy::FirstFit,
-        )
+    let mc = cfg
+        .substrate(SubstrateKind::Optical, n, Strategy::FirstFit)
+        .execute(&to_optical_schedule_with(
+            &plus.plan,
+            bytes,
+            BroadcastMode::Multicast,
+        ))
         .expect("multicast lowering fits");
 
     let seg = optimal_segments(&plus.plan, &optical, bytes, 32);

@@ -1,0 +1,882 @@
+//! The parallel campaign-sweep engine.
+//!
+//! A *campaign* is a declarative grid of experiment cells — node count ×
+//! wavelength budget × DNN model × algorithm × RWA strategy × substrate —
+//! executed through the unified [`Substrate`] API:
+//!
+//! * every cell is identified by a stable FNV-1a **config hash** and seeded
+//!   deterministically from `campaign seed ⊕ cell hash`;
+//! * cells fan out over [`std::thread::scope`] workers pulling chunks from a
+//!   shared atomic cursor (chunked work-stealing), yet the collected result
+//!   vector is ordered by grid position, so a parallel run serializes
+//!   byte-identically to a serial one;
+//! * an optional **sink** directory receives one JSON file per finished
+//!   cell (keyed by the config hash) plus combined JSON/CSV tables;
+//!   interrupted campaigns resume by reloading finished cells from the sink
+//!   instead of recomputing them;
+//! * infeasible cells (e.g. Wrht under a starved wavelength budget) record
+//!   their error string instead of aborting the sweep.
+//!
+//! ```
+//! use wrht_bench::campaign::{run_campaign, Algorithm, CampaignSpec};
+//! use wrht_bench::config::{ExperimentConfig, SubstrateKind};
+//!
+//! let spec = CampaignSpec::grid(
+//!     "doc",
+//!     ExperimentConfig::small(),
+//!     &[("tiny", 1 << 20)],
+//!     &[8],
+//!     &[4],
+//!     &[Algorithm::Ring],
+//!     &[SubstrateKind::Optical, SubstrateKind::Electrical],
+//! );
+//! let report = run_campaign(&spec, 1, None);
+//! assert_eq!(report.results.len(), 2);
+//! assert!(report.results.iter().all(|r| r.error.is_none()));
+//! ```
+
+use crate::config::{ExperimentConfig, SubstrateKind};
+use crate::fig2::{Fig2Row, Fig2Series};
+use crate::report::to_json;
+use collectives::halving_doubling::halving_doubling;
+use collectives::rd::recursive_doubling;
+use collectives::ring::ring_allreduce;
+use collectives::tree::binomial_tree;
+use dnn_models::Model;
+use optical_sim::Strategy;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wrht_core::baselines::lower_collective_to_optical;
+use wrht_core::lower::to_optical_schedule;
+use wrht_core::{build_plan, choose_group_size, plan_and_simulate, WrhtParams};
+
+/// The collective algorithm a cell times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Patarasuk–Yuan ring all-reduce (E-Ring electrically, O-Ring optically).
+    Ring,
+    /// Recursive doubling.
+    RecursiveDoubling,
+    /// Rabenseifner halving-doubling.
+    HalvingDoubling,
+    /// Binomial tree reduce + broadcast.
+    Tree,
+    /// The paper's wavelength-reused hierarchical tree.
+    Wrht,
+}
+
+impl Algorithm {
+    /// Stable lowercase label used in hashes and CSV rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Ring => "ring",
+            Algorithm::RecursiveDoubling => "rd",
+            Algorithm::HalvingDoubling => "hd",
+            Algorithm::Tree => "tree",
+            Algorithm::Wrht => "wrht",
+        }
+    }
+}
+
+/// One grid point of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellConfig {
+    /// Fabric that executes the workload.
+    pub substrate: SubstrateKind,
+    /// Collective algorithm under test.
+    pub algorithm: Algorithm,
+    /// Workload label (DNN model name).
+    pub model: String,
+    /// Payload bytes per all-reduce.
+    pub gradient_bytes: u64,
+    /// Node count.
+    pub n: usize,
+    /// Wavelength budget (optical; recorded but unused electrically).
+    pub wavelengths: usize,
+    /// RWA strategy (optical; ignored electrically).
+    pub strategy: Strategy,
+    /// Fixed Wrht group size; `None` lets the optimizer choose.
+    pub group_size: Option<usize>,
+}
+
+/// Result of one executed (or failed) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The cell's configuration.
+    pub cell: CellConfig,
+    /// FNV-1a hash of the configuration (the sink key).
+    pub config_hash: u64,
+    /// Deterministic per-cell seed: campaign seed ⊕ config hash.
+    pub seed: u64,
+    /// Simulated communication time, seconds (0 when `error` is set).
+    pub time_s: f64,
+    /// Executed step count.
+    pub steps: usize,
+    /// Total payload bytes moved.
+    pub total_bytes: u64,
+    /// Peak wavelength footprint (0 electrically).
+    pub peak_wavelengths: usize,
+    /// Group size Wrht used (0 for other algorithms).
+    pub wrht_m: usize,
+    /// Error string for infeasible cells.
+    pub error: Option<String>,
+}
+
+/// A declarative campaign: shared physical constants plus a cell list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (names the combined sink files).
+    pub name: String,
+    /// Physical constants shared by every cell.
+    pub base: ExperimentConfig,
+    /// Campaign-level seed, mixed into every cell seed.
+    pub seed: u64,
+    /// The cells, in grid order.
+    pub cells: Vec<CellConfig>,
+}
+
+impl CampaignSpec {
+    /// Expand a full cross-product grid in deterministic nested order
+    /// (model → n → wavelengths → algorithm → substrate).
+    #[must_use]
+    pub fn grid(
+        name: &str,
+        base: ExperimentConfig,
+        models: &[(&str, u64)],
+        nodes: &[usize],
+        wavelengths: &[usize],
+        algorithms: &[Algorithm],
+        substrates: &[SubstrateKind],
+    ) -> Self {
+        let mut cells = Vec::new();
+        for &(model, gradient_bytes) in models {
+            for &n in nodes {
+                for &w in wavelengths {
+                    for &algorithm in algorithms {
+                        for &substrate in substrates {
+                            cells.push(CellConfig {
+                                substrate,
+                                algorithm,
+                                model: model.to_string(),
+                                gradient_bytes,
+                                n,
+                                wavelengths: w,
+                                strategy: Strategy::FirstFit,
+                                group_size: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            base,
+            seed: 0,
+            cells,
+        }
+    }
+}
+
+/// Executed campaign: results in the same order as `spec.cells`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// One result per cell, in grid order.
+    pub results: Vec<CellResult>,
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable FNV-1a hash of a cell configuration (over its compact JSON
+/// rendering, which is deterministic for this plain-data type).
+#[must_use]
+pub fn config_hash(cell: &CellConfig) -> u64 {
+    fnv1a(&serde_json::to_string(cell).expect("cell configs serialize"))
+}
+
+/// Hash of the campaign-wide context — the shared physical constants and
+/// the campaign seed. Mixed into every sink key so that cells computed
+/// under different physics (or a different seed) are never reused on
+/// resume.
+fn context_hash(spec: &CampaignSpec) -> u64 {
+    let base = serde_json::to_string(&spec.base).expect("experiment configs serialize");
+    fnv1a(&format!("{base}#{}", spec.seed))
+}
+
+/// Execute one cell against the campaign's physical constants.
+#[must_use]
+pub fn run_cell(base: &ExperimentConfig, seed: u64, cell: &CellConfig) -> CellResult {
+    let hash = config_hash(cell);
+    let mut result = CellResult {
+        cell: cell.clone(),
+        config_hash: hash,
+        seed: seed ^ hash,
+        time_s: 0.0,
+        steps: 0,
+        total_bytes: 0,
+        peak_wavelengths: 0,
+        wrht_m: 0,
+        error: None,
+    };
+
+    // Cell-local constants: the cell's wavelength budget overrides the base.
+    let mut local = base.clone();
+    local.wavelengths = cell.wavelengths;
+
+    let outcome = match cell.algorithm {
+        Algorithm::Wrht => match cell.substrate {
+            // Plan and execute on the stepped optical substrate.
+            SubstrateKind::Optical => {
+                let params = match cell.group_size {
+                    Some(m) => WrhtParams::fixed(cell.n, cell.wavelengths, m),
+                    None => WrhtParams::auto(cell.n, cell.wavelengths),
+                };
+                plan_and_simulate(&params, &local.optical(cell.n), cell.gradient_bytes).map(
+                    |planned| {
+                        result.wrht_m = planned.m;
+                        planned.report
+                    },
+                )
+            }
+            // Plan against the optical cost model (no optical simulation),
+            // then execute the lowered schedule on the electrical fabric.
+            SubstrateKind::Electrical => {
+                let plan = match cell.group_size {
+                    Some(m) => build_plan(cell.n, m, cell.wavelengths),
+                    None => choose_group_size(
+                        &WrhtParams::auto(cell.n, cell.wavelengths),
+                        &local.optical(cell.n),
+                        cell.gradient_bytes,
+                    )
+                    .map(|(_, plan, _)| plan),
+                };
+                plan.and_then(|plan| {
+                    result.wrht_m = plan.m;
+                    local
+                        .try_substrate(cell.substrate, cell.n, cell.strategy)?
+                        .execute(&to_optical_schedule(&plan, cell.gradient_bytes))
+                })
+            }
+        },
+        logical => {
+            let elems = (cell.gradient_bytes as usize).div_ceil(local.bytes_per_elem);
+            let schedule = match logical {
+                Algorithm::Ring => ring_allreduce(cell.n, elems),
+                Algorithm::RecursiveDoubling => recursive_doubling(cell.n, elems),
+                Algorithm::HalvingDoubling => halving_doubling(cell.n, elems),
+                Algorithm::Tree => binomial_tree(cell.n, elems),
+                Algorithm::Wrht => unreachable!("handled above"),
+            };
+            let lowered = lower_collective_to_optical(&schedule, local.bytes_per_elem, 1);
+            local
+                .try_substrate(cell.substrate, cell.n, cell.strategy)
+                .and_then(|mut substrate| substrate.execute(&lowered))
+        }
+    };
+
+    match outcome {
+        Ok(report) => {
+            result.time_s = report.total_time_s;
+            result.steps = report.step_count();
+            result.total_bytes = report.total_bytes();
+            result.peak_wavelengths = report.peak_wavelengths();
+        }
+        Err(e) => result.error = Some(e.to_string()),
+    }
+    result
+}
+
+fn cell_file(sink: &Path, hash: u64) -> std::path::PathBuf {
+    sink.join(format!("cell-{hash:016x}.json"))
+}
+
+/// Load a previously finished cell from the sink, if present and readable.
+/// The sink `key` already encodes the campaign context, so a file produced
+/// under different physical constants lives under a different name; the
+/// config and seed comparisons additionally reject collisions and stale
+/// hand-edited files.
+fn load_finished(sink: &Path, cell: &CellConfig, key: u64, seed: u64) -> Option<CellResult> {
+    let text = fs::read_to_string(cell_file(sink, key)).ok()?;
+    let parsed: CellResult = serde_json::from_str(&text).ok()?;
+    (parsed.cell == *cell && parsed.config_hash == config_hash(cell) && parsed.seed == seed)
+        .then_some(parsed)
+}
+
+/// Run a campaign over `threads` workers with chunked work-stealing.
+///
+/// Passing a `sink` directory enables incremental persistence and resume:
+/// each finished cell lands in `cell-<hash>.json`, and cells whose file
+/// already exists are reloaded instead of recomputed. The returned results
+/// are in grid order regardless of thread interleaving, so
+/// `run_campaign(spec, 1, None)` and `run_campaign(spec, 8, None)` produce
+/// byte-identical JSON.
+#[must_use]
+pub fn run_campaign(spec: &CampaignSpec, threads: usize, sink: Option<&Path>) -> CampaignReport {
+    if let Some(dir) = sink {
+        let _ = fs::create_dir_all(dir);
+    }
+
+    // Sink keys mix the per-cell hash with the campaign context so resumes
+    // never reuse cells computed under different physics or seed.
+    let ctx = context_hash(spec);
+    let keys: Vec<u64> = spec.cells.iter().map(|c| config_hash(c) ^ ctx).collect();
+    let mut prefilled: Vec<Option<CellResult>> = vec![None; spec.cells.len()];
+
+    // Resume: reuse every cell the sink already holds.
+    let mut todo: Vec<usize> = Vec::new();
+    for (i, cell) in spec.cells.iter().enumerate() {
+        let expected_seed = spec.seed ^ config_hash(cell);
+        match sink.and_then(|dir| load_finished(dir, cell, keys[i], expected_seed)) {
+            Some(done) => prefilled[i] = Some(done),
+            None => todo.push(i),
+        }
+    }
+
+    let workers = threads.max(1).min(todo.len().max(1));
+    let chunk = todo.len().div_ceil(workers * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots = Mutex::new(prefilled);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= todo.len() {
+                    return;
+                }
+                let indices = &todo[start..todo.len().min(start + chunk)];
+                let batch: Vec<(usize, CellResult)> = indices
+                    .iter()
+                    .map(|&i| (i, run_cell(&spec.base, spec.seed, &spec.cells[i])))
+                    .collect();
+                if let Some(dir) = sink {
+                    for (i, result) in &batch {
+                        let _ = fs::write(cell_file(dir, keys[*i]), to_json(result));
+                    }
+                }
+                let mut guard = slots.lock().expect("campaign result lock");
+                for (i, result) in batch {
+                    guard[i] = Some(result);
+                }
+            });
+        }
+    });
+
+    let report = CampaignReport {
+        name: spec.name.clone(),
+        results: slots
+            .into_inner()
+            .expect("campaign result lock")
+            .into_iter()
+            .map(|slot| slot.expect("every cell executed"))
+            .collect(),
+    };
+    if let Some(dir) = sink {
+        let _ = fs::write(dir.join(format!("{}.json", spec.name)), to_json(&report));
+        let _ = fs::write(dir.join(format!("{}.csv", spec.name)), to_csv(&report));
+    }
+    report
+}
+
+/// Quote a CSV field when it contains a delimiter, quote or newline
+/// (error strings routinely contain commas).
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Render a campaign as CSV (stable column order, grid row order).
+#[must_use]
+pub fn to_csv(report: &CampaignReport) -> String {
+    let mut out = String::from(
+        "substrate,algorithm,model,n,wavelengths,strategy,group_size,\
+         gradient_bytes,seed,time_s,steps,total_bytes,peak_wavelengths,wrht_m,error\n",
+    );
+    for r in &report.results {
+        let c = &r.cell;
+        out.push_str(&format!(
+            "{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{}\n",
+            c.substrate.label(),
+            c.algorithm.label(),
+            csv_field(&c.model),
+            c.n,
+            c.wavelengths,
+            c.strategy,
+            c.group_size
+                .map_or_else(|| "auto".into(), |m| m.to_string()),
+            c.gradient_bytes,
+            r.seed,
+            r.time_s,
+            r.steps,
+            r.total_bytes,
+            r.peak_wavelengths,
+            r.wrht_m,
+            csv_field(r.error.as_deref().unwrap_or("")),
+        ));
+    }
+    out
+}
+
+/// Find one finished Figure-2-grid cell by coordinates. The wavelength
+/// budget, First-Fit strategy and auto group size are part of the match so
+/// ablation cells (fixed m, Best Fit, swept budgets) can never be mistaken
+/// for grid cells.
+fn lookup<'a>(
+    results: &'a [CellResult],
+    model: &str,
+    n: usize,
+    wavelengths: usize,
+    algorithm: Algorithm,
+    substrate: SubstrateKind,
+) -> Option<&'a CellResult> {
+    results.iter().find(|r| {
+        r.cell.model == model
+            && r.cell.n == n
+            && r.cell.wavelengths == wavelengths
+            && r.cell.algorithm == algorithm
+            && r.cell.substrate == substrate
+            && r.cell.strategy == Strategy::FirstFit
+            && r.cell.group_size.is_none()
+            && r.error.is_none()
+    })
+}
+
+/// Reassemble Figure-2 series from campaign cells: E-Ring and RD are the
+/// electrical ring/RD cells, O-Ring the optical ring cell, WRHT the optical
+/// Wrht cell, all at the grid's `wavelengths` budget. Models or scales with
+/// missing/failed cells are skipped.
+#[must_use]
+pub fn fig2_from_campaign(
+    results: &[CellResult],
+    models: &[(&str, u64)],
+    scales: &[usize],
+    wavelengths: usize,
+) -> Vec<Fig2Series> {
+    let mut out = Vec::new();
+    for &(model, gradient_bytes) in models {
+        let mut rows = Vec::new();
+        for &n in scales {
+            let (Some(e_ring), Some(rd), Some(o_ring), Some(wrht)) = (
+                lookup(
+                    results,
+                    model,
+                    n,
+                    wavelengths,
+                    Algorithm::Ring,
+                    SubstrateKind::Electrical,
+                ),
+                lookup(
+                    results,
+                    model,
+                    n,
+                    wavelengths,
+                    Algorithm::RecursiveDoubling,
+                    SubstrateKind::Electrical,
+                ),
+                lookup(
+                    results,
+                    model,
+                    n,
+                    wavelengths,
+                    Algorithm::Ring,
+                    SubstrateKind::Optical,
+                ),
+                lookup(
+                    results,
+                    model,
+                    n,
+                    wavelengths,
+                    Algorithm::Wrht,
+                    SubstrateKind::Optical,
+                ),
+            ) else {
+                continue;
+            };
+            rows.push(Fig2Row {
+                n,
+                e_ring_s: e_ring.time_s,
+                rd_s: rd.time_s,
+                o_ring_s: o_ring.time_s,
+                wrht_s: wrht.time_s,
+                wrht_m: wrht.wrht_m,
+                wrht_steps: wrht.steps,
+            });
+        }
+        if !rows.is_empty() {
+            out.push(Fig2Series {
+                model: model.to_string(),
+                gradient_bytes,
+                rows,
+            });
+        }
+    }
+    out
+}
+
+/// The full reproduction sweep as **one campaign**: the Figure-2 grid on
+/// both substrates (every algorithm × model × scale), the group-size
+/// ablation, the wavelength-budget ablation and the RWA-strategy ablation.
+#[must_use]
+pub fn sweep_spec(cfg: &ExperimentConfig, models: &[Model], seed: u64) -> CampaignSpec {
+    let named: Vec<(&str, u64)> = models
+        .iter()
+        .map(|m| (m.name.as_str(), m.gradient_bytes()))
+        .collect();
+    let algorithms = [
+        Algorithm::Ring,
+        Algorithm::RecursiveDoubling,
+        Algorithm::HalvingDoubling,
+        Algorithm::Tree,
+        Algorithm::Wrht,
+    ];
+    let substrates = [SubstrateKind::Electrical, SubstrateKind::Optical];
+
+    // Figure-2 grid (both substrates, all algorithms).
+    let mut spec = CampaignSpec::grid(
+        "sweep",
+        cfg.clone(),
+        &named,
+        &cfg.scales,
+        &[cfg.wavelengths],
+        &algorithms,
+        &substrates,
+    );
+    spec.seed = seed;
+
+    let n_large = *cfg.scales.last().expect("scales non-empty");
+    let n_mid = cfg.scales[cfg.scales.len() / 2];
+
+    // Group-size ablation: fixed m for the first model at the largest scale.
+    if let Some(&(model, bytes)) = named.first() {
+        for m in [2usize, 4, 8, 16, 32] {
+            spec.cells.push(CellConfig {
+                substrate: SubstrateKind::Optical,
+                algorithm: Algorithm::Wrht,
+                model: model.to_string(),
+                gradient_bytes: bytes,
+                n: n_large,
+                wavelengths: cfg.wavelengths,
+                strategy: Strategy::FirstFit,
+                group_size: Some(m),
+            });
+        }
+
+        // Wavelength-budget ablation: Wrht and O-Ring across budgets.
+        for w in [1usize, 2, 4, 8, 16, 32, 64] {
+            for algorithm in [Algorithm::Wrht, Algorithm::Ring] {
+                spec.cells.push(CellConfig {
+                    substrate: SubstrateKind::Optical,
+                    algorithm,
+                    model: model.to_string(),
+                    gradient_bytes: bytes,
+                    n: n_mid,
+                    wavelengths: w,
+                    strategy: Strategy::FirstFit,
+                    group_size: None,
+                });
+            }
+        }
+    }
+
+    // RWA-strategy ablation: Best Fit cells for every model (First Fit is
+    // already covered by the Figure-2 grid).
+    for &(model, bytes) in &named {
+        spec.cells.push(CellConfig {
+            substrate: SubstrateKind::Optical,
+            algorithm: Algorithm::Wrht,
+            model: model.to_string(),
+            gradient_bytes: bytes,
+            n: n_large,
+            wavelengths: cfg.wavelengths,
+            strategy: Strategy::BestFit,
+            group_size: None,
+        });
+    }
+
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            scales: vec![8, 16],
+            ..ExperimentConfig::default()
+        }
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::grid(
+            "tiny",
+            tiny_cfg(),
+            &[("toy", 1 << 20)],
+            &[8, 16],
+            &[64],
+            &[
+                Algorithm::Ring,
+                Algorithm::RecursiveDoubling,
+                Algorithm::Wrht,
+            ],
+            &[SubstrateKind::Electrical, SubstrateKind::Optical],
+        );
+        spec.seed = 7;
+        spec
+    }
+
+    #[test]
+    fn grid_expansion_is_a_cross_product_in_stable_order() {
+        // Nested order: model → n → w → algorithm → substrate.
+        let spec = tiny_spec();
+        assert_eq!(spec.cells.len(), 2 * 3 * 2);
+        assert_eq!(spec.cells[0].substrate, SubstrateKind::Electrical);
+        assert_eq!(spec.cells[1].substrate, SubstrateKind::Optical);
+        assert_eq!(spec.cells[0].n, 8);
+        assert_eq!(spec.cells.last().unwrap().n, 16);
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_distinguishes_cells() {
+        let spec = tiny_spec();
+        let h0 = config_hash(&spec.cells[0]);
+        assert_eq!(h0, config_hash(&spec.cells[0]));
+        let mut seen: Vec<u64> = spec.cells.iter().map(config_hash).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), spec.cells.len(), "hash collision in tiny grid");
+    }
+
+    #[test]
+    fn cells_execute_on_both_substrates_and_seed_is_derived() {
+        let spec = tiny_spec();
+        let report = run_campaign(&spec, 1, None);
+        assert_eq!(report.results.len(), spec.cells.len());
+        for r in &report.results {
+            assert!(r.error.is_none(), "{:?}: {:?}", r.cell, r.error);
+            assert!(r.time_s > 0.0);
+            assert_eq!(r.seed, spec.seed ^ r.config_hash);
+            match r.cell.substrate {
+                SubstrateKind::Optical => assert!(r.peak_wavelengths >= 1),
+                SubstrateKind::Electrical => assert_eq!(r.peak_wavelengths, 0),
+            }
+            if r.cell.algorithm == Algorithm::Wrht {
+                assert!(r.wrht_m >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_cells_record_errors_instead_of_panicking() {
+        let cell = CellConfig {
+            substrate: SubstrateKind::Optical,
+            algorithm: Algorithm::Wrht,
+            model: "toy".into(),
+            gradient_bytes: 1 << 20,
+            n: 64,
+            wavelengths: 2,
+            strategy: Strategy::FirstFit,
+            group_size: Some(63), // needs 31 wavelengths, only 2 available
+        };
+        let r = run_cell(&tiny_cfg(), 0, &cell);
+        assert!(r.error.is_some());
+        assert_eq!(r.time_s, 0.0);
+    }
+
+    #[test]
+    fn invalid_substrate_parameters_record_errors_instead_of_panicking() {
+        // A zero wavelength budget makes the optical config itself invalid;
+        // the cell must fail soft, not tear down the worker.
+        for algorithm in [Algorithm::Ring, Algorithm::Wrht] {
+            let cell = CellConfig {
+                substrate: SubstrateKind::Optical,
+                algorithm,
+                model: "toy".into(),
+                gradient_bytes: 1 << 20,
+                n: 8,
+                wavelengths: 0,
+                strategy: Strategy::FirstFit,
+                group_size: None,
+            };
+            let r = run_cell(&tiny_cfg(), 0, &cell);
+            assert!(r.error.is_some(), "{algorithm:?} must record an error");
+        }
+    }
+
+    #[test]
+    fn csv_escapes_fields_containing_delimiters() {
+        let mut r = run_cell(&tiny_cfg(), 0, &tiny_spec().cells[0]);
+        r.error = Some("step 3: could not place, only 2 available".into());
+        r.cell.model = "net \"v2\", large".into();
+        let csv = to_csv(&CampaignReport {
+            name: "t".into(),
+            results: vec![r],
+        });
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert!(csv.contains("\"step 3: could not place, only 2 available\""));
+        assert!(csv.contains("\"net \"\"v2\"\", large\""));
+        // Quote-aware split: the quoted commas must not add columns.
+        let row = csv.lines().nth(1).unwrap();
+        let mut cols = 1;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => cols += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(cols, header_cols);
+    }
+
+    #[test]
+    fn resume_ignores_cells_computed_under_different_physics() {
+        let dir = std::env::temp_dir().join(format!("wrht-campaign-phys-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spec = tiny_spec();
+        let first = run_campaign(&spec, 1, Some(&dir));
+
+        // Same cells, different physical constants: nothing may be reused.
+        let mut faster = spec.clone();
+        faster.base.lambda_bandwidth_bps *= 2.0;
+        let recomputed = run_campaign(&faster, 1, Some(&dir));
+        for (a, b) in first.results.iter().zip(&recomputed.results) {
+            if a.cell.substrate == SubstrateKind::Optical {
+                assert!(
+                    b.time_s < a.time_s,
+                    "{:?}: stale sink cell reused across a physics change",
+                    a.cell
+                );
+            }
+        }
+
+        // A different seed must also invalidate the sink (seeds are stamped
+        // into results, so reuse would break run determinism).
+        let mut reseeded = spec.clone();
+        reseeded.seed = spec.seed + 1;
+        let r = run_campaign(&reseeded, 1, Some(&dir));
+        for res in &r.results {
+            assert_eq!(res.seed, reseeded.seed ^ res.config_hash);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ablation_cells_never_leak_into_fig2_rows() {
+        // A grid whose Wrht fig2 cell is infeasible (w = 1 starves the
+        // tree) plus a feasible fixed-m "ablation" cell at a richer budget:
+        // fig2 reassembly must skip the row, not substitute the ablation.
+        let base = tiny_cfg();
+        let mut spec = CampaignSpec::grid(
+            "leak",
+            base,
+            &[("toy", 1 << 20)],
+            &[8],
+            &[1],
+            &[
+                Algorithm::Ring,
+                Algorithm::RecursiveDoubling,
+                Algorithm::Wrht,
+            ],
+            &[SubstrateKind::Electrical, SubstrateKind::Optical],
+        );
+        spec.cells.push(CellConfig {
+            substrate: SubstrateKind::Optical,
+            algorithm: Algorithm::Wrht,
+            model: "toy".into(),
+            gradient_bytes: 1 << 20,
+            n: 8,
+            wavelengths: 64,
+            strategy: Strategy::FirstFit,
+            group_size: Some(4),
+        });
+        let report = run_campaign(&spec, 1, None);
+        // The w=1 auto-Wrht grid cell is feasible (m=2,3 need 1 lambda), so
+        // instead check the sharper property: fig2 at w=64 finds nothing,
+        // because the only w=64 cell is a fixed-m ablation cell.
+        let series = fig2_from_campaign(&report.results, &[("toy", 1 << 20)], &[8], 64);
+        assert!(series.is_empty(), "ablation cell leaked into fig2");
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        let spec = tiny_spec();
+        let serial = run_campaign(&spec, 1, None);
+        let parallel = run_campaign(&spec, 8, None);
+        assert_eq!(to_json(&serial), to_json(&parallel));
+    }
+
+    #[test]
+    fn sink_resumes_interrupted_campaigns() {
+        let dir = std::env::temp_dir().join(format!("wrht-campaign-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let spec = tiny_spec();
+        let first = run_campaign(&spec, 2, Some(&dir));
+        // All cell files exist; a resumed run must reuse them byte-for-byte.
+        let cells = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("cell-")
+            })
+            .count();
+        assert_eq!(cells, spec.cells.len());
+        let resumed = run_campaign(&spec, 2, Some(&dir));
+        assert_eq!(to_json(&first), to_json(&resumed));
+        // Combined tables were written.
+        assert!(dir.join("tiny.json").exists());
+        assert!(dir.join("tiny.csv").exists());
+        let csv = fs::read_to_string(dir.join("tiny.csv")).unwrap();
+        assert_eq!(csv.lines().count(), spec.cells.len() + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fig2_is_reassembled_from_campaign_cells() {
+        let spec = tiny_spec();
+        let report = run_campaign(&spec, 2, None);
+        let series = fig2_from_campaign(&report.results, &[("toy", 1 << 20)], &[8, 16], 64);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].rows.len(), 2);
+        for row in &series[0].rows {
+            assert!(row.wrht_s > 0.0 && row.wrht_s < row.o_ring_s);
+            assert!(row.wrht_m >= 2);
+        }
+    }
+
+    #[test]
+    fn sweep_spec_covers_fig2_and_the_ablation_axes() {
+        let models = vec![dnn_models::googlenet()];
+        let spec = sweep_spec(&tiny_cfg(), &models, 1);
+        // Fig2 grid: 1 model × 2 scales × 5 algorithms × 2 substrates.
+        assert!(spec.cells.len() > 2 * 5 * 2);
+        assert!(spec
+            .cells
+            .iter()
+            .any(|c| c.group_size.is_some() && c.algorithm == Algorithm::Wrht));
+        assert!(spec.cells.iter().any(|c| c.wavelengths == 1));
+        assert!(spec
+            .cells
+            .iter()
+            .any(|c| c.strategy == Strategy::BestFit && c.algorithm == Algorithm::Wrht));
+    }
+}

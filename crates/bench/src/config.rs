@@ -9,8 +9,29 @@
 //!   ports, 500 ns per-link latency and a 5 µs per-step protocol/launch
 //!   overhead (NIC + MPI-level costs SimGrid platforms typically encode).
 
-use optical_sim::OpticalConfig;
+use optical_sim::{OpticalConfig, Strategy};
 use serde::{Deserialize, Serialize};
+use wrht_core::substrate::{ElectricalSubstrate, OpticalSubstrate, Substrate};
+
+/// Which simulated fabric executes a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubstrateKind {
+    /// The WDM optical ring (stepped model, RWA per step).
+    Optical,
+    /// The electrical switched cluster (max-min fluid model).
+    Electrical,
+}
+
+impl SubstrateKind {
+    /// Stable lowercase label used in reports, hashes and CSV rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SubstrateKind::Optical => "optical",
+            SubstrateKind::Electrical => "electrical",
+        }
+    }
+}
 
 /// All constants of one experiment campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -79,6 +100,41 @@ impl ExperimentConfig {
             self.electrical_latency_s,
         )
     }
+
+    /// Build an execution [`Substrate`] of the given kind for `n` nodes,
+    /// using this campaign's physical constants and RWA `strategy`
+    /// (ignored by the electrical fabric). Fails instead of panicking on
+    /// invalid parameters (e.g. `n < 2` or a zero wavelength budget), so
+    /// campaign cells can record the error.
+    pub fn try_substrate(
+        &self,
+        kind: SubstrateKind,
+        n: usize,
+        strategy: Strategy,
+    ) -> wrht_core::error::Result<Box<dyn Substrate>> {
+        Ok(match kind {
+            SubstrateKind::Optical => {
+                Box::new(OpticalSubstrate::with_strategy(self.optical(n), strategy)?)
+            }
+            SubstrateKind::Electrical => Box::new(ElectricalSubstrate::new(
+                self.electrical(n),
+                self.electrical_step_overhead_s,
+            )),
+        })
+    }
+
+    /// Infallible [`ExperimentConfig::try_substrate`] for the known-valid
+    /// experiment grids (panics on invalid parameters).
+    #[must_use]
+    pub fn substrate(
+        &self,
+        kind: SubstrateKind,
+        n: usize,
+        strategy: Strategy,
+    ) -> Box<dyn Substrate> {
+        self.try_substrate(kind, n, strategy)
+            .expect("experiment substrate configs are valid")
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +158,16 @@ mod tests {
         let c = ExperimentConfig::small();
         assert_eq!(c.wavelengths, ExperimentConfig::default().wavelengths);
         assert!(c.scales.iter().all(|&n| n <= 64));
+    }
+
+    #[test]
+    fn substrate_factory_builds_both_fabrics() {
+        let c = ExperimentConfig::small();
+        let optical = c.substrate(SubstrateKind::Optical, 16, Strategy::FirstFit);
+        let electrical = c.substrate(SubstrateKind::Electrical, 16, Strategy::FirstFit);
+        assert_eq!(optical.nodes(), 16);
+        assert_eq!(electrical.nodes(), 16);
+        assert_eq!(optical.name(), SubstrateKind::Optical.label());
+        assert_eq!(electrical.name(), SubstrateKind::Electrical.label());
     }
 }

@@ -1,14 +1,13 @@
 //! Figure 2: communication time of E-Ring, RD, O-Ring and WRHT for the
 //! four DNN models across node scales, plus the headline reductions.
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, SubstrateKind};
 use collectives::rd::recursive_doubling;
 use collectives::ring::ring_allreduce;
 use dnn_models::Model;
-use electrical_sim::runner::{run_steps, StepTransfer};
-use optical_sim::{RingSimulator, Strategy};
+use optical_sim::Strategy;
 use serde::{Deserialize, Serialize};
-use wrht_core::baselines::oring_schedule;
+use wrht_core::baselines::run_collective;
 use wrht_core::{plan_and_simulate, WrhtParams};
 
 /// One (model, node-count) grid cell.
@@ -53,58 +52,35 @@ pub struct Headline {
     pub cells: usize,
 }
 
-/// Lower a logical collective schedule to per-step electrical transfers.
-fn to_electrical_steps(
-    schedule: &collectives::Schedule,
-    bytes_per_elem: usize,
-) -> Vec<Vec<StepTransfer>> {
-    schedule
-        .step_transfers(bytes_per_elem)
-        .into_iter()
-        .map(|step| {
-            step.into_iter()
-                .filter(|&(_, _, bytes)| bytes > 0)
-                .map(|(src, dst, bytes)| StepTransfer { src, dst, bytes })
-                .collect()
-        })
-        .collect()
-}
-
-/// Compute one grid cell.
+/// Compute one grid cell. All four measurements run through the unified
+/// [`wrht_core::substrate::Substrate`] API.
 pub fn fig2_row(cfg: &ExperimentConfig, n: usize, gradient_bytes: u64) -> Fig2Row {
     let elems = (gradient_bytes as usize).div_ceil(cfg.bytes_per_elem);
-    let net = cfg.electrical(n);
+    let mut electrical = cfg.substrate(SubstrateKind::Electrical, n, Strategy::FirstFit);
+    let mut optical = cfg.substrate(SubstrateKind::Optical, n, Strategy::FirstFit);
 
     // E-Ring: chunked ring all-reduce over the switched cluster.
-    let e_ring = run_steps(
-        &net,
-        &to_electrical_steps(&ring_allreduce(n, elems), cfg.bytes_per_elem),
-        cfg.electrical_step_overhead_s,
-    )
-    .expect("E-Ring fluid run");
+    let ring = ring_allreduce(n, elems);
+    let e_ring = run_collective(electrical.as_mut(), &ring, cfg.bytes_per_elem, 1)
+        .expect("E-Ring fluid run");
 
     // RD: recursive doubling over the same cluster.
-    let rd = run_steps(
-        &net,
-        &to_electrical_steps(&recursive_doubling(n, elems), cfg.bytes_per_elem),
-        cfg.electrical_step_overhead_s,
+    let rd = run_collective(
+        electrical.as_mut(),
+        &recursive_doubling(n, elems),
+        cfg.bytes_per_elem,
+        1,
     )
     .expect("RD fluid run");
 
-    // O-Ring: ring all-reduce over the optical ring, 1 wavelength.
-    let optical = cfg.optical(n);
-    let mut sim = RingSimulator::new(optical.clone());
-    let o_ring = sim
-        .run_stepped(
-            &oring_schedule(n, elems, cfg.bytes_per_elem),
-            Strategy::FirstFit,
-        )
-        .expect("O-Ring optical run");
+    // O-Ring: the same ring all-reduce over the optical ring, 1 wavelength.
+    let o_ring =
+        run_collective(optical.as_mut(), &ring, cfg.bytes_per_elem, 1).expect("O-Ring optical run");
 
     // WRHT with optimizer-chosen group size.
     let wrht = plan_and_simulate(
         &WrhtParams::auto(n, cfg.wavelengths),
-        &optical,
+        &cfg.optical(n),
         gradient_bytes,
     )
     .expect("Wrht plan");

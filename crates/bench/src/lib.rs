@@ -10,6 +10,8 @@
 //!   models and 128–1024 nodes, plus the headline reduction percentages;
 //! * [`ablations`] — group-size, wavelength-count, RWA-strategy and
 //!   overlap extension studies;
+//! * [`campaign`] — the declarative, parallel campaign-sweep engine over
+//!   the unified [`wrht_core::substrate::Substrate`] API;
 //! * [`report`] — table/JSON rendering.
 //!
 //! ```
@@ -25,10 +27,12 @@
 #![deny(unsafe_code)]
 
 pub mod ablations;
+pub mod campaign;
 pub mod config;
 pub mod contention;
 pub mod fig2;
 pub mod report;
 
-pub use config::ExperimentConfig;
+pub use campaign::{run_campaign, sweep_spec, Algorithm, CampaignReport, CampaignSpec};
+pub use config::{ExperimentConfig, SubstrateKind};
 pub use fig2::{fig2_row, fig2_series, headline, Fig2Row, Fig2Series, Headline};

@@ -1,0 +1,105 @@
+//! Data-plane property tests: every algorithm must compute the **exact**
+//! element-wise sum — not merely look right on timing — for non-power-of-two
+//! node counts and ragged chunk sizes (elems not divisible by n, fewer
+//! elements than nodes, single elements).
+
+use collectives::executor::{execute, verify_allreduce};
+use collectives::halving_doubling::halving_doubling;
+use collectives::rd::recursive_doubling;
+use collectives::ring::ring_allreduce;
+use collectives::tree::binomial_tree;
+use collectives::Schedule;
+use proptest::prelude::*;
+
+type Builder = fn(usize, usize) -> Schedule;
+
+const ALGORITHMS: [(&str, Builder); 4] = [
+    ("ring", ring_allreduce as Builder),
+    ("rd", recursive_doubling as Builder),
+    ("hd", halving_doubling as Builder),
+    ("tree", binomial_tree as Builder),
+];
+
+/// Deterministic pseudo-random integral inputs: integers keep f64 addition
+/// exact, so the expected sums can be compared bit-for-bit.
+fn pseudo_random_inputs(n: usize, elems: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // SplitMix64 step, reduced to small exact integers.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) % 1_000
+    };
+    (0..n)
+        .map(|_| (0..elems).map(|_| next() as f64).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every algorithm is a correct all-reduce for arbitrary (including
+    /// non-power-of-two) node counts and ragged element counts. The
+    /// verifier feeds distinguishable inputs, so duplicated as well as
+    /// dropped contributions are caught.
+    #[test]
+    fn all_algorithms_compute_the_exact_sum(n in 1usize..40, elems in 1usize..120) {
+        for (name, build) in ALGORITHMS {
+            let sched = build(n, elems);
+            if let Err(e) = verify_allreduce(&sched) {
+                return Err(format!("{name}(n={n}, elems={elems}): {e}"));
+            }
+        }
+    }
+
+    /// Executing on pseudo-random integral buffers also yields the exact
+    /// element-wise sum at every node — the data plane is correct for
+    /// arbitrary values, not just the verifier's canonical pattern.
+    #[test]
+    fn random_integral_buffers_reduce_exactly(
+        n in 1usize..24,
+        elems in 1usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        let inputs = pseudo_random_inputs(n, elems, seed);
+        let expected: Vec<f64> = (0..elems)
+            .map(|i| inputs.iter().map(|buf| buf[i]).sum())
+            .collect();
+        for (name, build) in ALGORITHMS {
+            let outputs = execute(&build(n, elems), &inputs);
+            for (node, out) in outputs.iter().enumerate() {
+                prop_assert_eq!(
+                    out, &expected,
+                    "{}(n={}, elems={}, seed={}): node {} diverges",
+                    name, n, elems, seed, node
+                );
+            }
+        }
+    }
+
+    /// Ragged extremes: more nodes than elements forces empty chunks in the
+    /// chunked algorithms; they must still reduce exactly.
+    #[test]
+    fn more_nodes_than_elements_still_reduces(n in 2usize..48, elems in 1usize..8) {
+        for (name, build) in ALGORITHMS {
+            let sched = build(n, elems);
+            if let Err(e) = verify_allreduce(&sched) {
+                return Err(format!("{name}(n={n}, elems={elems}): {e}"));
+            }
+        }
+    }
+
+    /// Structural sanity rides along: every generated schedule validates
+    /// (no write conflicts, in-range nodes and chunks).
+    #[test]
+    fn schedules_validate_structurally(n in 1usize..40, elems in 1usize..120) {
+        for (name, build) in ALGORITHMS {
+            let sched = build(n, elems);
+            if let Err(e) = sched.validate() {
+                return Err(format!("{name}(n={n}, elems={elems}): {e}"));
+            }
+        }
+    }
+}

@@ -4,13 +4,17 @@
 //! run over the optical ring with a *single wavelength per transmission* —
 //! exactly the deficiency Wrht is designed to fix.
 
+use crate::error::Result;
+use crate::substrate::{RunReport, Substrate};
 use collectives::ring::ring_allreduce;
 use collectives::Schedule;
 use optical_sim::request::Transfer;
 use optical_sim::sim::StepSchedule;
 
-/// Lower any logical collective schedule to optical transfers: shortest
+/// Lower any logical collective schedule to the substrate IR: shortest
 /// paths, `lanes` wavelengths per transfer, `bytes_per_elem` element width.
+/// The resulting [`StepSchedule`] executes on any [`Substrate`] (the
+/// electrical fabric ignores the optical-only routing fields).
 #[must_use]
 pub fn lower_collective_to_optical(
     schedule: &Schedule,
@@ -42,6 +46,21 @@ pub fn lower_collective_to_optical(
 #[must_use]
 pub fn oring_schedule(n: usize, elems: usize, bytes_per_elem: usize) -> StepSchedule {
     lower_collective_to_optical(&ring_allreduce(n, elems), bytes_per_elem, 1)
+}
+
+/// Lower a logical collective schedule and execute it on `substrate` —
+/// the one-call path every baseline measurement goes through.
+pub fn run_collective(
+    substrate: &mut dyn Substrate,
+    schedule: &Schedule,
+    bytes_per_elem: usize,
+    lanes: usize,
+) -> Result<RunReport> {
+    substrate.execute(&lower_collective_to_optical(
+        schedule,
+        bytes_per_elem,
+        lanes,
+    ))
 }
 
 #[cfg(test)]
@@ -101,5 +120,33 @@ mod tests {
                 assert_eq!(t.lanes, 3);
             }
         }
+    }
+
+    #[test]
+    fn run_collective_agrees_across_substrates_on_matched_physics() {
+        use crate::substrate::{ElectricalSubstrate, OpticalSubstrate};
+        let n = 8;
+        let sched = ring_allreduce(n, 8_000);
+        let mut optical = OpticalSubstrate::new(
+            OpticalConfig::new(n, 1)
+                .with_lambda_bandwidth(1e9)
+                .with_message_overhead(0.0)
+                .with_hop_propagation(0.0),
+        )
+        .unwrap();
+        let mut electrical =
+            ElectricalSubstrate::new(electrical_sim::topology::ring(n, 1e9, 0.0), 0.0);
+        let o = run_collective(&mut optical, &sched, 4, 1).unwrap();
+        let e = run_collective(&mut electrical, &sched, 4, 1).unwrap();
+        assert!((o.total_time_s - e.total_time_s).abs() / e.total_time_s < 1e-9);
+    }
+
+    #[test]
+    fn run_collective_on_empty_schedule_is_zero() {
+        use crate::substrate::OpticalSubstrate;
+        let mut optical = OpticalSubstrate::new(OpticalConfig::new(4, 2)).unwrap();
+        let report = run_collective(&mut optical, &ring_allreduce(1, 10), 4, 1).unwrap();
+        assert_eq!(report.total_time_s, 0.0);
+        assert_eq!(report.step_count(), 0);
     }
 }

@@ -1,5 +1,6 @@
 //! Error types for Wrht planning and lowering.
 
+use electrical_sim::NetError;
 use optical_sim::OpticalError;
 use std::fmt;
 
@@ -26,6 +27,8 @@ pub enum WrhtError {
     },
     /// An error bubbled up from the optical substrate.
     Optical(OpticalError),
+    /// An error bubbled up from the electrical substrate.
+    Electrical(NetError),
 }
 
 impl fmt::Display for WrhtError {
@@ -45,6 +48,7 @@ impl fmt::Display for WrhtError {
                 "no feasible Wrht plan for n={n} with {wavelengths} wavelengths"
             ),
             WrhtError::Optical(e) => write!(f, "optical substrate error: {e}"),
+            WrhtError::Electrical(e) => write!(f, "electrical substrate error: {e}"),
         }
     }
 }
@@ -53,6 +57,7 @@ impl std::error::Error for WrhtError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WrhtError::Optical(e) => Some(e),
+            WrhtError::Electrical(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +66,12 @@ impl std::error::Error for WrhtError {
 impl From<OpticalError> for WrhtError {
     fn from(e: OpticalError) -> Self {
         WrhtError::Optical(e)
+    }
+}
+
+impl From<NetError> for WrhtError {
+    fn from(e: NetError) -> Self {
+        WrhtError::Electrical(e)
     }
 }
 
@@ -80,6 +91,10 @@ mod tests {
         assert!(e.to_string().contains("group size 10"));
         let e: WrhtError = OpticalError::ZeroLanes.into();
         assert!(matches!(e, WrhtError::Optical(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: WrhtError = NetError::SelfFlow(3).into();
+        assert!(matches!(e, WrhtError::Electrical(_)));
+        assert!(e.to_string().contains("electrical substrate"));
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -31,7 +31,9 @@
 //! * [`cost`] — the analytic communication-time model;
 //! * [`optimizer`] — group-size selection (`m`) minimizing predicted time;
 //! * [`baselines`] — O-Ring (ring all-reduce over the optical ring) and a
-//!   generic collectives→optical lowering.
+//!   generic collectives→optical lowering;
+//! * [`substrate`] — the unified [`substrate::Substrate`] execution trait
+//!   over the optical ring and the electrical fluid-model cluster.
 //!
 //! ```
 //! use wrht_core::prelude::*;
@@ -57,6 +59,7 @@ pub mod params;
 pub mod pipeline;
 pub mod plan;
 pub mod steps;
+pub mod substrate;
 
 /// Common re-exports.
 pub mod prelude {
@@ -75,9 +78,13 @@ pub mod prelude {
         StopPolicy, WrhtPlan,
     };
     pub use crate::steps::{paper_step_count, tree_wavelength_requirement};
+    pub use crate::substrate::{
+        ElectricalSubstrate, OpticalSubstrate, RunReport, StepTiming, Substrate,
+    };
 }
 
 pub use error::WrhtError;
 pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
 pub use params::{GroupSize, WrhtParams};
 pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};
+pub use substrate::{ElectricalSubstrate, OpticalSubstrate, RunReport, Substrate};

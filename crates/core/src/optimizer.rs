@@ -11,8 +11,8 @@ use crate::error::{Result, WrhtError};
 use crate::lower::to_optical_schedule;
 use crate::params::{GroupSize, WrhtParams};
 use crate::plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};
-use optical_sim::sim::StepReport;
-use optical_sim::{OpticalConfig, RingSimulator, Strategy};
+use crate::substrate::{OpticalSubstrate, RunReport, Substrate};
+use optical_sim::OpticalConfig;
 use serde::{Deserialize, Serialize};
 
 /// Result of planning (and optionally simulating) a Wrht all-reduce.
@@ -24,10 +24,10 @@ pub struct PlanOutcome {
     pub plan: WrhtPlan,
     /// Analytic prediction.
     pub predicted: CostBreakdown,
-    /// Simulated communication time (stepped optical simulator), seconds.
+    /// Simulated communication time (stepped optical substrate), seconds.
     pub simulated_time_s: f64,
-    /// Full simulator report.
-    pub report: StepReport,
+    /// Substrate execution report.
+    pub report: RunReport,
 }
 
 /// Candidates for one group size under a stop policy.
@@ -111,7 +111,7 @@ pub fn choose_group_size(
 }
 
 /// Build a plan per `params` (fixed or optimizer-chosen `m`), lower it and
-/// run the stepped optical simulator with First-Fit RWA.
+/// execute it on the stepped optical [`Substrate`] with First-Fit RWA.
 pub fn plan_and_simulate(
     params: &WrhtParams,
     config: &OpticalConfig,
@@ -143,8 +143,8 @@ pub fn plan_and_simulate(
         GroupSize::Auto => choose_group_size(params, config, bytes)?,
     };
     let sched = to_optical_schedule(&plan, bytes);
-    let mut sim = RingSimulator::try_new(config.clone())?;
-    let report = sim.run_stepped(&sched, Strategy::FirstFit)?;
+    let mut substrate = OpticalSubstrate::new(config.clone())?;
+    let report = substrate.execute(&sched)?;
     Ok(PlanOutcome {
         m,
         plan,
@@ -280,10 +280,8 @@ mod tests {
         let elems = 1 << 20; // 4 MiB gradient
         let config = OpticalConfig::paper_defaults(n);
         let wrht = plan_and_simulate(&WrhtParams::auto(n, w), &config, (elems * 4) as u64).unwrap();
-        let mut sim = RingSimulator::new(config);
-        let oring = sim
-            .run_stepped(&oring_schedule(n, elems, 4), Strategy::FirstFit)
-            .unwrap();
+        let mut substrate = OpticalSubstrate::new(config).unwrap();
+        let oring = substrate.execute(&oring_schedule(n, elems, 4)).unwrap();
         assert!(
             wrht.simulated_time_s < oring.total_time_s / 2.0,
             "wrht {} vs oring {}",

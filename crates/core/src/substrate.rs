@@ -1,0 +1,393 @@
+//! The unified execution substrate abstraction.
+//!
+//! Every experiment in this workspace ultimately times a step-synchronous
+//! communication schedule on one of two simulated fabrics: the WDM optical
+//! ring ([`optical_sim::RingSimulator`]) or the electrical switched cluster
+//! ([`electrical_sim`]'s fluid model). Historically each caller hand-wired
+//! one of the two incompatible runner APIs; the [`Substrate`] trait gives
+//! them a single entry point.
+//!
+//! The workload IR is the optical [`StepSchedule`] — the richest of the two
+//! step formats (it carries payload bytes, ring direction and wavelength
+//! striping lanes). The electrical substrate simply ignores the optical-only
+//! fields: its fluid model has no wavelengths, and routing is decided by the
+//! [`electrical_sim::Network`] topology.
+//!
+//! ```
+//! use wrht_core::substrate::{ElectricalSubstrate, OpticalSubstrate, Substrate};
+//! use wrht_core::baselines::oring_schedule;
+//! use optical_sim::OpticalConfig;
+//!
+//! let sched = oring_schedule(8, 8_000, 4);
+//! let mut optical = OpticalSubstrate::new(OpticalConfig::new(8, 4)).unwrap();
+//! let mut electrical = ElectricalSubstrate::new(
+//!     electrical_sim::topology::star_cluster(8, 12.5e9, 500e-9),
+//!     5e-6,
+//! );
+//! let o = optical.execute(&sched).unwrap();
+//! let e = electrical.execute(&sched).unwrap();
+//! assert_eq!(o.step_count(), e.step_count());
+//! ```
+
+use crate::error::Result;
+use electrical_sim::runner::{run_steps, StepTransfer};
+use electrical_sim::Network;
+use optical_sim::sim::{StepReport, StepSchedule};
+use optical_sim::{OpticalConfig, RingSimulator, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Timing and accounting for one executed step, common to both substrates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTiming {
+    /// Wall-clock duration of the step, seconds.
+    pub duration_s: f64,
+    /// Number of transfers executed in the step.
+    pub transfers: usize,
+    /// Payload bytes moved in the step.
+    pub bytes: u64,
+    /// Highest wavelength index used + 1 (0 on substrates without WDM).
+    pub peak_wavelength: usize,
+}
+
+/// Substrate-independent result of executing a [`StepSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Name of the substrate that produced the report.
+    pub substrate: String,
+    /// Total simulated communication time, seconds.
+    pub total_time_s: f64,
+    /// Per-step breakdown in execution order.
+    pub steps: Vec<StepTiming>,
+}
+
+impl RunReport {
+    /// Number of executed steps.
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Per-step durations in execution order, seconds.
+    #[must_use]
+    pub fn per_step_s(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.duration_s).collect()
+    }
+
+    /// Total payload bytes moved.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total transfers across all steps.
+    #[must_use]
+    pub fn transfer_count(&self) -> usize {
+        self.steps.iter().map(|s| s.transfers).sum()
+    }
+
+    /// Largest wavelength footprint over all steps (0 without WDM).
+    #[must_use]
+    pub fn peak_wavelengths(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| s.peak_wavelength)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean goodput over the run, bytes/s (0 for empty or zero-time runs).
+    #[must_use]
+    pub fn mean_goodput_bps(&self) -> f64 {
+        if self.total_time_s > 0.0 {
+            self.total_bytes() as f64 / self.total_time_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Utilization of a reference capacity: mean goodput divided by
+    /// `peak_bps` (e.g. `w * B` for the optical ring). 0 for empty runs.
+    #[must_use]
+    pub fn utilization(&self, peak_bps: f64) -> f64 {
+        if peak_bps > 0.0 {
+            self.mean_goodput_bps() / peak_bps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A fabric that can execute step-synchronous communication schedules.
+///
+/// Implementations must be deterministic: executing the same schedule twice
+/// yields bit-identical reports.
+pub trait Substrate {
+    /// Human-readable substrate name (used in reports and campaign rows).
+    fn name(&self) -> &str;
+
+    /// Number of attached compute nodes.
+    fn nodes(&self) -> usize;
+
+    /// Execute `schedule` and report per-step timing.
+    fn execute(&mut self, schedule: &StepSchedule) -> Result<RunReport>;
+}
+
+/// The WDM optical ring as an execution substrate.
+#[derive(Debug, Clone)]
+pub struct OpticalSubstrate {
+    sim: RingSimulator,
+    strategy: Strategy,
+}
+
+impl OpticalSubstrate {
+    /// Build from an optical configuration with First-Fit RWA.
+    pub fn new(config: OpticalConfig) -> Result<Self> {
+        Self::with_strategy(config, Strategy::FirstFit)
+    }
+
+    /// Build with an explicit RWA strategy.
+    pub fn with_strategy(config: OpticalConfig, strategy: Strategy) -> Result<Self> {
+        Ok(Self {
+            sim: RingSimulator::try_new(config)?,
+            strategy,
+        })
+    }
+
+    /// The underlying optical configuration.
+    #[must_use]
+    pub fn config(&self) -> &OpticalConfig {
+        self.sim.config()
+    }
+
+    /// The RWA strategy applied per step.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Convert a stepped optical report into the common shape.
+    #[must_use]
+    pub fn report_from_stepped(report: &StepReport) -> RunReport {
+        RunReport {
+            substrate: "optical".into(),
+            total_time_s: report.total_time_s,
+            steps: report
+                .stats
+                .steps
+                .iter()
+                .map(|s| StepTiming {
+                    duration_s: s.duration_s,
+                    transfers: s.transfers,
+                    bytes: s.bytes,
+                    peak_wavelength: s.peak_wavelength,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Substrate for OpticalSubstrate {
+    fn name(&self) -> &str {
+        "optical"
+    }
+
+    fn nodes(&self) -> usize {
+        self.config().nodes
+    }
+
+    fn execute(&mut self, schedule: &StepSchedule) -> Result<RunReport> {
+        let report = self.sim.run_stepped(schedule, self.strategy)?;
+        Ok(Self::report_from_stepped(&report))
+    }
+}
+
+/// The electrical switched cluster (fluid model) as an execution substrate.
+///
+/// Direction and lane fields of the optical IR are ignored; zero-byte
+/// transfers are dropped (the fluid model rejects empty flows, and they
+/// carry no time on either substrate).
+#[derive(Debug, Clone)]
+pub struct ElectricalSubstrate {
+    net: Network,
+    step_overhead_s: f64,
+}
+
+impl ElectricalSubstrate {
+    /// Build from a network and the per-step protocol overhead.
+    #[must_use]
+    pub fn new(net: Network, step_overhead_s: f64) -> Self {
+        Self {
+            net,
+            step_overhead_s,
+        }
+    }
+
+    /// The underlying network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+impl Substrate for ElectricalSubstrate {
+    fn name(&self) -> &str {
+        "electrical"
+    }
+
+    fn nodes(&self) -> usize {
+        self.net.hosts()
+    }
+
+    fn execute(&mut self, schedule: &StepSchedule) -> Result<RunReport> {
+        let steps: Vec<Vec<StepTransfer>> = schedule
+            .steps()
+            .iter()
+            .map(|step| {
+                step.iter()
+                    .filter(|t| t.bytes > 0)
+                    .map(|t| StepTransfer {
+                        src: t.src.0,
+                        dst: t.dst.0,
+                        bytes: t.bytes,
+                    })
+                    .collect()
+            })
+            .collect();
+        let report = run_steps(&self.net, &steps, self.step_overhead_s)?;
+        Ok(RunReport {
+            substrate: "electrical".into(),
+            total_time_s: report.total_time_s,
+            steps: report
+                .step_times_s
+                .iter()
+                .zip(&steps)
+                .map(|(&duration_s, step)| StepTiming {
+                    duration_s,
+                    transfers: step.len(),
+                    bytes: step.iter().map(|t| t.bytes).sum(),
+                    peak_wavelength: 0,
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::oring_schedule;
+    use optical_sim::{NodeId, Transfer};
+
+    fn optical(n: usize, w: usize) -> OpticalSubstrate {
+        OpticalSubstrate::new(
+            OpticalConfig::new(n, w)
+                .with_lambda_bandwidth(1e9)
+                .with_message_overhead(0.0)
+                .with_hop_propagation(0.0),
+        )
+        .unwrap()
+    }
+
+    fn electrical(n: usize) -> ElectricalSubstrate {
+        ElectricalSubstrate::new(electrical_sim::topology::star_cluster(n, 1e9, 0.0), 0.0)
+    }
+
+    #[test]
+    fn empty_schedule_is_zero_on_both_substrates() {
+        let sched = StepSchedule::default();
+        for report in [
+            optical(8, 4).execute(&sched).unwrap(),
+            electrical(8).execute(&sched).unwrap(),
+        ] {
+            assert_eq!(report.total_time_s, 0.0);
+            assert_eq!(report.step_count(), 0);
+            assert_eq!(report.total_bytes(), 0);
+            assert_eq!(report.mean_goodput_bps(), 0.0);
+            assert_eq!(report.peak_wavelengths(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_step_inside_a_schedule_costs_nothing_on_both() {
+        let sched = StepSchedule::from_steps(vec![
+            vec![Transfer::shortest(NodeId(0), NodeId(1), 1_000_000)],
+            vec![],
+            vec![Transfer::shortest(NodeId(2), NodeId(3), 1_000_000)],
+        ]);
+        for report in [
+            optical(8, 4).execute(&sched).unwrap(),
+            electrical(8).execute(&sched).unwrap(),
+        ] {
+            assert_eq!(report.step_count(), 3);
+            assert_eq!(report.steps[1].duration_s, 0.0);
+            assert_eq!(report.steps[1].transfers, 0);
+            assert!((report.total_time_s - 2e-3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_step_schedule_matches_closed_form_on_both() {
+        let sched = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(1),
+            2_000_000,
+        )]]);
+        let o = optical(8, 4).execute(&sched).unwrap();
+        let e = electrical(8).execute(&sched).unwrap();
+        assert!((o.total_time_s - 2e-3).abs() < 1e-12);
+        assert!((e.total_time_s - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substrates_agree_on_a_ring_allreduce_with_matched_physics() {
+        let n = 8;
+        let sched = oring_schedule(n, 8_000, 4);
+        let o = optical(n, 1).execute(&sched).unwrap();
+        let mut ring = ElectricalSubstrate::new(electrical_sim::topology::ring(n, 1e9, 0.0), 0.0);
+        let e = ring.execute(&sched).unwrap();
+        assert_eq!(o.step_count(), e.step_count());
+        for (os, es) in o.steps.iter().zip(&e.steps) {
+            assert!(
+                (os.duration_s - es.duration_s).abs() < 1e-15,
+                "optical {} vs electrical {}",
+                os.duration_s,
+                es.duration_s
+            );
+            assert_eq!(os.bytes, es.bytes);
+        }
+    }
+
+    #[test]
+    fn optical_report_carries_wavelength_footprint() {
+        let n = 8;
+        let sched = oring_schedule(n, 8_000, 4);
+        let report = optical(n, 4).execute(&sched).unwrap();
+        assert_eq!(report.peak_wavelengths(), 1);
+        assert_eq!(report.substrate, "optical");
+        assert_eq!(report.transfer_count(), 2 * (n - 1) * n);
+    }
+
+    #[test]
+    fn utilization_is_goodput_over_reference() {
+        let sched = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+        )]]);
+        let report = optical(8, 4).execute(&sched).unwrap();
+        let util = report.utilization(4.0 * 1e9);
+        assert!((util - 0.25).abs() < 1e-12, "util={util}");
+        assert_eq!(report.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn electrical_substrate_drops_zero_byte_transfers() {
+        let sched = StepSchedule::from_steps(vec![vec![
+            Transfer::shortest(NodeId(0), NodeId(1), 0),
+            Transfer::shortest(NodeId(2), NodeId(3), 1_000_000),
+        ]]);
+        let report = electrical(8).execute(&sched).unwrap();
+        assert_eq!(report.steps[0].transfers, 1);
+        assert!((report.total_time_s - 1e-3).abs() < 1e-12);
+    }
+}

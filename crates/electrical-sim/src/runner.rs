@@ -91,6 +91,48 @@ mod tests {
     }
 
     #[test]
+    fn empty_schedule_is_a_noop() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let r = run_steps(&net, &[], 1e-6).unwrap();
+        assert_eq!(r.total_time_s, 0.0);
+        assert!(r.step_times_s.is_empty());
+    }
+
+    #[test]
+    fn single_step_matches_flow_closed_form() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let steps = vec![vec![StepTransfer {
+            src: 0,
+            dst: 1,
+            bytes: 3_000_000,
+        }]];
+        let r = run_steps(&net, &steps, 1e-6).unwrap();
+        assert_eq!(r.step_times_s.len(), 1);
+        assert!((r.total_time_s - (3e-3 + 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interior_empty_steps_keep_per_step_alignment() {
+        // Campaign and differential consumers zip per-step times against
+        // the schedule, so empty steps must keep their slot.
+        let net = star_cluster(4, 1e9, 0.0);
+        let steps = vec![
+            vec![],
+            vec![StepTransfer {
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+            }],
+            vec![],
+        ];
+        let r = run_steps(&net, &steps, 1e-6).unwrap();
+        assert_eq!(r.step_times_s.len(), 3);
+        assert_eq!(r.step_times_s[0], 0.0);
+        assert_eq!(r.step_times_s[2], 0.0);
+        assert!((r.step_times_s[1] - (1e-3 + 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
     fn parallel_transfers_within_a_step() {
         let net = star_cluster(4, 1e9, 0.0);
         let step = vec![

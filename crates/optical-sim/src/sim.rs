@@ -316,6 +316,58 @@ mod tests {
     }
 
     #[test]
+    fn empty_steps_inside_a_schedule_cost_nothing_but_keep_alignment() {
+        // Consumers index `stats.steps` by schedule position (e.g. the
+        // barrier-sensitivity study), so empty steps must produce stats
+        // rows, not be skipped.
+        let mut sim = RingSimulator::new(small_cfg());
+        let sched = StepSchedule::from_steps(vec![
+            vec![],
+            vec![Transfer::shortest(NodeId(0), NodeId(1), 1_000_000)],
+            vec![],
+        ]);
+        let r = sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
+        assert_eq!(r.stats.step_count(), 3);
+        assert_eq!(r.stats.steps[0].duration_s, 0.0);
+        assert_eq!(r.stats.steps[0].transfers, 0);
+        assert_eq!(r.stats.steps[2].wavelengths_used, 0);
+        assert!((r.total_time_s - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_step_schedule_matches_transfer_closed_form() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let sched = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(1),
+            3_000_000,
+        )]]);
+        let r = sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
+        assert_eq!(r.stats.step_count(), 1);
+        let expected = sim.config().timing().transfer_time(3_000_000, 1, 1);
+        assert!((r.total_time_s - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn len_and_is_empty_stay_paired() {
+        let mut s = StepSchedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        s.push_step(vec![]);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn event_driven_empty_release_list_is_a_noop() {
+        let mut sim = RingSimulator::new(small_cfg());
+        let r = sim.run_event_driven(&[]).unwrap();
+        assert_eq!(r.makespan_s, 0.0);
+        assert_eq!(r.peak_concurrency, 0);
+        assert!(r.transfer_times.is_empty());
+    }
+
+    #[test]
     fn step_duration_is_slowest_transfer() {
         let mut sim = RingSimulator::new(small_cfg());
         let step = vec![

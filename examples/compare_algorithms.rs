@@ -12,37 +12,23 @@ use collectives::rd::recursive_doubling;
 use collectives::ring::ring_allreduce;
 use collectives::tree::binomial_tree;
 use collectives::{verify_allreduce, Schedule};
-use electrical_sim::runner::{run_steps, StepTransfer};
-use optical_sim::{RingSimulator, Strategy};
-use wrht_bench::ExperimentConfig;
-use wrht_core::baselines::lower_collective_to_optical;
+use optical_sim::Strategy;
+use wrht_bench::{ExperimentConfig, SubstrateKind};
+use wrht_core::baselines::run_collective;
 use wrht_core::{plan_and_simulate, WrhtParams};
 
-fn electrical_time(cfg: &ExperimentConfig, n: usize, sched: &Schedule) -> f64 {
-    let net = cfg.electrical(n);
-    let steps: Vec<Vec<StepTransfer>> = sched
-        .step_transfers(cfg.bytes_per_elem)
-        .into_iter()
-        .map(|s| {
-            s.into_iter()
-                .filter(|&(_, _, b)| b > 0)
-                .map(|(src, dst, bytes)| StepTransfer { src, dst, bytes })
-                .collect()
-        })
-        .collect();
-    run_steps(&net, &steps, cfg.electrical_step_overhead_s)
-        .expect("fluid run")
+/// Time a logical schedule on either fabric through the one `Substrate` API.
+fn substrate_time(
+    cfg: &ExperimentConfig,
+    kind: SubstrateKind,
+    n: usize,
+    sched: &Schedule,
+    lanes: usize,
+) -> f64 {
+    let mut substrate = cfg.substrate(kind, n, Strategy::FirstFit);
+    run_collective(substrate.as_mut(), sched, cfg.bytes_per_elem, lanes)
+        .expect("baseline run")
         .total_time_s
-}
-
-fn optical_time(cfg: &ExperimentConfig, n: usize, sched: &Schedule, lanes: usize) -> f64 {
-    let mut sim = RingSimulator::new(cfg.optical(n));
-    sim.run_stepped(
-        &lower_collective_to_optical(sched, cfg.bytes_per_elem, lanes),
-        Strategy::FirstFit,
-    )
-    .expect("optical run")
-    .total_time_s
 }
 
 fn main() {
@@ -80,8 +66,8 @@ fn main() {
             name,
             sched.step_count(),
             sched.total_elems_moved(),
-            electrical_time(&cfg, n, sched) * 1e3,
-            optical_time(&cfg, n, sched, 1) * 1e3,
+            substrate_time(&cfg, SubstrateKind::Electrical, n, sched, 1) * 1e3,
+            substrate_time(&cfg, SubstrateKind::Optical, n, sched, 1) * 1e3,
             a.bandwidth_optimality(n, elems),
             a.latency_optimality(n)
         );

@@ -35,7 +35,7 @@ fn main() {
     );
     println!(
         "  peak wavelengths .... : {} of {}",
-        outcome.report.stats.peak_wavelengths(),
+        outcome.report.peak_wavelengths(),
         config.wavelengths
     );
     println!(

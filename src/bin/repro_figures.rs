@@ -1,7 +1,7 @@
 //! Regenerate every figure and headline number of the Wrht paper.
 //!
 //! ```text
-//! repro-figures [command] [--small]
+//! repro-figures [command] [--small] [--threads=N]
 //!
 //! Commands:
 //!   fig2         Figure 2: E-Ring / RD / O-Ring / WRHT across models & scales
@@ -14,10 +14,14 @@
 //!   overlap      Layer-wise bucketed overlap (extension)
 //!   variants     Wrht+ variants: depth-optimal stop, multicast, segments
 //!   contention   Event-driven wavelength contention on synthetic traffic
-//!   all          Everything above (default)
+//!   sweep        Regenerate fig2 + the grid ablations as ONE parallel
+//!                campaign on both substrates (resumable via results/campaign)
+//!   all          Everything above except sweep (default)
 //!
-//! `--small` shrinks the node scales for a fast smoke run.
-//! JSON copies of every series are written to `results/`.
+//! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
+//! caps the campaign worker count (default: available parallelism).
+//! JSON copies of every series are written to `results/`; campaign cells,
+//! combined JSON and CSV land in `results/campaign/`.
 //! ```
 
 use std::fs;
@@ -26,6 +30,7 @@ use std::path::Path;
 use wrht_bench::ablations::{
     group_size_sweep, overlap_study, rwa_strategy_compare, variant_study, wavelength_sweep,
 };
+use wrht_bench::campaign::{fig2_from_campaign, run_campaign, sweep_spec};
 use wrht_bench::contention::{run_contention, Pattern};
 use wrht_bench::report::{
     render_contention, render_fig2, render_fit, render_group_size, render_headline, render_overlap,
@@ -176,6 +181,38 @@ fn cmd_variants(cfg: &ExperimentConfig, results: &Path) {
     write_json(results, "variants.json", &to_json(&points));
 }
 
+fn cmd_sweep(cfg: &ExperimentConfig, results: &Path, threads: usize, models: &[dnn_models::Model]) {
+    let spec = sweep_spec(cfg, models, 2023);
+    let sink = results.join("campaign");
+    println!(
+        "== Campaign sweep: {} cells over {} worker thread(s) ==",
+        spec.cells.len(),
+        threads
+    );
+    let report = run_campaign(&spec, threads, Some(&sink));
+    let infeasible = report.results.iter().filter(|r| r.error.is_some()).count();
+    println!(
+        "{} cells finished ({infeasible} infeasible); sink: {}",
+        report.results.len(),
+        sink.display()
+    );
+    println!();
+
+    let named: Vec<(&str, u64)> = models
+        .iter()
+        .map(|m| (m.name.as_str(), m.gradient_bytes()))
+        .collect();
+    let series = fig2_from_campaign(&report.results, &named, &cfg.scales, cfg.wavelengths);
+    for s in &series {
+        print!("{}", render_fig2(s));
+        println!();
+    }
+    write_json(&sink, "fig2.json", &to_json(&series));
+    let h = headline(&series);
+    print!("{}", render_headline(&h));
+    write_json(&sink, "headline.json", &to_json(&h));
+}
+
 fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
     let n = *cfg.scales.first().expect("scales non-empty");
     // A narrow budget makes the contention the stepped model hides visible.
@@ -197,8 +234,9 @@ fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
 }
 
 /// Dispatch one CLI command; returns `false` for unknown commands.
-fn run_command(cmd: &str, cfg: &ExperimentConfig, results: &Path) -> bool {
+fn run_command(cmd: &str, cfg: &ExperimentConfig, results: &Path, threads: usize) -> bool {
     match cmd {
+        "sweep" => cmd_sweep(cfg, results, threads, &dnn_models::paper_models()),
         "fig2" => cmd_fig2(cfg, results),
         "headline" => cmd_headline(cfg, results),
         "steps" => cmd_steps(),
@@ -229,6 +267,14 @@ fn run_command(cmd: &str, cfg: &ExperimentConfig, results: &Path) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let threads = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--threads="))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        })
+        .max(1);
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -239,7 +285,7 @@ fn main() {
         ExperimentConfig::default()
     };
 
-    if !run_command(cmd, &cfg, Path::new("results")) {
+    if !run_command(cmd, &cfg, Path::new("results"), threads) {
         eprintln!("unknown command '{cmd}'; see the binary docs for usage");
         std::process::exit(2);
     }
@@ -267,7 +313,7 @@ mod tests {
     #[test]
     fn headline_command_runs_and_writes_json_on_a_tiny_config() {
         let results = temp_results("headline");
-        assert!(run_command("headline", &tiny_cfg(), &results));
+        assert!(run_command("headline", &tiny_cfg(), &results, 1));
         let json = fs::read_to_string(results.join("headline.json"))
             .expect("headline.json must be written");
         assert!(json.contains("vs_oring_pct"));
@@ -277,18 +323,34 @@ mod tests {
     #[test]
     fn steps_and_wavelengths_commands_run_without_config() {
         let results = temp_results("laws");
-        assert!(run_command("steps", &tiny_cfg(), &results));
-        assert!(run_command("wavelengths", &tiny_cfg(), &results));
+        assert!(run_command("steps", &tiny_cfg(), &results, 1));
+        assert!(run_command("wavelengths", &tiny_cfg(), &results, 1));
         let _ = fs::remove_dir_all(&results);
     }
 
     #[test]
     fn unknown_commands_are_rejected() {
         let results = temp_results("unknown");
-        assert!(!run_command("not-a-command", &tiny_cfg(), &results));
+        assert!(!run_command("not-a-command", &tiny_cfg(), &results, 1));
         assert!(
             !results.exists(),
             "rejected commands must not create output directories"
         );
+    }
+
+    #[test]
+    fn sweep_command_regenerates_fig2_through_the_campaign_engine() {
+        let results = temp_results("sweep");
+        cmd_sweep(&tiny_cfg(), &results, 2, &[dnn_models::googlenet()]);
+        let sink = results.join("campaign");
+        let fig2 = fs::read_to_string(sink.join("fig2.json")).expect("campaign fig2.json");
+        assert!(fig2.contains("GoogLeNet"));
+        assert!(fs::read_to_string(sink.join("headline.json"))
+            .expect("campaign headline.json")
+            .contains("vs_oring_pct"));
+        let csv = fs::read_to_string(sink.join("sweep.csv")).expect("campaign CSV");
+        assert!(csv.lines().count() > 20);
+        assert!(csv.contains("electrical") && csv.contains("optical"));
+        let _ = fs::remove_dir_all(&results);
     }
 }

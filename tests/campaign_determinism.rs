@@ -1,0 +1,42 @@
+//! Campaign-engine determinism: the chunked work-stealing fan-out must not
+//! leak scheduling nondeterminism into results. A parallel run over 8
+//! threads serializes byte-identically to the serial run, and a resumed run
+//! reuses the sink byte-for-byte.
+
+use std::fs;
+use wrht_bench::campaign::{fig2_from_campaign, run_campaign, sweep_spec};
+use wrht_bench::report::to_json;
+use wrht_bench::ExperimentConfig;
+
+#[test]
+fn parallel_campaign_json_is_byte_identical_to_serial() {
+    let cfg = ExperimentConfig::small();
+    let spec = sweep_spec(&cfg, &[dnn_models::googlenet()], 2023);
+    let serial = run_campaign(&spec, 1, None);
+    let parallel = run_campaign(&spec, 8, None);
+    assert_eq!(
+        to_json(&serial),
+        to_json(&parallel),
+        "thread count must not change campaign output"
+    );
+    // The sweep grid actually exercised both fabrics and produced fig2.
+    let named = [(spec.cells[0].model.as_str(), spec.cells[0].gradient_bytes)];
+    let series = fig2_from_campaign(&serial.results, &named, &cfg.scales, cfg.wavelengths);
+    assert_eq!(series.len(), 1);
+    assert_eq!(series[0].rows.len(), cfg.scales.len());
+}
+
+#[test]
+fn resumed_campaign_reuses_the_sink_byte_for_byte() {
+    let cfg = ExperimentConfig {
+        scales: vec![16],
+        ..ExperimentConfig::small()
+    };
+    let spec = sweep_spec(&cfg, &[dnn_models::googlenet()], 7);
+    let dir = std::env::temp_dir().join(format!("wrht-campaign-resume-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let first = run_campaign(&spec, 4, Some(&dir));
+    let resumed = run_campaign(&spec, 1, Some(&dir));
+    assert_eq!(to_json(&first), to_json(&resumed));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,69 @@
+//! Golden-file regression tests for the `fig2` / `headline` JSON payloads.
+//!
+//! The simulators are pure IEEE-754 arithmetic with no platform-dependent
+//! ordering, so the rendered JSON is bit-stable; any drift in the timing
+//! models, lowering or serialization shows up as a golden diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! WRHT_BLESS=1 cargo test --test golden_figures
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use wrht_bench::report::to_json;
+use wrht_bench::{fig2_series, headline, ExperimentConfig};
+
+/// A fixed reduced-scale grid: small enough to run in milliseconds, large
+/// enough to cover both substrates, the optimizer and the all-to-all stop.
+fn golden_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        scales: vec![16, 32],
+        ..ExperimentConfig::default()
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the checked-in golden, or regenerate it when
+/// the `WRHT_BLESS` environment variable is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("WRHT_BLESS").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create tests/golden");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run `WRHT_BLESS=1 cargo test --test golden_figures`",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; if intentional, re-bless with \
+         `WRHT_BLESS=1 cargo test --test golden_figures`"
+    );
+}
+
+#[test]
+fn fig2_json_matches_golden() {
+    let series = fig2_series(&golden_cfg(), &dnn_models::googlenet());
+    assert_matches_golden("fig2_googlenet.json", &to_json(&series));
+}
+
+#[test]
+fn headline_json_matches_golden() {
+    let cfg = golden_cfg();
+    let all: Vec<_> = [dnn_models::googlenet(), dnn_models::alexnet()]
+        .iter()
+        .map(|m| fig2_series(&cfg, m))
+        .collect();
+    assert_matches_golden("headline.json", &to_json(&headline(&all)));
+}
