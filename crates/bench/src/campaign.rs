@@ -211,9 +211,9 @@ pub fn config_hash(cell: &CellConfig) -> u64 {
 /// the campaign seed. Mixed into every sink key so that cells computed
 /// under different physics (or a different seed) are never reused on
 /// resume.
-fn context_hash(spec: &CampaignSpec) -> u64 {
-    let base = serde_json::to_string(&spec.base).expect("experiment configs serialize");
-    fnv1a(&format!("{base}#{}", spec.seed))
+fn context_hash(base: &ExperimentConfig, seed: u64) -> u64 {
+    let base = serde_json::to_string(base).expect("experiment configs serialize");
+    fnv1a(&format!("{base}#{seed}"))
 }
 
 /// Execute one cell against the campaign's physical constants.
@@ -299,20 +299,66 @@ pub fn run_cell(base: &ExperimentConfig, seed: u64, cell: &CellConfig) -> CellRe
     result
 }
 
-fn cell_file(sink: &Path, hash: u64) -> std::path::PathBuf {
-    sink.join(format!("cell-{hash:016x}.json"))
+fn cell_file(sink: &Path, prefix: &str, hash: u64) -> std::path::PathBuf {
+    sink.join(format!("{prefix}-{hash:016x}.json"))
 }
 
-/// Load a previously finished cell from the sink, if present and readable.
-/// The sink `key` already encodes the campaign context, so a file produced
-/// under different physical constants lives under a different name; the
-/// config and seed comparisons additionally reject collisions and stale
-/// hand-edited files.
-fn load_finished(sink: &Path, cell: &CellConfig, key: u64, seed: u64) -> Option<CellResult> {
-    let text = fs::read_to_string(cell_file(sink, key)).ok()?;
-    let parsed: CellResult = serde_json::from_str(&text).ok()?;
-    (parsed.cell == *cell && parsed.config_hash == config_hash(cell) && parsed.seed == seed)
-        .then_some(parsed)
+/// Load a previously finished cell of any result type from a sink file, if
+/// present, readable and accepted by `valid`. The file name already
+/// encodes the campaign context, so a file produced under different
+/// physical constants lives under a different name; `valid` additionally
+/// rejects collisions and stale hand-edited files.
+fn load_finished<R: serde::Deserialize>(path: &Path, valid: impl Fn(&R) -> bool) -> Option<R> {
+    let text = fs::read_to_string(path).ok()?;
+    let parsed: R = serde_json::from_str(&text).ok()?;
+    valid(&parsed).then_some(parsed)
+}
+
+/// The shared campaign executor: chunked work-stealing over the slots not
+/// already prefilled (from a sink resume), returning results in slot
+/// order regardless of thread interleaving — a parallel run serializes
+/// byte-identically to a serial one. `persist` is called from worker
+/// threads as each result finishes.
+fn run_slots<R: Clone + Send>(
+    threads: usize,
+    prefilled: Vec<Option<R>>,
+    run: impl Fn(usize) -> R + Sync,
+    persist: impl Fn(usize, &R) + Sync,
+) -> Vec<R> {
+    let todo: Vec<usize> = (0..prefilled.len())
+        .filter(|&i| prefilled[i].is_none())
+        .collect();
+    let workers = threads.max(1).min(todo.len().max(1));
+    let chunk = todo.len().div_ceil(workers * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots = Mutex::new(prefilled);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= todo.len() {
+                    return;
+                }
+                let indices = &todo[start..todo.len().min(start + chunk)];
+                let batch: Vec<(usize, R)> = indices.iter().map(|&i| (i, run(i))).collect();
+                for (i, result) in &batch {
+                    persist(*i, result);
+                }
+                let mut guard = slots.lock().expect("campaign result lock");
+                for (i, result) in batch {
+                    guard[i] = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("campaign result lock")
+        .into_iter()
+        .map(|slot| slot.expect("every cell executed"))
+        .collect()
 }
 
 /// Run a campaign over `threads` workers with chunked work-stealing.
@@ -331,58 +377,32 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize, sink: Option<&Path>) ->
 
     // Sink keys mix the per-cell hash with the campaign context so resumes
     // never reuse cells computed under different physics or seed.
-    let ctx = context_hash(spec);
+    let ctx = context_hash(&spec.base, spec.seed);
     let keys: Vec<u64> = spec.cells.iter().map(|c| config_hash(c) ^ ctx).collect();
     let mut prefilled: Vec<Option<CellResult>> = vec![None; spec.cells.len()];
-
-    // Resume: reuse every cell the sink already holds.
-    let mut todo: Vec<usize> = Vec::new();
     for (i, cell) in spec.cells.iter().enumerate() {
         let expected_seed = spec.seed ^ config_hash(cell);
-        match sink.and_then(|dir| load_finished(dir, cell, keys[i], expected_seed)) {
-            Some(done) => prefilled[i] = Some(done),
-            None => todo.push(i),
-        }
+        prefilled[i] = sink.and_then(|dir| {
+            load_finished(&cell_file(dir, "cell", keys[i]), |r: &CellResult| {
+                r.cell == *cell && r.config_hash == config_hash(cell) && r.seed == expected_seed
+            })
+        });
     }
 
-    let workers = threads.max(1).min(todo.len().max(1));
-    let chunk = todo.len().div_ceil(workers * 4).max(1);
-    let cursor = AtomicUsize::new(0);
-    let slots = Mutex::new(prefilled);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= todo.len() {
-                    return;
-                }
-                let indices = &todo[start..todo.len().min(start + chunk)];
-                let batch: Vec<(usize, CellResult)> = indices
-                    .iter()
-                    .map(|&i| (i, run_cell(&spec.base, spec.seed, &spec.cells[i])))
-                    .collect();
-                if let Some(dir) = sink {
-                    for (i, result) in &batch {
-                        let _ = fs::write(cell_file(dir, keys[*i]), to_json(result));
-                    }
-                }
-                let mut guard = slots.lock().expect("campaign result lock");
-                for (i, result) in batch {
-                    guard[i] = Some(result);
-                }
-            });
-        }
-    });
+    let results = run_slots(
+        threads,
+        prefilled,
+        |i| run_cell(&spec.base, spec.seed, &spec.cells[i]),
+        |i, result| {
+            if let Some(dir) = sink {
+                let _ = fs::write(cell_file(dir, "cell", keys[i]), to_json(result));
+            }
+        },
+    );
 
     let report = CampaignReport {
         name: spec.name.clone(),
-        results: slots
-            .into_inner()
-            .expect("campaign result lock")
-            .into_iter()
-            .map(|slot| slot.expect("every cell executed"))
-            .collect(),
+        results,
     };
     if let Some(dir) = sink {
         let _ = fs::write(dir.join(format!("{}.json", spec.name)), to_json(&report));
@@ -609,6 +629,316 @@ pub fn sweep_spec(cfg: &ExperimentConfig, models: &[Model], seed: u64) -> Campai
         });
     }
 
+    spec
+}
+
+/// One grid point of a timeline campaign: a full data-parallel training
+/// iteration (bucketed all-reduces overlapping backward) instead of a
+/// single collective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineCellConfig {
+    /// Fabric that executes the bucket schedules.
+    pub substrate: SubstrateKind,
+    /// Collective algorithm used per bucket.
+    pub algorithm: Algorithm,
+    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    pub model: String,
+    /// Gradient-fusion bucket budget, bytes.
+    pub bucket_bytes: u64,
+    /// Node count.
+    pub n: usize,
+    /// Wavelength budget (optical; recorded but unused electrically).
+    pub wavelengths: usize,
+    /// RWA strategy (optical; ignored electrically).
+    pub strategy: Strategy,
+}
+
+/// Result of one executed (or failed) timeline cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineCellResult {
+    /// The cell's configuration.
+    pub cell: TimelineCellConfig,
+    /// FNV-1a hash of the configuration (the sink key).
+    pub config_hash: u64,
+    /// Deterministic per-cell seed: campaign seed ⊕ config hash.
+    pub seed: u64,
+    /// Number of gradient buckets.
+    pub buckets: usize,
+    /// End of compute (forward + backward), seconds.
+    pub compute_s: f64,
+    /// Overlapped iteration time, seconds (0 when `error` is set).
+    pub overlapped_s: f64,
+    /// Sequential (fused post-backward all-reduce) iteration time, seconds.
+    pub sequential_s: f64,
+    /// Total communication time over all buckets, seconds.
+    pub total_comm_s: f64,
+    /// Communication exposed past the end of backward, seconds.
+    pub exposed_comm_s: f64,
+    /// Fraction of communication hidden behind compute.
+    pub hidden_fraction: f64,
+    /// Total substrate steps over all buckets.
+    pub steps: usize,
+    /// Error string for infeasible cells.
+    pub error: Option<String>,
+}
+
+/// A declarative timeline campaign: shared physical constants plus cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSpec {
+    /// Campaign name (names the combined sink files).
+    pub name: String,
+    /// Physical constants shared by every cell.
+    pub base: ExperimentConfig,
+    /// Campaign-level seed, mixed into every cell seed.
+    pub seed: u64,
+    /// The cells, in grid order.
+    pub cells: Vec<TimelineCellConfig>,
+}
+
+impl TimelineSpec {
+    /// Expand a full cross-product grid in deterministic nested order
+    /// (model → bucket size → n → algorithm → substrate), at the base
+    /// config's wavelength budget.
+    #[must_use]
+    pub fn grid(
+        name: &str,
+        base: ExperimentConfig,
+        models: &[&str],
+        bucket_sizes: &[u64],
+        nodes: &[usize],
+        algorithms: &[Algorithm],
+        substrates: &[SubstrateKind],
+    ) -> Self {
+        let wavelengths = base.wavelengths;
+        let mut cells = Vec::new();
+        for &model in models {
+            for &bucket_bytes in bucket_sizes {
+                for &n in nodes {
+                    for &algorithm in algorithms {
+                        for &substrate in substrates {
+                            cells.push(TimelineCellConfig {
+                                substrate,
+                                algorithm,
+                                model: model.to_string(),
+                                bucket_bytes,
+                                n,
+                                wavelengths,
+                                strategy: Strategy::FirstFit,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            base,
+            seed: 0,
+            cells,
+        }
+    }
+}
+
+/// Executed timeline campaign: results in the same order as `spec.cells`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineReport {
+    /// Campaign name.
+    pub name: String,
+    /// One result per cell, in grid order.
+    pub results: Vec<TimelineCellResult>,
+}
+
+/// Stable FNV-1a hash of a timeline cell configuration.
+#[must_use]
+pub fn timeline_config_hash(cell: &TimelineCellConfig) -> u64 {
+    fnv1a(&serde_json::to_string(cell).expect("cell configs serialize"))
+}
+
+/// Execute one timeline cell against the campaign's physical constants.
+#[must_use]
+pub fn run_timeline_cell(
+    base: &ExperimentConfig,
+    seed: u64,
+    cell: &TimelineCellConfig,
+) -> TimelineCellResult {
+    let hash = timeline_config_hash(cell);
+    let mut result = TimelineCellResult {
+        cell: cell.clone(),
+        config_hash: hash,
+        seed: seed ^ hash,
+        buckets: 0,
+        compute_s: 0.0,
+        overlapped_s: 0.0,
+        sequential_s: 0.0,
+        total_comm_s: 0.0,
+        exposed_comm_s: 0.0,
+        hidden_fraction: 0.0,
+        steps: 0,
+        error: None,
+    };
+
+    let Some(model) = dnn_models::paper_models()
+        .into_iter()
+        .find(|m| m.name == cell.model)
+    else {
+        result.error = Some(format!("unknown model '{}'", cell.model));
+        return result;
+    };
+
+    // Cell-local constants: the cell's wavelength budget overrides the base.
+    let mut local = base.clone();
+    local.wavelengths = cell.wavelengths;
+
+    match crate::timeline::model_timeline(
+        &local,
+        &model,
+        cell.n,
+        cell.bucket_bytes,
+        cell.algorithm,
+        cell.substrate,
+        cell.strategy,
+    ) {
+        Ok(t) => {
+            result.buckets = t.bucket_count();
+            result.compute_s = t.compute_s;
+            result.overlapped_s = t.overlapped_s;
+            result.sequential_s = t.sequential_s;
+            result.total_comm_s = t.total_comm_s;
+            result.exposed_comm_s = t.exposed_comm_s;
+            result.hidden_fraction = t.hidden_fraction;
+            result.steps = t.total_steps();
+        }
+        Err(e) => result.error = Some(e.to_string()),
+    }
+    result
+}
+
+/// Run a timeline campaign over `threads` workers — deterministic and
+/// resumable exactly like [`run_campaign`]: one `tcell-<hash>.json` per
+/// finished cell, grid-ordered results, byte-identical serial/parallel
+/// output, plus combined `<name>.json` / `<name>.csv` tables.
+#[must_use]
+pub fn run_timeline_campaign(
+    spec: &TimelineSpec,
+    threads: usize,
+    sink: Option<&Path>,
+) -> TimelineReport {
+    if let Some(dir) = sink {
+        let _ = fs::create_dir_all(dir);
+    }
+
+    let ctx = context_hash(&spec.base, spec.seed);
+    let keys: Vec<u64> = spec
+        .cells
+        .iter()
+        .map(|c| timeline_config_hash(c) ^ ctx)
+        .collect();
+    let mut prefilled: Vec<Option<TimelineCellResult>> = vec![None; spec.cells.len()];
+    for (i, cell) in spec.cells.iter().enumerate() {
+        let expected_seed = spec.seed ^ timeline_config_hash(cell);
+        prefilled[i] = sink.and_then(|dir| {
+            load_finished(
+                &cell_file(dir, "tcell", keys[i]),
+                |r: &TimelineCellResult| {
+                    r.cell == *cell
+                        && r.config_hash == timeline_config_hash(cell)
+                        && r.seed == expected_seed
+                },
+            )
+        });
+    }
+
+    let results = run_slots(
+        threads,
+        prefilled,
+        |i| run_timeline_cell(&spec.base, spec.seed, &spec.cells[i]),
+        |i, result| {
+            if let Some(dir) = sink {
+                let _ = fs::write(cell_file(dir, "tcell", keys[i]), to_json(result));
+            }
+        },
+    );
+
+    let report = TimelineReport {
+        name: spec.name.clone(),
+        results,
+    };
+    if let Some(dir) = sink {
+        let _ = fs::write(dir.join(format!("{}.json", spec.name)), to_json(&report));
+        let _ = fs::write(
+            dir.join(format!("{}.csv", spec.name)),
+            timeline_to_csv(&report),
+        );
+    }
+    report
+}
+
+/// Render a timeline campaign as CSV (stable column order, grid rows).
+#[must_use]
+pub fn timeline_to_csv(report: &TimelineReport) -> String {
+    let mut out = String::from(
+        "substrate,algorithm,model,n,wavelengths,strategy,bucket_bytes,seed,\
+         buckets,compute_s,overlapped_s,sequential_s,total_comm_s,\
+         exposed_comm_s,hidden_fraction,steps,error\n",
+    );
+    for r in &report.results {
+        let c = &r.cell;
+        out.push_str(&format!(
+            "{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{}\n",
+            c.substrate.label(),
+            c.algorithm.label(),
+            csv_field(&c.model),
+            c.n,
+            c.wavelengths,
+            c.strategy,
+            c.bucket_bytes,
+            r.seed,
+            r.buckets,
+            r.compute_s,
+            r.overlapped_s,
+            r.sequential_s,
+            r.total_comm_s,
+            r.exposed_comm_s,
+            r.hidden_fraction,
+            r.steps,
+            csv_field(r.error.as_deref().unwrap_or("")),
+        ));
+    }
+    out
+}
+
+impl From<&TimelineCellResult> for crate::timeline::TimelineRow {
+    fn from(r: &TimelineCellResult) -> Self {
+        Self {
+            model: r.cell.model.clone(),
+            substrate: r.cell.substrate.label().to_string(),
+            buckets: r.buckets,
+            compute_s: r.compute_s,
+            overlapped_s: r.overlapped_s,
+            sequential_s: r.sequential_s,
+            total_comm_s: r.total_comm_s,
+            exposed_comm_s: r.exposed_comm_s,
+            hidden_fraction: r.hidden_fraction,
+            steps: r.steps,
+        }
+    }
+}
+
+/// The `repro-figures train` campaign: every paper model × Wrht × both
+/// substrates at `n` nodes with the DDP-default 25 MB bucket budget.
+#[must_use]
+pub fn train_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64) -> TimelineSpec {
+    let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+    let mut spec = TimelineSpec::grid(
+        "train",
+        cfg.clone(),
+        &names,
+        &[25 << 20],
+        &[n],
+        &[Algorithm::Wrht],
+        &[SubstrateKind::Electrical, SubstrateKind::Optical],
+    );
+    spec.seed = seed;
     spec
 }
 
@@ -861,6 +1191,107 @@ mod tests {
             assert!(row.wrht_s > 0.0 && row.wrht_s < row.o_ring_s);
             assert!(row.wrht_m >= 2);
         }
+    }
+
+    fn tiny_timeline_spec() -> TimelineSpec {
+        let mut spec = TimelineSpec::grid(
+            "tiny-train",
+            tiny_cfg(),
+            &["GoogLeNet"],
+            &[4 << 20, 25 << 20],
+            &[8, 16],
+            &[Algorithm::Wrht, Algorithm::Ring],
+            &[SubstrateKind::Electrical, SubstrateKind::Optical],
+        );
+        spec.seed = 11;
+        spec
+    }
+
+    #[test]
+    fn timeline_grid_expands_the_cross_product() {
+        let spec = tiny_timeline_spec();
+        assert_eq!(spec.cells.len(), 2 * 2 * 2 * 2);
+        assert_eq!(spec.cells[0].substrate, SubstrateKind::Electrical);
+        assert_eq!(spec.cells[0].bucket_bytes, 4 << 20);
+        assert_eq!(spec.cells.last().unwrap().bucket_bytes, 25 << 20);
+        let mut hashes: Vec<u64> = spec.cells.iter().map(timeline_config_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), spec.cells.len(), "hash collision");
+    }
+
+    #[test]
+    fn timeline_cells_execute_and_derive_seeds() {
+        let spec = tiny_timeline_spec();
+        let report = run_timeline_campaign(&spec, 2, None);
+        assert_eq!(report.results.len(), spec.cells.len());
+        for r in &report.results {
+            assert!(r.error.is_none(), "{:?}: {:?}", r.cell, r.error);
+            assert_eq!(r.seed, spec.seed ^ r.config_hash);
+            assert!(r.buckets >= 1);
+            assert!(r.overlapped_s >= r.compute_s);
+            assert!(r.overlapped_s > 0.0);
+            assert!((0.0..=1.0).contains(&r.hidden_fraction));
+            assert!(r.steps > 0);
+        }
+    }
+
+    #[test]
+    fn timeline_parallel_run_is_byte_identical_to_serial() {
+        let spec = tiny_timeline_spec();
+        let serial = run_timeline_campaign(&spec, 1, None);
+        let parallel = run_timeline_campaign(&spec, 8, None);
+        assert_eq!(to_json(&serial), to_json(&parallel));
+    }
+
+    #[test]
+    fn timeline_sink_resumes_and_rejects_unknown_models() {
+        let dir = std::env::temp_dir().join(format!("wrht-tl-campaign-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut spec = tiny_timeline_spec();
+        spec.cells.truncate(4);
+        spec.cells.push(TimelineCellConfig {
+            substrate: SubstrateKind::Optical,
+            algorithm: Algorithm::Wrht,
+            model: "NotANet".into(),
+            bucket_bytes: 1 << 20,
+            n: 8,
+            wavelengths: 64,
+            strategy: Strategy::FirstFit,
+        });
+        let first = run_timeline_campaign(&spec, 2, Some(&dir));
+        assert!(first.results.last().unwrap().error.is_some());
+        let resumed = run_timeline_campaign(&spec, 2, Some(&dir));
+        assert_eq!(to_json(&first), to_json(&resumed));
+        assert!(dir.join("tiny-train.json").exists());
+        let csv = fs::read_to_string(dir.join("tiny-train.csv")).unwrap();
+        assert_eq!(csv.lines().count(), spec.cells.len() + 1);
+        // Timeline sink files use their own prefix, so the two campaign
+        // kinds can share a directory without key collisions.
+        let tcells = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("tcell-")
+            })
+            .count();
+        assert_eq!(tcells, spec.cells.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn train_spec_covers_every_model_on_both_substrates() {
+        let models = dnn_models::paper_models();
+        let spec = train_spec(&tiny_cfg(), &models, 16, 7);
+        assert_eq!(spec.cells.len(), models.len() * 2);
+        assert!(spec
+            .cells
+            .iter()
+            .all(|c| c.algorithm == Algorithm::Wrht && c.n == 16));
+        assert_eq!(spec.seed, 7);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * [`ablations`] — group-size, wavelength-count, RWA-strategy and
 //!   overlap extension studies;
 //! * [`campaign`] — the declarative, parallel campaign-sweep engine over
-//!   the unified [`wrht_core::substrate::Substrate`] API;
+//!   the unified [`wrht_core::substrate::Substrate`] API, including the
+//!   timeline experiment axis (model × bucket size × algorithm ×
+//!   substrate);
+//! * [`timeline`] — simulator-backed training iterations of the zoo
+//!   models (the `repro-figures train` workload);
 //! * [`report`] — table/JSON rendering.
 //!
 //! ```
@@ -32,7 +36,12 @@ pub mod config;
 pub mod contention;
 pub mod fig2;
 pub mod report;
+pub mod timeline;
 
-pub use campaign::{run_campaign, sweep_spec, Algorithm, CampaignReport, CampaignSpec};
+pub use campaign::{
+    run_campaign, run_timeline_campaign, sweep_spec, train_spec, Algorithm, CampaignReport,
+    CampaignSpec, TimelineReport, TimelineSpec,
+};
 pub use config::{ExperimentConfig, SubstrateKind};
 pub use fig2::{fig2_row, fig2_series, headline, Fig2Row, Fig2Series, Headline};
+pub use timeline::{model_timeline, timeline_table, TimelineRow};

@@ -3,6 +3,7 @@
 use crate::ablations::{FitCompare, GroupSizePoint, OverlapPoint, VariantPoint, WavelengthPoint};
 use crate::contention::ContentionReport;
 use crate::fig2::{Fig2Series, Headline};
+use crate::timeline::TimelineRow;
 use std::fmt::Write as _;
 
 /// Format seconds as engineering-friendly milliseconds.
@@ -152,6 +153,44 @@ pub fn render_overlap(points: &[OverlapPoint], n: usize) -> String {
             p.overlapped_s * 1e3,
             p.sequential_s * 1e3,
             p.hidden_fraction * 100.0
+        );
+    }
+    out
+}
+
+/// Render the simulator-backed training timeline table.
+#[must_use]
+pub fn render_timeline(rows: &[TimelineRow], n: usize, bucket_bytes: u64) -> String {
+    let mut out = format!(
+        "== Training timelines: Wrht-backed iteration (n = {n}, {:.0} MB buckets) ==\n",
+        bucket_bytes as f64 / (1 << 20) as f64
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>11} {:>8} {:>11} {:>14} {:>14} {:>11} {:>8} {:>6}",
+        "model",
+        "substrate",
+        "buckets",
+        "compute ms",
+        "overlapped ms",
+        "sequential ms",
+        "exposed ms",
+        "hidden",
+        "steps"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>11} {:>8} {:>11.3} {:>14.3} {:>14.3} {:>11.3} {:>7.1}% {:>6}",
+            r.model,
+            r.substrate,
+            r.buckets,
+            r.compute_s * 1e3,
+            r.overlapped_s * 1e3,
+            r.sequential_s * 1e3,
+            r.exposed_comm_s * 1e3,
+            r.hidden_fraction * 100.0,
+            r.steps
         );
     }
     out

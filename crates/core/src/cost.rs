@@ -30,21 +30,6 @@ impl CostBreakdown {
     }
 }
 
-/// Longest member→representative distance at a level (ring hops; groups are
-/// contiguous ascending runs, so the distance is a simple difference).
-fn level_max_hops(level: &crate::plan::Level) -> usize {
-    level
-        .groups
-        .iter()
-        .map(|g| {
-            let first = *g.members.first().expect("non-empty group");
-            let last = *g.members.last().expect("non-empty group");
-            (g.rep - first).max(last - g.rep)
-        })
-        .max()
-        .unwrap_or(0)
-}
-
 /// Predict the communication time of `plan` moving `bytes` per message on
 /// the ring described by `config`.
 #[must_use]
@@ -54,7 +39,7 @@ pub fn predict_time_s(plan: &WrhtPlan, config: &OpticalConfig, bytes: u64) -> Co
 
     let mut reduce_s = 0.0;
     for level in &plan.levels {
-        let hops = level_max_hops(level);
+        let hops = level.max_hop_span();
         let t = if level.groups.iter().all(|g| g.members.len() == 1) {
             0.0 // degenerate level: nothing to send
         } else {
@@ -66,26 +51,14 @@ pub fn predict_time_s(plan: &WrhtPlan, config: &OpticalConfig, bytes: u64) -> Co
 
     let mut alltoall_s = 0.0;
     if let Some(ata) = &plan.alltoall {
-        let n = plan.n.max(2);
-        let hops = ata
-            .reps
-            .iter()
-            .flat_map(|&a| ata.reps.iter().map(move |&b| (a, b)))
-            .filter(|(a, b)| a != b)
-            .map(|(a, b)| {
-                let cw = (b + n - a) % n;
-                cw.min(n - cw)
-            })
-            .max()
-            .unwrap_or(0);
-        alltoall_s = timing.transfer_time(bytes, ata.lanes, hops);
+        alltoall_s = timing.transfer_time(bytes, ata.lanes, plan.alltoall_hop_span());
         per_step_s.push(alltoall_s);
     }
 
     // Broadcast mirrors the reduce stage, root-most level first.
     let broadcast_s = reduce_s;
     for level in plan.levels.iter().rev() {
-        let hops = level_max_hops(level);
+        let hops = level.max_hop_span();
         let t = if level.groups.iter().all(|g| g.members.len() == 1) {
             0.0
         } else {

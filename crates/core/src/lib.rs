@@ -33,7 +33,10 @@
 //! * [`baselines`] — O-Ring (ring all-reduce over the optical ring) and a
 //!   generic collectives→optical lowering;
 //! * [`substrate`] — the unified [`substrate::Substrate`] execution trait
-//!   over the optical ring and the electrical fluid-model cluster.
+//!   over the optical ring and the electrical fluid-model cluster;
+//! * [`timeline`] — simulator-backed training iterations: per-bucket
+//!   all-reduces executed on a substrate and merged with gradient-ready
+//!   times into an [`timeline::IterationTimeline`].
 //!
 //! ```
 //! use wrht_core::prelude::*;
@@ -60,6 +63,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod steps;
 pub mod substrate;
+pub mod timeline;
 
 /// Common re-exports.
 pub mod prelude {
@@ -81,6 +85,9 @@ pub mod prelude {
     pub use crate::substrate::{
         ElectricalSubstrate, OpticalSubstrate, RunReport, StepTiming, Substrate,
     };
+    pub use crate::timeline::{
+        execute_timeline, BucketTimeline, IterationTimeline, TimelineBucket,
+    };
 }
 
 pub use error::WrhtError;
@@ -88,3 +95,4 @@ pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
 pub use params::{GroupSize, WrhtParams};
 pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};
 pub use substrate::{ElectricalSubstrate, OpticalSubstrate, RunReport, Substrate};
+pub use timeline::{execute_timeline, IterationTimeline, TimelineBucket};

@@ -10,17 +10,21 @@
 //! Pipelining makes previously step-disjoint tree levels *concurrent* on
 //! the ring, so each concurrent stage must own a wavelength sub-budget.
 //! We model the conservative partition: with `c = min(k, steps)` stages in
-//! flight, each stage gets `⌊w/c⌋` wavelengths (at least its requirement
-//! must fit, else that `k` is infeasible). This keeps every assignment
-//! conflict-free by construction — the same guarantee the stepped schedule
-//! has — at the price of underusing wavelengths when stages need fewer.
+//! flight, the budget is split per step **residue mod `c`** — any `c`
+//! consecutive steps occupy distinct residues, so the partition is
+//! conflict-free by construction, the same guarantee the stepped schedule
+//! has. Each residue gets `⌊w/c⌋` wavelengths and the `w mod c` remainder
+//! lanes are distributed one-per-residue instead of being wasted. A stage
+//! whose sub-budget is zero (or below its requirement) makes that `k`
+//! infeasible — a zero-wavelength stage can make no progress, even for
+//! degenerate steps that request nothing.
 //!
 //! The solver [`optimal_segments`] picks the `k` minimizing the modelled
 //! time; [`segment_sweep`] exposes the whole trade-off curve for the
 //! ablation.
 
 use crate::cost::CostBreakdown;
-use crate::plan::WrhtPlan;
+use crate::plan::{Level, WrhtPlan};
 use optical_sim::OpticalConfig;
 use serde::{Deserialize, Serialize};
 
@@ -53,45 +57,26 @@ fn step_requirements(plan: &WrhtPlan) -> Vec<usize> {
     reqs
 }
 
-/// Longest member→rep hop distance per step (mirrors `cost::level_max_hops`).
+/// Longest member→rep hop distance per step (the same spans
+/// [`crate::cost::predict_time_s`] charges, via [`crate::plan::Level::max_hop_span`]).
 fn step_hops(plan: &WrhtPlan) -> Vec<usize> {
-    let level_hops = |level: &crate::plan::Level| {
-        level
-            .groups
-            .iter()
-            .map(|g| {
-                let first = *g.members.first().expect("non-empty");
-                let last = *g.members.last().expect("non-empty");
-                (g.rep - first).max(last - g.rep)
-            })
-            .max()
-            .unwrap_or(0)
-    };
-    let mut hops: Vec<usize> = plan.levels.iter().map(level_hops).collect();
-    if let Some(ata) = &plan.alltoall {
-        let n = plan.n.max(2);
-        let h = ata
-            .reps
-            .iter()
-            .flat_map(|&a| ata.reps.iter().map(move |&b| (a, b)))
-            .filter(|(a, b)| a != b)
-            .map(|(a, b)| {
-                let cw = (b + n - a) % n;
-                cw.min(n - cw)
-            })
-            .max()
-            .unwrap_or(0);
-        hops.push(h);
+    let mut hops: Vec<usize> = plan.levels.iter().map(Level::max_hop_span).collect();
+    if plan.alltoall.is_some() {
+        hops.push(plan.alltoall_hop_span());
     }
-    let bcast: Vec<usize> = plan.levels.iter().rev().map(level_hops).collect();
+    let bcast: Vec<usize> = plan.levels.iter().rev().map(Level::max_hop_span).collect();
     hops.extend(bcast);
     hops
 }
 
 /// Modelled time of the `k`-segment pipelined execution of `plan`.
 ///
-/// Returns an infeasible point when some stage's wavelength requirement
-/// exceeds its `⌊w/c⌋` sub-budget.
+/// Each step's sub-budget is its residue's share of the partition:
+/// `⌊w/c⌋`, plus one of the `w mod c` remainder lanes for the low
+/// residues. Returns an infeasible point when some stage's wavelength
+/// requirement exceeds its sub-budget, or when a stage's sub-budget is
+/// zero (a zero-wavelength stage can make no progress, even when it
+/// requests nothing).
 #[must_use]
 pub fn segmented_time(
     plan: &WrhtPlan,
@@ -111,20 +96,26 @@ pub fn segmented_time(
         };
     }
     let concurrency = k.min(steps);
-    let sub_budget = config.wavelengths / concurrency;
+    // Per-residue partition: any `concurrency` consecutive steps occupy
+    // distinct residues mod `concurrency`, so giving residue `r` its own
+    // sub-budget keeps concurrent stages conflict-free. The remainder
+    // `w mod c` is distributed one extra lane per low residue.
+    let base = config.wavelengths / concurrency;
+    let extra = config.wavelengths % concurrency;
     let timing = config.timing();
     let seg_bytes = bytes.div_ceil(k as u64);
 
     let mut tick = 0.0f64;
-    for (&req, &h) in reqs.iter().zip(&hops) {
-        if req > sub_budget {
+    for (i, (&req, &h)) in reqs.iter().zip(&hops).enumerate() {
+        let budget = base + usize::from(i % concurrency < extra);
+        if budget == 0 || req > budget {
             return SegmentPoint {
                 segments: k,
                 time_s: f64::INFINITY,
                 feasible: false,
             };
         }
-        let lanes = (sub_budget / req.max(1)).max(1);
+        let lanes = (budget / req.max(1)).max(1);
         tick = tick.max(timing.transfer_time(seg_bytes, lanes, h));
     }
     SegmentPoint {
@@ -148,6 +139,11 @@ pub fn segment_sweep(
 }
 
 /// Pick the segment count minimizing modelled time; ties go to smaller `k`.
+///
+/// When no `k` in the sweep is feasible (e.g. the config's wavelength
+/// budget is smaller than the one the plan was built for), the `k = 1`
+/// point is returned unchanged — infeasible, with infinite time — so
+/// callers can branch on `feasible` instead of panicking.
 #[must_use]
 pub fn optimal_segments(
     plan: &WrhtPlan,
@@ -155,11 +151,13 @@ pub fn optimal_segments(
     bytes: u64,
     max_k: usize,
 ) -> SegmentPoint {
-    segment_sweep(plan, config, bytes, max_k)
+    let sweep = segment_sweep(plan, config, bytes, max_k);
+    let fallback = sweep[0];
+    sweep
         .into_iter()
         .filter(|p| p.feasible)
         .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite"))
-        .expect("k = 1 is always feasible")
+        .unwrap_or(fallback)
 }
 
 /// Compare against the unsegmented cost model: `k = 1` must reproduce the
@@ -242,6 +240,129 @@ mod tests {
             "alpha must cap k, got {}",
             best.segments
         );
+    }
+
+    #[test]
+    fn zero_sub_budget_is_infeasible_even_for_degenerate_steps() {
+        use crate::plan::{Group, Level};
+        // Three degenerate levels requesting zero wavelengths. With w = 2
+        // and k = 3 the per-residue budgets are [1, 1, 0]; the zero-budget
+        // stage can make no progress, so the point must be infeasible —
+        // never a bogus 0-wavelength "feasible" schedule.
+        let level = Level {
+            groups: vec![Group {
+                members: vec![0],
+                rep: 0,
+            }],
+            lambda_requirement: 0,
+            lanes: 1,
+        };
+        let plan = WrhtPlan {
+            n: 8,
+            m: 2,
+            wavelengths: 2,
+            levels: vec![level.clone(), level.clone(), level],
+            alltoall: None,
+            final_reps: vec![0],
+        };
+        let cfg = OpticalConfig::new(8, 2);
+        let p = segmented_time(&plan, &cfg, 1 << 20, 3);
+        assert!(!p.feasible);
+        assert!(p.time_s.is_infinite());
+        // k = 1 gives every step the full budget and stays feasible.
+        assert!(segmented_time(&plan, &cfg, 1 << 20, 1).feasible);
+    }
+
+    #[test]
+    fn k_beyond_the_wavelength_budget_is_never_selected() {
+        // w = 1: any k >= 2 leaves some stage with a zero budget, so the
+        // sweep must fall back to k = 1 instead of a degenerate deep k.
+        let (plan, cfg) = setup(64, 2, 1);
+        for k in 2..=8 {
+            assert!(
+                !segmented_time(&plan, &cfg, 1 << 20, k).feasible,
+                "k={k} cannot fit one wavelength"
+            );
+        }
+        let best = optimal_segments(&plan, &cfg, 1 << 20, 8);
+        assert!(best.feasible);
+        assert_eq!(best.segments, 1);
+    }
+
+    #[test]
+    fn zero_bytes_selects_a_single_segment() {
+        // With nothing to move, every extra segment only adds pipeline
+        // fill ticks (overhead + propagation); the argmin must be k = 1.
+        let (plan, cfg) = setup(256, 8, 64);
+        let best = optimal_segments(&plan, &cfg, 0, 16);
+        assert!(best.feasible);
+        assert_eq!(best.segments, 1);
+        assert!(best.time_s.is_finite());
+    }
+
+    #[test]
+    fn optimal_segments_falls_back_instead_of_panicking() {
+        // A config with fewer wavelengths than the plan was built for can
+        // make every k (including 1) infeasible; the solver must report
+        // the k = 1 point as infeasible rather than panic.
+        let (plan, _) = setup(81, 9, 8); // tree steps need 4 wavelengths
+        let starved = OpticalConfig::new(81, 2);
+        let best = optimal_segments(&plan, &starved, 1 << 20, 4);
+        assert!(!best.feasible);
+        assert_eq!(best.segments, 1);
+        assert!(best.time_s.is_infinite());
+    }
+
+    #[test]
+    fn more_wavelengths_never_hurt_any_segment_count() {
+        // The remainder lanes must be distributed, not wasted: growing the
+        // budget by one can only help (or leave unchanged) every k.
+        let plan = build_plan(81, 3, 4).unwrap();
+        for w in 4..12usize {
+            let narrow = OpticalConfig::new(81, w);
+            let wide = OpticalConfig::new(81, w + 1);
+            for k in 1..=6 {
+                let a = segmented_time(&plan, &narrow, 32 << 20, k);
+                let b = segmented_time(&plan, &wide, 32 << 20, k);
+                assert!(
+                    b.time_s <= a.time_s + 1e-15,
+                    "w={w} k={k}: {} vs {}",
+                    b.time_s,
+                    a.time_s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrapped_groups_do_not_underflow_hop_spans() {
+        use crate::plan::{Group, Level};
+        // Regression: a wrapped ring group whose representative is the
+        // numerically smallest member used to underflow `rep - first`.
+        let wrapped = Level {
+            groups: vec![Group {
+                members: vec![6, 7, 0],
+                rep: 0,
+            }],
+            lambda_requirement: 1,
+            lanes: 1,
+        };
+        let plan = WrhtPlan {
+            n: 8,
+            m: 3,
+            wavelengths: 2,
+            levels: vec![wrapped],
+            alltoall: None,
+            final_reps: vec![0],
+        };
+        let cfg = OpticalConfig::new(8, 2);
+        let p = segmented_time(&plan, &cfg, 1 << 20, 2);
+        assert!(p.feasible);
+        assert!(p.time_s.is_finite());
+        // The span is measured via |member - rep| = 7 hops for member 7.
+        let cost = crate::cost::predict_time_s(&plan, &cfg, 1 << 20);
+        assert!(cost.total_s().is_finite());
+        assert_eq!(plan.levels[0].max_hop_span(), 7);
     }
 
     #[test]

@@ -56,6 +56,23 @@ impl Group {
     pub fn wavelength_requirement(&self) -> usize {
         self.left_side().len().max(self.right_side().len())
     }
+
+    /// Longest member→representative hop distance in this group.
+    ///
+    /// The lowering sends members below the representative clockwise and
+    /// members above it counter-clockwise, so each member pays exactly
+    /// `|member − rep|` ring hops. Computed with `abs_diff` so unsorted or
+    /// wrapped member lists (e.g. hand-built or deserialized groups whose
+    /// representative is not between `first` and `last`) measure correctly
+    /// instead of underflowing.
+    #[must_use]
+    pub fn hop_span(&self) -> usize {
+        self.members
+            .iter()
+            .map(|&m| m.abs_diff(self.rep))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// One reduce-stage level: a partition of the currently active nodes.
@@ -68,6 +85,15 @@ pub struct Level {
     pub lambda_requirement: usize,
     /// Striping lanes per transfer: `max(1, ⌊w / lambda_requirement⌋)`.
     pub lanes: usize,
+}
+
+impl Level {
+    /// Longest member→representative hop distance over the level's groups
+    /// (the step duration is set by the farthest transmitter).
+    #[must_use]
+    pub fn max_hop_span(&self) -> usize {
+        self.groups.iter().map(Group::hop_span).max().unwrap_or(0)
+    }
 }
 
 /// The final all-to-all step among surviving representatives.
@@ -112,6 +138,24 @@ impl WrhtPlan {
     #[must_use]
     pub fn depth(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Longest shortest-path hop distance between any two all-to-all
+    /// participants (0 when the plan has no all-to-all step).
+    #[must_use]
+    pub fn alltoall_hop_span(&self) -> usize {
+        let Some(ata) = &self.alltoall else { return 0 };
+        let n = self.n.max(2);
+        ata.reps
+            .iter()
+            .flat_map(|&a| ata.reps.iter().map(move |&b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| {
+                let cw = (b + n - a) % n;
+                cw.min(n - cw)
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Peak wavelength-group requirement over all steps.
@@ -286,6 +330,50 @@ mod tests {
         let g = Group::new(vec![7]);
         assert_eq!(g.rep, 7);
         assert_eq!(g.wavelength_requirement(), 0);
+    }
+
+    #[test]
+    fn hop_span_matches_first_last_for_sorted_groups() {
+        let g = Group::new(vec![4, 5, 6, 7, 8]);
+        assert_eq!(g.hop_span(), (g.rep - 4).max(8 - g.rep));
+        let g = Group::new(vec![3]);
+        assert_eq!(g.hop_span(), 0);
+    }
+
+    #[test]
+    fn hop_span_is_defensive_for_wrapped_and_unsorted_groups() {
+        // A wrapped ring group whose representative is numerically the
+        // smallest member: (rep - first) would underflow.
+        let wrapped = Group {
+            members: vec![30, 31, 0, 1],
+            rep: 0,
+        };
+        assert_eq!(wrapped.hop_span(), 31);
+        // Unsorted members with the representative not between the list's
+        // first and last elements.
+        let unsorted = Group {
+            members: vec![5, 3, 8],
+            rep: 3,
+        };
+        assert_eq!(unsorted.hop_span(), 5);
+    }
+
+    #[test]
+    fn level_and_alltoall_spans_aggregate_groups() {
+        let p = build_plan(64, 4, 16).unwrap();
+        for level in &p.levels {
+            assert_eq!(
+                level.max_hop_span(),
+                level.groups.iter().map(Group::hop_span).max().unwrap()
+            );
+        }
+        let ata = p.alltoall.as_ref().unwrap();
+        assert!(p.alltoall_hop_span() <= p.n / 2);
+        assert!(ata.reps.len() >= 2);
+        // A plan without an all-to-all reports a zero span.
+        let root = candidate_plans(64, 4, 16).unwrap().pop().unwrap();
+        assert!(root.alltoall.is_none());
+        assert_eq!(root.alltoall_hop_span(), 0);
     }
 
     #[test]

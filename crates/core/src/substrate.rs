@@ -203,9 +203,11 @@ impl Substrate for OpticalSubstrate {
 
 /// The electrical switched cluster (fluid model) as an execution substrate.
 ///
-/// Direction and lane fields of the optical IR are ignored; zero-byte
-/// transfers are dropped (the fluid model rejects empty flows, and they
-/// carry no time on either substrate).
+/// Direction and lane fields of the optical IR are ignored. Zero-byte
+/// transfers are passed through and counted — the runner skips them when
+/// solving the fluid model but still charges the per-step launch overhead —
+/// so `transfers`/`bytes` accounting matches the optical substrate for the
+/// same schedule.
 #[derive(Debug, Clone)]
 pub struct ElectricalSubstrate {
     net: Network,
@@ -244,7 +246,6 @@ impl Substrate for ElectricalSubstrate {
             .iter()
             .map(|step| {
                 step.iter()
-                    .filter(|t| t.bytes > 0)
                     .map(|t| StepTransfer {
                         src: t.src.0,
                         dst: t.dst.0,
@@ -381,13 +382,21 @@ mod tests {
     }
 
     #[test]
-    fn electrical_substrate_drops_zero_byte_transfers() {
+    fn zero_byte_transfers_are_counted_on_both_substrates() {
         let sched = StepSchedule::from_steps(vec![vec![
             Transfer::shortest(NodeId(0), NodeId(1), 0),
             Transfer::shortest(NodeId(2), NodeId(3), 1_000_000),
         ]]);
-        let report = electrical(8).execute(&sched).unwrap();
-        assert_eq!(report.steps[0].transfers, 1);
-        assert!((report.total_time_s - 1e-3).abs() < 1e-12);
+        // Both substrates report the schedule's own transfer/byte counts;
+        // the zero-byte transfer adds no serialization time on either
+        // (these configs have zero overheads).
+        for report in [
+            optical(8, 4).execute(&sched).unwrap(),
+            electrical(8).execute(&sched).unwrap(),
+        ] {
+            assert_eq!(report.steps[0].transfers, 2, "{}", report.substrate);
+            assert_eq!(report.total_bytes(), 1_000_000);
+            assert!((report.total_time_s - 1e-3).abs() < 1e-12);
+        }
     }
 }

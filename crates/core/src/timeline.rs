@@ -1,0 +1,363 @@
+//! Simulator-backed training timelines.
+//!
+//! [`crate::substrate::Substrate`] times a *single* communication schedule;
+//! a data-parallel training iteration interleaves many of them: each
+//! gradient bucket becomes ready part-way through backward and its
+//! all-reduce serializes on the network behind earlier buckets. This module
+//! executes that interleaving **on an actual substrate** — every bucket is
+//! lowered to a [`StepSchedule`], executed on the optical or electrical
+//! fabric, and the resulting [`RunReport`]s are merged with the
+//! gradient-ready times into an [`IterationTimeline`]: per-bucket
+//! ready/start/finish instants, exposed vs hidden communication, and the
+//! substrate's own per-step timings for every bucket.
+//!
+//! The analytic counterpart is `dnn_models::training::simulate_iteration`,
+//! which prices buckets with a closed-form callback; differential tests
+//! assert the two agree whenever the callback matches the substrate.
+//!
+//! ```
+//! use wrht_core::substrate::{OpticalSubstrate, Substrate};
+//! use wrht_core::timeline::{execute_timeline, TimelineBucket};
+//! use wrht_core::baselines::oring_schedule;
+//! use optical_sim::OpticalConfig;
+//!
+//! let mut substrate = OpticalSubstrate::new(OpticalConfig::new(8, 4)).unwrap();
+//! let buckets = [
+//!     TimelineBucket::new(8_000, 2e-3),
+//!     TimelineBucket::new(8_000, 1e-3),
+//! ];
+//! let t = execute_timeline(&mut substrate, &buckets, 4e-3, |bytes| {
+//!     Ok(oring_schedule(8, bytes as usize / 4, 4))
+//! })
+//! .unwrap();
+//! assert_eq!(t.buckets.len(), 2);
+//! assert!(t.overlapped_s >= 4e-3);
+//! assert!(t.hidden_fraction >= 0.0 && t.hidden_fraction <= 1.0);
+//! ```
+
+use crate::error::Result;
+use crate::substrate::{RunReport, Substrate};
+use optical_sim::sim::StepSchedule;
+use serde::{Deserialize, Serialize};
+
+/// One gradient bucket to execute: payload plus the instant its gradient
+/// is ready (typically from `dnn_models::training::bucket_ready_times`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineBucket {
+    /// Payload bytes of the fused bucket.
+    pub bytes: u64,
+    /// Gradient-ready time, seconds from iteration start.
+    pub ready_s: f64,
+    /// Display label (e.g. the earliest fused layer's name).
+    pub label: String,
+}
+
+impl TimelineBucket {
+    /// Unlabelled bucket.
+    #[must_use]
+    pub fn new(bytes: u64, ready_s: f64) -> Self {
+        Self {
+            bytes,
+            ready_s,
+            label: String::new(),
+        }
+    }
+
+    /// Attach a display label.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// One executed bucket of an [`IterationTimeline`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketTimeline {
+    /// Display label carried over from the input bucket.
+    pub label: String,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Gradient-ready instant, seconds.
+    pub ready_s: f64,
+    /// All-reduce launch instant (ready, or later if the network was
+    /// busy with an earlier bucket), seconds.
+    pub start_s: f64,
+    /// All-reduce completion instant, seconds.
+    pub finish_s: f64,
+    /// The substrate's execution report for this bucket's schedule.
+    pub report: RunReport,
+}
+
+impl BucketTimeline {
+    /// Communication duration of the bucket, seconds.
+    #[must_use]
+    pub fn comm_s(&self) -> f64 {
+        self.finish_s - self.start_s
+    }
+
+    /// Time the ready bucket waited for the network, seconds.
+    #[must_use]
+    pub fn wait_s(&self) -> f64 {
+        self.start_s - self.ready_s
+    }
+
+    /// Absolute finish instant of every substrate step of this bucket.
+    #[must_use]
+    pub fn step_finish_times_s(&self) -> Vec<f64> {
+        let mut at = self.start_s;
+        self.report
+            .steps
+            .iter()
+            .map(|s| {
+                at += s.duration_s;
+                at
+            })
+            .collect()
+    }
+}
+
+/// A full simulator-backed training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationTimeline {
+    /// Name of the substrate that executed the buckets.
+    pub substrate: String,
+    /// End of compute (forward + backward), seconds.
+    pub compute_s: f64,
+    /// Iteration time with bucket-wise overlap, seconds.
+    pub overlapped_s: f64,
+    /// Iteration time with one fused post-backward all-reduce, seconds.
+    pub sequential_s: f64,
+    /// Sum of per-bucket communication durations, seconds.
+    pub total_comm_s: f64,
+    /// Communication sticking out past the end of backward, seconds.
+    pub exposed_comm_s: f64,
+    /// Fraction of communication hidden behind compute, in `[0, 1]`.
+    pub hidden_fraction: f64,
+    /// Per-bucket timelines in launch order.
+    pub buckets: Vec<BucketTimeline>,
+}
+
+impl IterationTimeline {
+    /// Number of executed buckets.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total substrate steps over all buckets.
+    #[must_use]
+    pub fn total_steps(&self) -> usize {
+        self.buckets.iter().map(|b| b.report.step_count()).sum()
+    }
+
+    /// Speedup of the overlapped iteration over the sequential one
+    /// (1.0 for empty/zero-time iterations).
+    #[must_use]
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.overlapped_s > 0.0 {
+            self.sequential_s / self.overlapped_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Fraction of communication hidden behind compute (mirrors
+/// `dnn_models::training::hidden_comm_fraction`; kept dependency-free here
+/// and pinned equal by the differential suite). `NaN`-free and in `[0, 1]`
+/// for every input.
+#[must_use]
+pub fn hidden_comm_fraction(total_comm_s: f64, exposed_s: f64) -> f64 {
+    if total_comm_s.is_finite() && total_comm_s > 0.0 {
+        ((total_comm_s - exposed_s.min(total_comm_s)) / total_comm_s).clamp(0.0, 1.0)
+    } else if exposed_s > 0.0 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// Execute one data-parallel iteration on `substrate`.
+///
+/// Buckets launch in list order and serialize on the network (one
+/// collective at a time, as NCCL/Horovod do): bucket `i` starts at
+/// `max(ready_s, finish of bucket i-1)` and runs for the simulated
+/// duration of `lower(bytes)` on the substrate. `compute_s` is the end of
+/// the backward pass; `lower` maps a payload to the substrate IR (e.g. a
+/// Wrht plan lowering or a ring all-reduce).
+///
+/// The sequential baseline executes one fused `lower(total_bytes)`
+/// schedule after compute; an empty bucket list (or all-zero payloads)
+/// yields a compute-only timeline.
+pub fn execute_timeline(
+    substrate: &mut dyn Substrate,
+    buckets: &[TimelineBucket],
+    compute_s: f64,
+    mut lower: impl FnMut(u64) -> Result<StepSchedule>,
+) -> Result<IterationTimeline> {
+    let mut network_free = 0.0f64;
+    let mut executed = Vec::with_capacity(buckets.len());
+    let mut total_comm = 0.0f64;
+    for b in buckets {
+        let schedule = lower(b.bytes)?;
+        let report = substrate.execute(&schedule)?;
+        let start = b.ready_s.max(network_free);
+        let finish = start + report.total_time_s;
+        total_comm += report.total_time_s;
+        network_free = finish;
+        executed.push(BucketTimeline {
+            label: b.label.clone(),
+            bytes: b.bytes,
+            ready_s: b.ready_s,
+            start_s: start,
+            finish_s: finish,
+            report,
+        });
+    }
+
+    let overlapped_s = executed
+        .last()
+        .map_or(compute_s, |b| b.finish_s.max(compute_s));
+
+    let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
+    let sequential_comm_s = if total_bytes > 0 {
+        substrate.execute(&lower(total_bytes)?)?.total_time_s
+    } else {
+        0.0
+    };
+
+    let exposed_comm_s = (overlapped_s - compute_s).max(0.0);
+    Ok(IterationTimeline {
+        substrate: substrate.name().to_string(),
+        compute_s,
+        overlapped_s,
+        sequential_s: compute_s + sequential_comm_s,
+        total_comm_s: total_comm,
+        exposed_comm_s,
+        hidden_fraction: hidden_comm_fraction(total_comm, exposed_comm_s),
+        buckets: executed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::{ElectricalSubstrate, OpticalSubstrate};
+    use optical_sim::request::Transfer;
+    use optical_sim::{NodeId, OpticalConfig};
+
+    /// 1 GB/s per lambda, no overheads: a one-transfer schedule of `bytes`
+    /// lasts exactly `bytes / 1e9` seconds.
+    fn optical() -> OpticalSubstrate {
+        OpticalSubstrate::new(
+            OpticalConfig::new(8, 4)
+                .with_lambda_bandwidth(1e9)
+                .with_message_overhead(0.0)
+                .with_hop_propagation(0.0),
+        )
+        .unwrap()
+    }
+
+    fn one_transfer(bytes: u64) -> Result<StepSchedule> {
+        Ok(StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(1),
+            bytes,
+        )]]))
+    }
+
+    #[test]
+    fn buckets_serialize_on_the_network() {
+        let mut sub = optical();
+        let buckets = [
+            TimelineBucket::new(2_000_000, 1e-3), // 2 ms transfer, ready at 1 ms
+            TimelineBucket::new(1_000_000, 2e-3), // ready before net is free
+        ];
+        let t = execute_timeline(&mut sub, &buckets, 10e-3, one_transfer).unwrap();
+        assert_eq!(t.buckets[0].start_s, 1e-3);
+        assert!((t.buckets[0].finish_s - 3e-3).abs() < 1e-12);
+        // Second bucket was ready at 2 ms but waits for the network.
+        assert!((t.buckets[1].start_s - 3e-3).abs() < 1e-12);
+        assert!((t.buckets[1].wait_s() - 1e-3).abs() < 1e-12);
+        assert!((t.buckets[1].finish_s - 4e-3).abs() < 1e-12);
+        // Fully hidden behind the 10 ms compute.
+        assert_eq!(t.overlapped_s, 10e-3);
+        assert_eq!(t.hidden_fraction, 1.0);
+        assert_eq!(t.exposed_comm_s, 0.0);
+        assert!((t.total_comm_s - 3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exposed_communication_extends_the_iteration() {
+        let mut sub = optical();
+        let buckets = [TimelineBucket::new(5_000_000, 1e-3)]; // 5 ms transfer
+        let t = execute_timeline(&mut sub, &buckets, 2e-3, one_transfer).unwrap();
+        assert!((t.overlapped_s - 6e-3).abs() < 1e-12);
+        assert!((t.exposed_comm_s - 4e-3).abs() < 1e-12);
+        // 1 of 5 ms hidden.
+        assert!((t.hidden_fraction - 0.2).abs() < 1e-9);
+        // Sequential: compute + fused 5 MB transfer.
+        assert!((t.sequential_s - 7e-3).abs() < 1e-12);
+        assert!(t.overlap_speedup() > 1.0);
+    }
+
+    #[test]
+    fn empty_bucket_list_is_compute_only() {
+        let mut sub = optical();
+        let t = execute_timeline(&mut sub, &[], 3e-3, one_transfer).unwrap();
+        assert_eq!(t.overlapped_s, 3e-3);
+        assert_eq!(t.sequential_s, 3e-3);
+        assert_eq!(t.total_comm_s, 0.0);
+        assert_eq!(t.hidden_fraction, 1.0);
+        assert_eq!(t.bucket_count(), 0);
+        assert_eq!(t.overlap_speedup(), 1.0);
+    }
+
+    #[test]
+    fn reports_carry_substrate_step_timings() {
+        let mut sub = optical();
+        let two_steps = |bytes: u64| -> Result<StepSchedule> {
+            let half = bytes / 2;
+            Ok(StepSchedule::from_steps(vec![
+                vec![Transfer::shortest(NodeId(0), NodeId(1), half)],
+                vec![Transfer::shortest(NodeId(1), NodeId(2), bytes - half)],
+            ]))
+        };
+        let buckets = [TimelineBucket::new(2_000_000, 0.0).with_label("fc")];
+        let t = execute_timeline(&mut sub, &buckets, 0.0, two_steps).unwrap();
+        assert_eq!(t.total_steps(), 2);
+        assert_eq!(t.buckets[0].label, "fc");
+        assert_eq!(t.substrate, "optical");
+        let finishes = t.buckets[0].step_finish_times_s();
+        assert_eq!(finishes.len(), 2);
+        assert!((finishes[0] - 1e-3).abs() < 1e-12);
+        assert!((finishes[1] - 2e-3).abs() < 1e-12);
+        assert_eq!(finishes[1], t.buckets[0].finish_s);
+    }
+
+    #[test]
+    fn lowering_errors_propagate() {
+        let mut sub = optical();
+        let buckets = [TimelineBucket::new(100, 0.0)];
+        let r = execute_timeline(&mut sub, &buckets, 0.0, |_| {
+            Err(crate::error::WrhtError::NoNodes)
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn works_on_the_electrical_substrate_too() {
+        let mut sub =
+            ElectricalSubstrate::new(electrical_sim::topology::star_cluster(8, 1e9, 0.0), 0.0);
+        let buckets = [
+            TimelineBucket::new(1_000_000, 0.0),
+            TimelineBucket::new(1_000_000, 0.0),
+        ];
+        let t = execute_timeline(&mut sub, &buckets, 1e-3, one_transfer).unwrap();
+        assert_eq!(t.substrate, "electrical");
+        // Two serialized 1 ms transfers, 1 ms of compute.
+        assert!((t.overlapped_s - 2e-3).abs() < 1e-12);
+        assert!((t.sequential_s - 3e-3).abs() < 1e-12);
+    }
+}

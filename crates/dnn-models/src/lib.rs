@@ -35,7 +35,10 @@ pub mod zoo;
 pub mod prelude {
     pub use crate::bucket::{bucketize, Bucket};
     pub use crate::layer::{Layer, LayerKind};
-    pub use crate::training::{IterationModel, OverlapReport};
+    pub use crate::training::{
+        bucket_ready_times, hidden_comm_fraction, layer_ready_times, simulate_iteration,
+        IterationModel, OverlapReport,
+    };
     pub use crate::transformer::{bert_large, gpt2_small, transformer, TransformerConfig};
     pub use crate::zoo::{alexnet, googlenet, paper_models, resnet50, vgg16, Model};
 }

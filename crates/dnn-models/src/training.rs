@@ -33,40 +33,91 @@ pub struct OverlapReport {
     pub bucket_times: Vec<(f64, f64, f64)>,
 }
 
+/// Gradient-ready time of every forward layer.
+///
+/// The gradient of forward layer `i` is ready once backward has consumed
+/// all layers `j >= i` (backward walks from the end); backward time is
+/// apportioned to layers proportionally to their parameter counts, a
+/// standard first-order approximation:
+/// `ready(i) = forward_s + backward_s * params(i..) / total_params`.
+///
+/// When the model has no parameters at all, the apportioning is undefined
+/// and every gradient is conservatively ready at the end of backward.
+#[must_use]
+pub fn layer_ready_times(layers: &[Layer], model: IterationModel) -> Vec<f64> {
+    let total_params: usize = layers.iter().map(Layer::params).sum();
+    if total_params == 0 {
+        return vec![model.forward_s + model.backward_s; layers.len()];
+    }
+    let mut suffix = vec![0usize; layers.len() + 1];
+    for i in (0..layers.len()).rev() {
+        suffix[i] = suffix[i + 1] + layers[i].params();
+    }
+    (0..layers.len())
+        .map(|i| model.forward_s + model.backward_s * suffix[i] as f64 / total_params as f64)
+        .collect()
+}
+
+/// Gradient-ready time of every bucket: the ready time of its earliest
+/// (closest-to-input) layer. Buckets whose `earliest_layer_idx` does not
+/// index into `layers` are conservatively ready at the end of backward.
+#[must_use]
+pub fn bucket_ready_times(layers: &[Layer], buckets: &[Bucket], model: IterationModel) -> Vec<f64> {
+    let by_layer = layer_ready_times(layers, model);
+    let backward_end = model.forward_s + model.backward_s;
+    buckets
+        .iter()
+        .map(|b| {
+            by_layer
+                .get(b.earliest_layer_idx)
+                .copied()
+                .unwrap_or(backward_end)
+        })
+        .collect()
+}
+
+/// Fraction of communication hidden behind compute, guarded against every
+/// degenerate input: `NaN`-free and always in `[0, 1]`, including when
+/// `total_comm_s` is zero (nothing to hide — vacuously all hidden, unless
+/// something is exposed anyway) or non-finite (infeasible cost models
+/// report infinite durations: nothing is hidden).
+#[must_use]
+pub fn hidden_comm_fraction(total_comm_s: f64, exposed_s: f64) -> f64 {
+    if total_comm_s.is_finite() && total_comm_s > 0.0 {
+        ((total_comm_s - exposed_s.min(total_comm_s)) / total_comm_s).clamp(0.0, 1.0)
+    } else if exposed_s > 0.0 {
+        0.0
+    } else {
+        1.0
+    }
+}
+
 /// Simulate one data-parallel iteration.
 ///
-/// * `layers` — forward-order layer list (drives gradient-ready times:
-///   backward time is apportioned to layers proportionally to their
-///   parameter counts, a standard first-order approximation);
+/// * `layers` — forward-order layer list (drives gradient-ready times via
+///   [`layer_ready_times`]);
 /// * `buckets` — from [`crate::bucket::bucketize`];
 /// * `model` — compute durations;
 /// * `allreduce_time` — communication cost of a bucket of given bytes
 ///   (provide e.g. a Wrht or ring cost function).
+///
+/// Total for every input: an empty or all-zero-parameter layer list yields
+/// a well-defined zero-communication report (compute time only) instead of
+/// panicking, and [`OverlapReport::hidden_fraction`] is never `NaN` or
+/// outside `[0, 1]` even when the cost callback returns zero or infinite
+/// durations.
 pub fn simulate_iteration(
     layers: &[Layer],
     buckets: &[Bucket],
     model: IterationModel,
     mut allreduce_time: impl FnMut(u64) -> f64,
 ) -> OverlapReport {
-    let total_params: usize = layers.iter().map(Layer::params).sum();
-    assert!(total_params > 0, "model has no parameters");
-
-    // Gradient of forward layer i is ready once backward has consumed all
-    // layers j >= i (backward walks from the end).
-    // ready_time(i) = backward_s * (params of layers i..end) / total.
-    let mut suffix = vec![0usize; layers.len() + 1];
-    for i in (0..layers.len()).rev() {
-        suffix[i] = suffix[i + 1] + layers[i].params();
-    }
-    let ready_time = |i: usize| -> f64 {
-        model.forward_s + model.backward_s * suffix[i] as f64 / total_params as f64
-    };
+    let ready_times = bucket_ready_times(layers, buckets, model);
 
     let mut network_free = 0.0f64;
     let mut bucket_times = Vec::with_capacity(buckets.len());
     let mut total_comm = 0.0f64;
-    for b in buckets {
-        let ready = ready_time(b.earliest_layer_idx);
+    for (b, &ready) in buckets.iter().zip(&ready_times) {
         let start = ready.max(network_free);
         let dur = allreduce_time(b.bytes);
         total_comm += dur;
@@ -89,16 +140,11 @@ pub fn simulate_iteration(
         };
 
     let exposed = (overlapped_s - backward_end).max(0.0);
-    let hidden_fraction = if total_comm > 0.0 {
-        (1.0 - exposed / total_comm).clamp(0.0, 1.0)
-    } else {
-        1.0
-    };
 
     OverlapReport {
         overlapped_s,
         sequential_s,
-        hidden_fraction,
+        hidden_fraction: hidden_comm_fraction(total_comm, exposed),
         bucket_times,
     }
 }
@@ -169,5 +215,73 @@ mod tests {
         let m = resnet50();
         let r = simulate_iteration(&m.layers, &[], model(), |_| 1.0);
         assert!((r.overlapped_s - 150e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model_yields_zero_communication_report() {
+        // Regression: this used to panic on `total_params > 0`.
+        let r = simulate_iteration(&[], &[], model(), |_| 1.0);
+        assert!((r.overlapped_s - 150e-3).abs() < 1e-12);
+        assert!((r.sequential_s - 150e-3).abs() < 1e-12);
+        assert_eq!(r.hidden_fraction, 1.0);
+        assert!(r.bucket_times.is_empty());
+    }
+
+    #[test]
+    fn zero_param_layers_yield_conservative_ready_times() {
+        use crate::layer::Layer;
+        let layers = vec![Layer::batch_norm("bn0", 0), Layer::batch_norm("bn1", 0)];
+        assert_eq!(layers.iter().map(Layer::params).sum::<usize>(), 0);
+        let ready = layer_ready_times(&layers, model());
+        let backward_end = model().forward_s + model().backward_s;
+        assert_eq!(ready, vec![backward_end, backward_end]);
+        // Zero-parameter models bucketize to nothing: compute-only report.
+        let buckets = bucketize(&layers, 1 << 20);
+        assert!(buckets.is_empty());
+        let r = simulate_iteration(&layers, &buckets, model(), |_| 1.0);
+        assert!((r.overlapped_s - 150e-3).abs() < 1e-12);
+        assert_eq!(r.hidden_fraction, 1.0);
+    }
+
+    #[test]
+    fn bucket_ready_times_match_earliest_layer() {
+        let m = resnet50();
+        let buckets = bucketize(&m.layers, 4 << 20);
+        let by_layer = layer_ready_times(&m.layers, model());
+        let by_bucket = bucket_ready_times(&m.layers, &buckets, model());
+        for (b, &t) in buckets.iter().zip(&by_bucket) {
+            assert_eq!(t, by_layer[b.earliest_layer_idx]);
+        }
+        // Later buckets hold earlier layers, so ready times increase.
+        for w in by_bucket.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn hidden_fraction_is_never_nan_or_out_of_range() {
+        // Infinite per-bucket durations (infeasible cost models) used to
+        // produce `exposed / total_comm = inf / inf = NaN`.
+        let m = resnet50();
+        let buckets = bucketize(&m.layers, 25 << 20);
+        let r = simulate_iteration(&m.layers, &buckets, model(), |_| f64::INFINITY);
+        assert_eq!(r.hidden_fraction, 0.0);
+        assert!(r.overlapped_s.is_infinite());
+
+        // Zero-cost communication: everything is (vacuously) hidden.
+        let r = simulate_iteration(&m.layers, &buckets, model(), |_| 0.0);
+        assert_eq!(r.hidden_fraction, 1.0);
+
+        // The helper itself covers the full degenerate matrix.
+        assert_eq!(hidden_comm_fraction(0.0, 0.0), 1.0);
+        assert_eq!(hidden_comm_fraction(0.0, 1.0), 0.0);
+        assert_eq!(hidden_comm_fraction(f64::INFINITY, f64::INFINITY), 0.0);
+        assert_eq!(hidden_comm_fraction(f64::NAN, 0.0), 1.0);
+        let h = hidden_comm_fraction(2.0, 1.0);
+        assert!((h - 0.5).abs() < 1e-15);
+        for &(c, e) in &[(1e-300, 5.0), (3.0, -1.0), (1.0, f64::INFINITY)] {
+            let h = hidden_comm_fraction(c, e);
+            assert!((0.0..=1.0).contains(&h), "hidden={h} for ({c}, {e})");
+        }
     }
 }

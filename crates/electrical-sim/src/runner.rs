@@ -34,6 +34,13 @@ pub struct SteppedReport {
 
 /// Execute `steps` over `net`, paying `per_message_overhead_s` once per step
 /// (protocol/launch cost, analogous to the optical per-message overhead).
+///
+/// Zero-byte transfers are legal: the fluid model itself rejects empty
+/// flows, so they are skipped before solving, but a step that contains any
+/// transfer — even only zero-byte ones — still pays the per-step overhead
+/// (the launch happens regardless of payload). Only a literally empty step
+/// costs nothing. This mirrors the optical substrate, which charges its
+/// per-message overhead for zero-byte transfers too.
 pub fn run_steps(
     net: &Network,
     steps: &[Vec<StepTransfer>],
@@ -47,10 +54,15 @@ pub fn run_steps(
         }
         let flows: Vec<FlowSpec> = step
             .iter()
+            .filter(|t| t.bytes > 0)
             .map(|t| FlowSpec::new(t.src, t.dst, t.bytes))
             .collect();
-        let report = run_flows(net, &flows)?;
-        step_times.push(per_message_overhead_s + report.makespan_s);
+        let makespan_s = if flows.is_empty() {
+            0.0
+        } else {
+            run_flows(net, &flows)?.makespan_s
+        };
+        step_times.push(per_message_overhead_s + makespan_s);
     }
     Ok(SteppedReport {
         total_time_s: step_times.iter().sum(),
@@ -130,6 +142,35 @@ mod tests {
         assert_eq!(r.step_times_s[0], 0.0);
         assert_eq!(r.step_times_s[2], 0.0);
         assert!((r.step_times_s[1] - (1e-3 + 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_transfers_are_skipped_but_pay_the_step_overhead() {
+        let net = star_cluster(4, 1e9, 0.0);
+        // Mixed step: the zero-byte transfer adds no serialization time.
+        let mixed = vec![
+            vec![
+                StepTransfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 0,
+                },
+                StepTransfer {
+                    src: 2,
+                    dst: 3,
+                    bytes: 1_000_000,
+                },
+            ],
+            // All-zero step: the launch overhead is still paid.
+            vec![StepTransfer {
+                src: 1,
+                dst: 2,
+                bytes: 0,
+            }],
+        ];
+        let r = run_steps(&net, &mixed, 1e-6).unwrap();
+        assert!((r.step_times_s[0] - (1e-3 + 1e-6)).abs() < 1e-9);
+        assert!((r.step_times_s[1] - 1e-6).abs() < 1e-15);
     }
 
     #[test]

@@ -17,13 +17,6 @@ pub enum OpticalError {
     SelfTransfer(NodeId),
     /// A transfer requested zero striping lanes.
     ZeroLanes,
-    /// A transfer of zero bytes was submitted.
-    EmptyTransfer {
-        /// Source of the empty transfer.
-        src: NodeId,
-        /// Destination of the empty transfer.
-        dst: NodeId,
-    },
     /// The RWA strategy ran out of wavelengths for a step.
     WavelengthsExhausted {
         /// Wavelengths available per waveguide.
@@ -56,9 +49,6 @@ impl fmt::Display for OpticalError {
                 write!(f, "transfer from node {} to itself", node.0)
             }
             OpticalError::ZeroLanes => write!(f, "transfer requested zero wavelength lanes"),
-            OpticalError::EmptyTransfer { src, dst } => {
-                write!(f, "zero-byte transfer from {} to {}", src.0, dst.0)
-            }
             OpticalError::WavelengthsExhausted {
                 available,
                 requested,

@@ -73,6 +73,11 @@ impl Transfer {
     }
 
     /// Validate against a topology and resolve to a routed lightpath.
+    ///
+    /// Zero-byte transfers are legal: setting up the lightpath still costs
+    /// the per-message overhead and propagation, it just serializes no
+    /// payload (mirrored by the electrical runner, which skips empty flows
+    /// but keeps the step's launch overhead).
     pub fn resolve(&self, topo: &RingTopology) -> Result<LightPath> {
         topo.check_node(self.src)?;
         topo.check_node(self.dst)?;
@@ -81,12 +86,6 @@ impl Transfer {
         }
         if self.lanes == 0 {
             return Err(OpticalError::ZeroLanes);
-        }
-        if self.bytes == 0 {
-            return Err(OpticalError::EmptyTransfer {
-                src: self.src,
-                dst: self.dst,
-            });
         }
         Ok(match self.direction {
             DirectionChoice::Shortest => LightPath::shortest(topo, self.src, self.dst),
@@ -138,13 +137,10 @@ mod tests {
                 .resolve(&t),
             Err(OpticalError::ZeroLanes)
         );
-        assert_eq!(
-            Transfer::shortest(NodeId(0), NodeId(1), 0).resolve(&t),
-            Err(OpticalError::EmptyTransfer {
-                src: NodeId(0),
-                dst: NodeId(1)
-            })
-        );
+        // Zero-byte transfers resolve: the lightpath itself is legal.
+        assert!(Transfer::shortest(NodeId(0), NodeId(1), 0)
+            .resolve(&t)
+            .is_ok());
     }
 
     #[test]

@@ -368,6 +368,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_transfers_cost_overhead_and_propagation_only() {
+        // The cross-substrate contract (see wrht-core's Substrate): a
+        // zero-byte transfer occupies wavelengths and pays the per-message
+        // overhead plus propagation, but adds no serialization time.
+        let cfg = OpticalConfig::new(8, 4)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(1e-6)
+            .with_hop_propagation(1e-8);
+        let mut sim = RingSimulator::new(cfg);
+        let sched =
+            StepSchedule::from_steps(vec![vec![Transfer::shortest(NodeId(0), NodeId(1), 0)]]);
+        let r = sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
+        assert_eq!(r.stats.steps[0].transfers, 1);
+        assert_eq!(r.stats.steps[0].bytes, 0);
+        assert!(r.stats.steps[0].peak_wavelength >= 1);
+        assert!((r.total_time_s - (1e-6 + 1e-8)).abs() < 1e-15);
+    }
+
+    #[test]
     fn step_duration_is_slowest_transfer() {
         let mut sim = RingSimulator::new(small_cfg());
         let step = vec![

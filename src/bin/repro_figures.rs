@@ -16,7 +16,10 @@
 //!   contention   Event-driven wavelength contention on synthetic traffic
 //!   sweep        Regenerate fig2 + the grid ablations as ONE parallel
 //!                campaign on both substrates (resumable via results/campaign)
-//!   all          Everything above except sweep (default)
+//!   train        Simulator-backed training timelines: per-model iteration
+//!                time with bucketed Wrht all-reduces on BOTH substrates
+//!                (resumable via results/train)
+//!   all          Everything above except sweep and train (default)
 //!
 //! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
 //! caps the campaign worker count (default: available parallelism).
@@ -30,12 +33,13 @@ use std::path::Path;
 use wrht_bench::ablations::{
     group_size_sweep, overlap_study, rwa_strategy_compare, variant_study, wavelength_sweep,
 };
-use wrht_bench::campaign::{fig2_from_campaign, run_campaign, sweep_spec};
+use wrht_bench::campaign::{fig2_from_campaign, run_campaign, run_timeline_campaign, sweep_spec};
 use wrht_bench::contention::{run_contention, Pattern};
 use wrht_bench::report::{
     render_contention, render_fig2, render_fit, render_group_size, render_headline, render_overlap,
-    render_variants, render_wavelengths, to_json,
+    render_timeline, render_variants, render_wavelengths, to_json,
 };
+use wrht_bench::timeline::TimelineRow;
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
 use wrht_core::steps::{
     alltoall_wavelength_requirement, paper_step_count, surviving_reps, tree_wavelength_requirement,
@@ -213,6 +217,35 @@ fn cmd_sweep(cfg: &ExperimentConfig, results: &Path, threads: usize, models: &[d
     write_json(&sink, "headline.json", &to_json(&h));
 }
 
+fn cmd_train(cfg: &ExperimentConfig, results: &Path, threads: usize, models: &[dnn_models::Model]) {
+    let n = *cfg.scales.first().expect("scales non-empty");
+    let spec = wrht_bench::campaign::train_spec(cfg, models, n, 2023);
+    let bucket_bytes = spec.cells.first().map_or(25 << 20, |c| c.bucket_bytes);
+    let sink = results.join("train");
+    println!(
+        "== Training-timeline campaign: {} cells over {} worker thread(s) ==",
+        spec.cells.len(),
+        threads
+    );
+    let report = run_timeline_campaign(&spec, threads, Some(&sink));
+    let infeasible = report.results.iter().filter(|r| r.error.is_some()).count();
+    println!(
+        "{} cells finished ({infeasible} infeasible); sink: {}",
+        report.results.len(),
+        sink.display()
+    );
+    println!();
+    let rows: Vec<TimelineRow> = report
+        .results
+        .iter()
+        .filter(|r| r.error.is_none())
+        .map(TimelineRow::from)
+        .collect();
+    print!("{}", render_timeline(&rows, n, bucket_bytes));
+    println!();
+    write_json(&sink, "train_rows.json", &to_json(&rows));
+}
+
 fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
     let n = *cfg.scales.first().expect("scales non-empty");
     // A narrow budget makes the contention the stepped model hides visible.
@@ -237,6 +270,7 @@ fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
 fn run_command(cmd: &str, cfg: &ExperimentConfig, results: &Path, threads: usize) -> bool {
     match cmd {
         "sweep" => cmd_sweep(cfg, results, threads, &dnn_models::paper_models()),
+        "train" => cmd_train(cfg, results, threads, &dnn_models::paper_models()),
         "fig2" => cmd_fig2(cfg, results),
         "headline" => cmd_headline(cfg, results),
         "steps" => cmd_steps(),
@@ -336,6 +370,24 @@ mod tests {
             !results.exists(),
             "rejected commands must not create output directories"
         );
+    }
+
+    #[test]
+    fn train_command_runs_the_timeline_campaign_on_both_substrates() {
+        let results = temp_results("train");
+        cmd_train(&tiny_cfg(), &results, 2, &[dnn_models::googlenet()]);
+        let sink = results.join("train");
+        let rows = fs::read_to_string(sink.join("train_rows.json")).expect("train_rows.json");
+        assert!(rows.contains("GoogLeNet"));
+        assert!(rows.contains("\"substrate\":\"optical\"") || rows.contains("optical"));
+        let csv = fs::read_to_string(sink.join("train.csv")).expect("train campaign CSV");
+        assert_eq!(csv.lines().count(), 3); // header + 2 substrates
+        assert!(csv.contains("electrical") && csv.contains("optical"));
+        // Resumable: a second run reuses the sink without changing output.
+        cmd_train(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
+        let rows2 = fs::read_to_string(sink.join("train_rows.json")).unwrap();
+        assert_eq!(rows, rows2);
+        let _ = fs::remove_dir_all(&results);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::fs;
 use std::path::PathBuf;
 use wrht_bench::report::to_json;
+use wrht_bench::timeline::timeline_table;
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
 
 /// A fixed reduced-scale grid: small enough to run in milliseconds, large
@@ -56,6 +57,17 @@ fn assert_matches_golden(name: &str, actual: &str) {
 fn fig2_json_matches_golden() {
     let series = fig2_series(&golden_cfg(), &dnn_models::googlenet());
     assert_matches_golden("fig2_googlenet.json", &to_json(&series));
+}
+
+#[test]
+fn train_timeline_json_matches_golden() {
+    // The simulator-backed `train` table: GoogLeNet (the smallest model)
+    // on both substrates at 16 nodes with 4 MB buckets. Bit-stable like
+    // the fig2 payloads; re-bless with `WRHT_BLESS=1` after intentional
+    // timing-model changes.
+    let rows = timeline_table(&golden_cfg(), &[dnn_models::googlenet()], 16, 4 << 20);
+    assert_eq!(rows.len(), 2, "both substrates must produce a row");
+    assert_matches_golden("train_googlenet.json", &to_json(&rows));
 }
 
 #[test]
