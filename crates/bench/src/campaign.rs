@@ -43,6 +43,7 @@ use collectives::rd::recursive_doubling;
 use collectives::ring::ring_allreduce;
 use collectives::tree::binomial_tree;
 use dnn_models::Model;
+use optical_sim::sim::StepSchedule;
 use optical_sim::Strategy;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -50,6 +51,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wrht_core::baselines::lower_collective_to_optical;
+use wrht_core::dag::{DepSchedule, ExecMode};
 use wrht_core::lower::to_optical_schedule;
 use wrht_core::{build_plan, choose_group_size, plan_and_simulate, WrhtParams};
 
@@ -101,6 +103,9 @@ pub struct CellConfig {
     pub strategy: Strategy,
     /// Fixed Wrht group size; `None` lets the optimizer choose.
     pub group_size: Option<usize>,
+    /// Execution mode: step-synchronous barrier or dependency-aware
+    /// pipelined execution.
+    pub mode: ExecMode,
 }
 
 /// Result of one executed (or failed) cell.
@@ -167,6 +172,7 @@ impl CampaignSpec {
                                 wavelengths: w,
                                 strategy: Strategy::FirstFit,
                                 group_size: None,
+                                mode: ExecMode::Barrier,
                             });
                         }
                     }
@@ -216,6 +222,48 @@ fn context_hash(base: &ExperimentConfig, seed: u64) -> u64 {
     fnv1a(&format!("{base}#{seed}"))
 }
 
+/// Build a cell's Wrht plan: the fixed group size, or the optimizer's
+/// choice against the optical cost model (also when the schedule will
+/// execute electrically or pipelined, mirroring the Figure-2 cells).
+fn wrht_plan(
+    cell: &CellConfig,
+    local: &ExperimentConfig,
+) -> wrht_core::error::Result<wrht_core::WrhtPlan> {
+    match cell.group_size {
+        Some(m) => build_plan(cell.n, m, cell.wavelengths),
+        None => choose_group_size(
+            &WrhtParams::auto(cell.n, cell.wavelengths),
+            &local.optical(cell.n),
+            cell.gradient_bytes,
+        )
+        .map(|(_, plan, _)| plan),
+    }
+}
+
+/// Lower a cell's classic-collective schedule to the substrate IR.
+fn logical_schedule(cell: &CellConfig, local: &ExperimentConfig) -> StepSchedule {
+    let elems = (cell.gradient_bytes as usize).div_ceil(local.bytes_per_elem);
+    let schedule = match cell.algorithm {
+        Algorithm::Ring => ring_allreduce(cell.n, elems),
+        Algorithm::RecursiveDoubling => recursive_doubling(cell.n, elems),
+        Algorithm::HalvingDoubling => halving_doubling(cell.n, elems),
+        Algorithm::Tree => binomial_tree(cell.n, elems),
+        Algorithm::Wrht => unreachable!("Wrht cells lower via wrht_plan"),
+    };
+    lower_collective_to_optical(&schedule, local.bytes_per_elem, 1)
+}
+
+/// Condense a barrier-mode run into the cell-outcome tuple
+/// `(time_s, steps, total_bytes, peak_wavelengths)`.
+fn summarize(r: &wrht_core::RunReport) -> (f64, usize, u64, usize) {
+    (
+        r.total_time_s,
+        r.step_count(),
+        r.total_bytes(),
+        r.peak_wavelengths(),
+    )
+}
+
 /// Execute one cell against the campaign's physical constants.
 #[must_use]
 pub fn run_cell(base: &ExperimentConfig, seed: u64, cell: &CellConfig) -> CellResult {
@@ -236,63 +284,74 @@ pub fn run_cell(base: &ExperimentConfig, seed: u64, cell: &CellConfig) -> CellRe
     let mut local = base.clone();
     local.wavelengths = cell.wavelengths;
 
-    let outcome = match cell.algorithm {
-        Algorithm::Wrht => match cell.substrate {
-            // Plan and execute on the stepped optical substrate.
-            SubstrateKind::Optical => {
-                let params = match cell.group_size {
-                    Some(m) => WrhtParams::fixed(cell.n, cell.wavelengths, m),
-                    None => WrhtParams::auto(cell.n, cell.wavelengths),
-                };
-                plan_and_simulate(&params, &local.optical(cell.n), cell.gradient_bytes).map(
-                    |planned| {
-                        result.wrht_m = planned.m;
-                        planned.report
-                    },
-                )
-            }
-            // Plan against the optical cost model (no optical simulation),
-            // then execute the lowered schedule on the electrical fabric.
-            SubstrateKind::Electrical => {
-                let plan = match cell.group_size {
-                    Some(m) => build_plan(cell.n, m, cell.wavelengths),
-                    None => choose_group_size(
-                        &WrhtParams::auto(cell.n, cell.wavelengths),
-                        &local.optical(cell.n),
-                        cell.gradient_bytes,
+    // time_s, steps, total_bytes, peak_wavelengths of the executed cell.
+    type CellOutcome = wrht_core::error::Result<(f64, usize, u64, usize)>;
+
+    let outcome: CellOutcome = match cell.mode {
+        ExecMode::Barrier => match cell.algorithm {
+            Algorithm::Wrht => match cell.substrate {
+                // Plan and execute on the stepped optical substrate.
+                SubstrateKind::Optical => {
+                    let params = match cell.group_size {
+                        Some(m) => WrhtParams::fixed(cell.n, cell.wavelengths, m),
+                        None => WrhtParams::auto(cell.n, cell.wavelengths),
+                    };
+                    plan_and_simulate(&params, &local.optical(cell.n), cell.gradient_bytes).map(
+                        |planned| {
+                            result.wrht_m = planned.m;
+                            summarize(&planned.report)
+                        },
                     )
-                    .map(|(_, plan, _)| plan),
-                };
-                plan.and_then(|plan| {
+                }
+                // Plan against the optical cost model (no optical
+                // simulation), then execute the lowered schedule on the
+                // electrical fabric.
+                SubstrateKind::Electrical => wrht_plan(cell, &local).and_then(|plan| {
                     result.wrht_m = plan.m;
-                    local
+                    let r = local
                         .try_substrate(cell.substrate, cell.n, cell.strategy)?
-                        .execute(&to_optical_schedule(&plan, cell.gradient_bytes))
-                })
-            }
-        },
-        logical => {
-            let elems = (cell.gradient_bytes as usize).div_ceil(local.bytes_per_elem);
-            let schedule = match logical {
-                Algorithm::Ring => ring_allreduce(cell.n, elems),
-                Algorithm::RecursiveDoubling => recursive_doubling(cell.n, elems),
-                Algorithm::HalvingDoubling => halving_doubling(cell.n, elems),
-                Algorithm::Tree => binomial_tree(cell.n, elems),
-                Algorithm::Wrht => unreachable!("handled above"),
-            };
-            let lowered = lower_collective_to_optical(&schedule, local.bytes_per_elem, 1);
-            local
+                        .execute(&to_optical_schedule(&plan, cell.gradient_bytes))?;
+                    Ok(summarize(&r))
+                }),
+            },
+            _ => local
                 .try_substrate(cell.substrate, cell.n, cell.strategy)
-                .and_then(|mut substrate| substrate.execute(&lowered))
+                .and_then(|mut substrate| substrate.execute(&logical_schedule(cell, &local)))
+                .map(|r| summarize(&r)),
+        },
+        // Pipelined: obtain the same schedule (Wrht plans against the
+        // optical cost model on both substrates, mirroring the electrical
+        // Wrht cells), lower to the per-node dependency DAG and execute
+        // event-driven — consecutive steps overlap on the wire.
+        ExecMode::Pipelined => {
+            let schedule = match cell.algorithm {
+                Algorithm::Wrht => wrht_plan(cell, &local).map(|plan| {
+                    result.wrht_m = plan.m;
+                    to_optical_schedule(&plan, cell.gradient_bytes)
+                }),
+                _ => Ok(logical_schedule(cell, &local)),
+            };
+            schedule.and_then(|schedule| {
+                let dag = DepSchedule::pipelined_from_steps(&schedule);
+                let report = local
+                    .try_substrate(cell.substrate, cell.n, cell.strategy)?
+                    .execute_dag(&dag)?;
+                Ok((
+                    report.makespan_s,
+                    schedule.len(),
+                    schedule.total_bytes(),
+                    report.peak_wavelength,
+                ))
+            })
         }
     };
 
     match outcome {
-        Ok(report) => {
-            result.time_s = report.total_time_s;
-            result.steps = report.step_count();
-            result.total_bytes = report.total_bytes();
-            result.peak_wavelengths = report.peak_wavelengths();
+        Ok((time_s, steps, total_bytes, peak_wavelengths)) => {
+            result.time_s = time_s;
+            result.steps = steps;
+            result.total_bytes = total_bytes;
+            result.peak_wavelengths = peak_wavelengths;
         }
         Err(e) => result.error = Some(e.to_string()),
     }
@@ -425,15 +484,16 @@ fn csv_field(value: &str) -> String {
 #[must_use]
 pub fn to_csv(report: &CampaignReport) -> String {
     let mut out = String::from(
-        "substrate,algorithm,model,n,wavelengths,strategy,group_size,\
+        "substrate,algorithm,mode,model,n,wavelengths,strategy,group_size,\
          gradient_bytes,seed,time_s,steps,total_bytes,peak_wavelengths,wrht_m,error\n",
     );
     for r in &report.results {
         let c = &r.cell;
         out.push_str(&format!(
-            "{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{}\n",
             c.substrate.label(),
             c.algorithm.label(),
+            c.mode.label(),
             csv_field(&c.model),
             c.n,
             c.wavelengths,
@@ -473,6 +533,7 @@ fn lookup<'a>(
             && r.cell.substrate == substrate
             && r.cell.strategy == Strategy::FirstFit
             && r.cell.group_size.is_none()
+            && r.cell.mode == ExecMode::Barrier
             && r.error.is_none()
     })
 }
@@ -594,6 +655,7 @@ pub fn sweep_spec(cfg: &ExperimentConfig, models: &[Model], seed: u64) -> Campai
                 wavelengths: cfg.wavelengths,
                 strategy: Strategy::FirstFit,
                 group_size: Some(m),
+                mode: ExecMode::Barrier,
             });
         }
 
@@ -609,6 +671,26 @@ pub fn sweep_spec(cfg: &ExperimentConfig, models: &[Model], seed: u64) -> Campai
                     wavelengths: w,
                     strategy: Strategy::FirstFit,
                     group_size: None,
+                    mode: ExecMode::Barrier,
+                });
+            }
+        }
+
+        // Execution-mode ablation: barrier vs pipelined for every
+        // algorithm on both substrates at the mid scale (the barrier
+        // twins are already in the Figure-2 grid).
+        for algorithm in [Algorithm::Ring, Algorithm::HalvingDoubling, Algorithm::Wrht] {
+            for substrate in [SubstrateKind::Electrical, SubstrateKind::Optical] {
+                spec.cells.push(CellConfig {
+                    substrate,
+                    algorithm,
+                    model: model.to_string(),
+                    gradient_bytes: bytes,
+                    n: n_mid,
+                    wavelengths: cfg.wavelengths,
+                    strategy: Strategy::FirstFit,
+                    group_size: None,
+                    mode: ExecMode::Pipelined,
                 });
             }
         }
@@ -626,6 +708,7 @@ pub fn sweep_spec(cfg: &ExperimentConfig, models: &[Model], seed: u64) -> Campai
             wavelengths: cfg.wavelengths,
             strategy: Strategy::BestFit,
             group_size: None,
+            mode: ExecMode::Barrier,
         });
     }
 
@@ -651,6 +734,9 @@ pub struct TimelineCellConfig {
     pub wavelengths: usize,
     /// RWA strategy (optical; ignored electrically).
     pub strategy: Strategy,
+    /// Execution mode: buckets serialized on the network (barrier) or
+    /// overlapped through the dependency-aware executor (pipelined).
+    pub mode: ExecMode,
 }
 
 /// Result of one executed (or failed) timeline cell.
@@ -697,9 +783,10 @@ pub struct TimelineSpec {
 
 impl TimelineSpec {
     /// Expand a full cross-product grid in deterministic nested order
-    /// (model → bucket size → n → algorithm → substrate), at the base
-    /// config's wavelength budget.
+    /// (model → bucket size → n → algorithm → mode → substrate), at the
+    /// base config's wavelength budget.
     #[must_use]
+    #[allow(clippy::too_many_arguments)] // one axis per campaign dimension
     pub fn grid(
         name: &str,
         base: ExperimentConfig,
@@ -707,6 +794,7 @@ impl TimelineSpec {
         bucket_sizes: &[u64],
         nodes: &[usize],
         algorithms: &[Algorithm],
+        modes: &[ExecMode],
         substrates: &[SubstrateKind],
     ) -> Self {
         let wavelengths = base.wavelengths;
@@ -715,16 +803,19 @@ impl TimelineSpec {
             for &bucket_bytes in bucket_sizes {
                 for &n in nodes {
                     for &algorithm in algorithms {
-                        for &substrate in substrates {
-                            cells.push(TimelineCellConfig {
-                                substrate,
-                                algorithm,
-                                model: model.to_string(),
-                                bucket_bytes,
-                                n,
-                                wavelengths,
-                                strategy: Strategy::FirstFit,
-                            });
+                        for &mode in modes {
+                            for &substrate in substrates {
+                                cells.push(TimelineCellConfig {
+                                    substrate,
+                                    algorithm,
+                                    model: model.to_string(),
+                                    bucket_bytes,
+                                    n,
+                                    wavelengths,
+                                    strategy: Strategy::FirstFit,
+                                    mode,
+                                });
+                            }
                         }
                     }
                 }
@@ -797,6 +888,7 @@ pub fn run_timeline_cell(
         cell.algorithm,
         cell.substrate,
         cell.strategy,
+        cell.mode,
     ) {
         Ok(t) => {
             result.buckets = t.bucket_count();
@@ -877,16 +969,17 @@ pub fn run_timeline_campaign(
 #[must_use]
 pub fn timeline_to_csv(report: &TimelineReport) -> String {
     let mut out = String::from(
-        "substrate,algorithm,model,n,wavelengths,strategy,bucket_bytes,seed,\
+        "substrate,algorithm,mode,model,n,wavelengths,strategy,bucket_bytes,seed,\
          buckets,compute_s,overlapped_s,sequential_s,total_comm_s,\
          exposed_comm_s,hidden_fraction,steps,error\n",
     );
     for r in &report.results {
         let c = &r.cell;
         out.push_str(&format!(
-            "{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{}\n",
             c.substrate.label(),
             c.algorithm.label(),
+            c.mode.label(),
             csv_field(&c.model),
             c.n,
             c.wavelengths,
@@ -911,7 +1004,13 @@ impl From<&TimelineCellResult> for crate::timeline::TimelineRow {
     fn from(r: &TimelineCellResult) -> Self {
         Self {
             model: r.cell.model.clone(),
-            substrate: r.cell.substrate.label().to_string(),
+            // Tag pipelined cells in the rendered table (barrier cells
+            // keep the bare label, matching the golden-file path).
+            substrate: match (r.cell.mode, r.cell.substrate) {
+                (ExecMode::Barrier, s) => s.label().to_string(),
+                (ExecMode::Pipelined, SubstrateKind::Electrical) => "elec+pipe".into(),
+                (ExecMode::Pipelined, SubstrateKind::Optical) => "opt+pipe".into(),
+            },
             buckets: r.buckets,
             compute_s: r.compute_s,
             overlapped_s: r.overlapped_s,
@@ -924,10 +1023,17 @@ impl From<&TimelineCellResult> for crate::timeline::TimelineRow {
     }
 }
 
-/// The `repro-figures train` campaign: every paper model × Wrht × both
-/// substrates at `n` nodes with the DDP-default 25 MB bucket budget.
+/// The `repro-figures train` campaign: every paper model × Wrht × the
+/// requested execution modes × both substrates at `n` nodes with the
+/// DDP-default 25 MB bucket budget.
 #[must_use]
-pub fn train_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64) -> TimelineSpec {
+pub fn train_spec(
+    cfg: &ExperimentConfig,
+    models: &[Model],
+    n: usize,
+    seed: u64,
+    modes: &[ExecMode],
+) -> TimelineSpec {
     let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
     let mut spec = TimelineSpec::grid(
         "train",
@@ -936,6 +1042,7 @@ pub fn train_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64)
         &[25 << 20],
         &[n],
         &[Algorithm::Wrht],
+        modes,
         &[SubstrateKind::Electrical, SubstrateKind::Optical],
     );
     spec.seed = seed;
@@ -1023,6 +1130,7 @@ mod tests {
             wavelengths: 2,
             strategy: Strategy::FirstFit,
             group_size: Some(63), // needs 31 wavelengths, only 2 available
+            mode: ExecMode::Barrier,
         };
         let r = run_cell(&tiny_cfg(), 0, &cell);
         assert!(r.error.is_some());
@@ -1043,6 +1151,7 @@ mod tests {
                 wavelengths: 0,
                 strategy: Strategy::FirstFit,
                 group_size: None,
+                mode: ExecMode::Barrier,
             };
             let r = run_cell(&tiny_cfg(), 0, &cell);
             assert!(r.error.is_some(), "{algorithm:?} must record an error");
@@ -1135,6 +1244,7 @@ mod tests {
             wavelengths: 64,
             strategy: Strategy::FirstFit,
             group_size: Some(4),
+            mode: ExecMode::Barrier,
         });
         let report = run_campaign(&spec, 1, None);
         // The w=1 auto-Wrht grid cell is feasible (m=2,3 need 1 lambda), so
@@ -1201,6 +1311,7 @@ mod tests {
             &[4 << 20, 25 << 20],
             &[8, 16],
             &[Algorithm::Wrht, Algorithm::Ring],
+            &[ExecMode::Barrier],
             &[SubstrateKind::Electrical, SubstrateKind::Optical],
         );
         spec.seed = 11;
@@ -1258,6 +1369,7 @@ mod tests {
             n: 8,
             wavelengths: 64,
             strategy: Strategy::FirstFit,
+            mode: ExecMode::Barrier,
         });
         let first = run_timeline_campaign(&spec, 2, Some(&dir));
         assert!(first.results.last().unwrap().error.is_some());
@@ -1285,7 +1397,7 @@ mod tests {
     #[test]
     fn train_spec_covers_every_model_on_both_substrates() {
         let models = dnn_models::paper_models();
-        let spec = train_spec(&tiny_cfg(), &models, 16, 7);
+        let spec = train_spec(&tiny_cfg(), &models, 16, 7, &[ExecMode::Barrier]);
         assert_eq!(spec.cells.len(), models.len() * 2);
         assert!(spec
             .cells

@@ -24,8 +24,11 @@ use optical_sim::sim::StepSchedule;
 use optical_sim::Strategy;
 use serde::{Deserialize, Serialize};
 use wrht_core::baselines::lower_collective_to_optical;
+use wrht_core::dag::ExecMode;
 use wrht_core::lower::to_optical_schedule;
-use wrht_core::timeline::{execute_timeline, IterationTimeline, TimelineBucket};
+use wrht_core::timeline::{
+    execute_timeline, execute_timeline_pipelined, IterationTimeline, TimelineBucket,
+};
 use wrht_core::{choose_group_size, WrhtParams};
 
 /// Compute-side model for one zoo model: backward time proportional to the
@@ -93,6 +96,12 @@ pub fn timeline_buckets(model: &Model, bucket_bytes: u64) -> Vec<TimelineBucket>
 /// Execute one data-parallel training iteration of `model` on the given
 /// substrate: the first workload where the optimizer, bucketing and the
 /// simulators compose end to end.
+///
+/// `mode` selects the executor: [`ExecMode::Barrier`] serializes bucket
+/// all-reduces on the network (one collective at a time), while
+/// [`ExecMode::Pipelined`] chains the bucket schedules into one
+/// dependency-aware DAG so consecutive buckets overlap on the wire.
+#[allow(clippy::too_many_arguments)] // one axis per campaign dimension
 pub fn model_timeline(
     cfg: &ExperimentConfig,
     model: &Model,
@@ -101,16 +110,20 @@ pub fn model_timeline(
     algorithm: Algorithm,
     kind: SubstrateKind,
     strategy: Strategy,
+    mode: ExecMode,
 ) -> wrht_core::error::Result<IterationTimeline> {
     let buckets = timeline_buckets(model, bucket_bytes);
     let im = iteration_model(model);
     let mut substrate = cfg.try_substrate(kind, n, strategy)?;
-    execute_timeline(
-        substrate.as_mut(),
-        &buckets,
-        im.forward_s + im.backward_s,
-        |bytes| lower_allreduce(cfg, algorithm, n, bytes).map(|(schedule, _)| schedule),
-    )
+    let compute_s = im.forward_s + im.backward_s;
+    let lower =
+        |bytes: u64| lower_allreduce(cfg, algorithm, n, bytes).map(|(schedule, _)| schedule);
+    match mode {
+        ExecMode::Barrier => execute_timeline(substrate.as_mut(), &buckets, compute_s, lower),
+        ExecMode::Pipelined => {
+            execute_timeline_pipelined(substrate.as_mut(), &buckets, compute_s, lower)
+        }
+    }
 }
 
 /// One row of the `repro-figures train` table.
@@ -177,6 +190,7 @@ pub fn timeline_table(
                 Algorithm::Wrht,
                 kind,
                 Strategy::FirstFit,
+                ExecMode::Barrier,
             ) {
                 rows.push(TimelineRow::from_timeline(&model.name, &t));
             }
@@ -209,6 +223,7 @@ mod tests {
                 Algorithm::Wrht,
                 kind,
                 Strategy::FirstFit,
+                ExecMode::Barrier,
             )
             .unwrap();
             assert!(t.bucket_count() > 1);
@@ -223,6 +238,43 @@ mod tests {
             for b in &t.buckets {
                 assert!(b.report.step_count() >= 1);
                 assert!((b.comm_s() - b.report.total_time_s).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_timeline_is_never_slower_on_either_substrate() {
+        let cfg = tiny_cfg();
+        let model = dnn_models::googlenet();
+        for kind in [SubstrateKind::Optical, SubstrateKind::Electrical] {
+            let run = |mode| {
+                model_timeline(
+                    &cfg,
+                    &model,
+                    16,
+                    4 << 20,
+                    Algorithm::Wrht,
+                    kind,
+                    Strategy::FirstFit,
+                    mode,
+                )
+                .unwrap()
+            };
+            let barrier = run(ExecMode::Barrier);
+            let pipelined = run(ExecMode::Pipelined);
+            assert_eq!(barrier.bucket_count(), pipelined.bucket_count());
+            assert!(
+                pipelined.overlapped_s <= barrier.overlapped_s + 1e-12,
+                "{kind:?}: pipelined {} vs barrier {}",
+                pipelined.overlapped_s,
+                barrier.overlapped_s
+            );
+            // Same fused-all-reduce sequential baseline.
+            assert!((pipelined.sequential_s - barrier.sequential_s).abs() < 1e-15);
+            // Pipelined buckets may overlap: start before the predecessor
+            // finishes, never before their own gradient is ready.
+            for b in &pipelined.buckets {
+                assert!(b.start_s >= b.ready_s - 1e-15);
             }
         }
     }

@@ -1,0 +1,442 @@
+//! The dependency-aware schedule IR.
+//!
+//! A [`crate::substrate::Substrate`] executes a [`StepSchedule`] with
+//! barrier semantics: every transfer of a step starts together and the
+//! step ends at the slowest flow, so consecutive gradient buckets and
+//! consecutive collective steps can never overlap on the wire. A
+//! [`DepSchedule`] removes that barrier: each transfer carries explicit
+//! predecessor edges and an optional release time, and
+//! [`crate::substrate::Substrate::execute_dag`] runs it event-driven on
+//! either fabric — flows start the instant their last predecessor
+//! completes, wavelengths free as soon as a transfer finishes, and the
+//! electrical fluid solver re-solves rates incrementally.
+//!
+//! Three lowerings are provided:
+//!
+//! * [`DepSchedule::from_steps`] — barrier edges (each transfer depends on
+//!   the whole previous non-empty step). Executing this DAG reproduces
+//!   [`crate::substrate::Substrate::execute`] **bit-exactly** on both
+//!   substrates — the differential suite pins it.
+//! * [`DepSchedule::pipelined_from_steps`] — per-node ordering edges: a
+//!   transfer depends only on the previous transfers its *source node*
+//!   took part in (it cannot forward data it has not received, and a node
+//!   sends its steps in order), so steps of a collective pipeline
+//!   back-to-back wherever links and wavelengths allow.
+//! * [`DepSchedule::chain`] — per-bucket all-reduce chains: each bucket's
+//!   schedule keeps its internal barrier edges, buckets share no edges,
+//!   and a bucket's first transfers are gated on its gradient-ready time —
+//!   so consecutive buckets overlap on the wire.
+//!
+//! ```
+//! use wrht_core::dag::DepSchedule;
+//! use wrht_core::baselines::oring_schedule;
+//!
+//! let sched = oring_schedule(8, 8_000, 4);
+//! let barrier = DepSchedule::from_steps(&sched);
+//! let pipelined = DepSchedule::pipelined_from_steps(&sched);
+//! assert_eq!(barrier.len(), sched.transfer_count());
+//! assert_eq!(pipelined.len(), sched.transfer_count());
+//! // Barrier edges are a superset of the per-node ordering edges.
+//! let edges = |d: &DepSchedule| d.transfers().iter().map(|t| t.deps.len()).sum::<usize>();
+//! assert!(edges(&pipelined) <= edges(&barrier));
+//! ```
+
+use optical_sim::request::Transfer;
+use optical_sim::sim::StepSchedule;
+use serde::{Deserialize, Serialize};
+
+/// How a schedule is executed on a substrate — the campaign axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Step-synchronous: every step ends at its slowest transfer
+    /// ([`crate::substrate::Substrate::execute`]).
+    Barrier,
+    /// Dependency-driven: transfers start the instant their predecessors
+    /// complete ([`crate::substrate::Substrate::execute_dag`] over a
+    /// [`DepSchedule::pipelined_from_steps`] / [`DepSchedule::chain`]
+    /// lowering).
+    Pipelined,
+}
+
+impl ExecMode {
+    /// Stable lowercase label used in reports, hashes and CSV rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Barrier => "barrier",
+            ExecMode::Pipelined => "pipelined",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One transfer of a [`DepSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepTransfer {
+    /// The transfer itself (endpoints, payload, ring direction, lanes).
+    pub transfer: Transfer,
+    /// Indices of transfers that must complete before this one starts.
+    /// Every index is `<` the transfer's own index, so the list is a DAG
+    /// in topological order by construction.
+    pub deps: Vec<usize>,
+    /// Earliest start time, seconds (e.g. a gradient-ready instant);
+    /// 0 for purely dependency-driven transfers.
+    pub release_s: f64,
+    /// The source step (or bucket-step) this transfer was lowered from.
+    /// Non-decreasing along the schedule; used for barrier detection and
+    /// per-stage reporting.
+    pub stage: usize,
+}
+
+/// A dependency-aware communication schedule.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DepSchedule {
+    transfers: Vec<DepTransfer>,
+    stages: usize,
+}
+
+/// Append `schedule` lowered with barrier edges (every transfer gated on
+/// the whole previous non-empty step); dependency-free transfers are gated
+/// on `release_s`. The single lowering shared by [`DepSchedule::from_steps`]
+/// and [`DepSchedule::chain`].
+fn push_barrier_bucket(
+    transfers: &mut Vec<DepTransfer>,
+    schedule: &StepSchedule,
+    release_s: f64,
+    stage_base: usize,
+) {
+    let mut prev: Vec<usize> = Vec::new();
+    for (step_idx, step) in schedule.steps().iter().enumerate() {
+        let first = transfers.len();
+        for tr in step {
+            transfers.push(DepTransfer {
+                transfer: tr.clone(),
+                deps: prev.clone(),
+                release_s: if prev.is_empty() { release_s } else { 0.0 },
+                stage: stage_base + step_idx,
+            });
+        }
+        if !step.is_empty() {
+            prev = (first..transfers.len()).collect();
+        }
+    }
+}
+
+impl DepSchedule {
+    /// Build from explicit transfers, validating the DAG invariants:
+    /// every dependency precedes its transfer, stages are non-decreasing,
+    /// and release times are finite and non-negative.
+    ///
+    /// The two lowering constructors uphold these invariants by
+    /// construction; this entry is for hand-built or deserialized DAGs.
+    /// The substrates re-validate independently (they accept raw transfer
+    /// lists at their own crate boundaries), so an invalid DAG fails
+    /// cleanly either way.
+    pub fn from_transfers(transfers: Vec<DepTransfer>) -> crate::error::Result<Self> {
+        let mut stage = 0usize;
+        for (i, t) in transfers.iter().enumerate() {
+            if t.deps.iter().any(|&d| d >= i) {
+                return Err(optical_sim::OpticalError::BadConfig(
+                    "dependency must precede its transfer",
+                )
+                .into());
+            }
+            if t.stage < stage {
+                return Err(
+                    optical_sim::OpticalError::BadConfig("stages must be non-decreasing").into(),
+                );
+            }
+            if !t.release_s.is_finite() || t.release_s < 0.0 {
+                return Err(optical_sim::OpticalError::BadConfig(
+                    "release time must be finite and >= 0",
+                )
+                .into());
+            }
+            stage = t.stage;
+        }
+        let stages = transfers.last().map_or(0, |t| t.stage + 1);
+        Ok(Self { transfers, stages })
+    }
+
+    /// Lower a [`StepSchedule`] with **full barrier edges**: every
+    /// transfer of step `k` depends on every transfer of the most recent
+    /// non-empty step before `k`. Executing this DAG agrees bit-exactly
+    /// with the stepped run on both substrates.
+    #[must_use]
+    pub fn from_steps(schedule: &StepSchedule) -> Self {
+        let mut transfers: Vec<DepTransfer> = Vec::with_capacity(schedule.transfer_count());
+        push_barrier_bucket(&mut transfers, schedule, 0.0, 0);
+        Self {
+            transfers,
+            stages: schedule.len(),
+        }
+    }
+
+    /// Lower a [`StepSchedule`] with **per-node ordering edges**: a
+    /// transfer depends only on the most recent earlier transfers its
+    /// source node took part in (as sender or receiver). This preserves
+    /// the data flow of reduce/broadcast/ring collectives — a node cannot
+    /// forward a buffer it has not received, and a node's own sends stay
+    /// ordered — while letting independent branches of consecutive steps
+    /// overlap on the wire.
+    #[must_use]
+    pub fn pipelined_from_steps(schedule: &StepSchedule) -> Self {
+        let nodes = schedule
+            .steps()
+            .iter()
+            .flatten()
+            .map(|t| t.src.0.max(t.dst.0) + 1)
+            .max()
+            .unwrap_or(0);
+        // For each node: the transfer indices of the most recent step in
+        // which it appeared.
+        let mut last_involved: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+        let mut transfers: Vec<DepTransfer> = Vec::with_capacity(schedule.transfer_count());
+        for (stage, step) in schedule.steps().iter().enumerate() {
+            let first = transfers.len();
+            for tr in step {
+                transfers.push(DepTransfer {
+                    transfer: tr.clone(),
+                    deps: last_involved[tr.src.0].clone(),
+                    release_s: 0.0,
+                    stage,
+                });
+            }
+            if step.is_empty() {
+                continue;
+            }
+            let mut involved: Vec<Vec<usize>> = vec![Vec::new(); nodes];
+            for (k, tr) in step.iter().enumerate() {
+                involved[tr.src.0].push(first + k);
+                involved[tr.dst.0].push(first + k);
+            }
+            for (node, list) in involved.into_iter().enumerate() {
+                if !list.is_empty() {
+                    last_involved[node] = list;
+                }
+            }
+        }
+        Self {
+            transfers,
+            stages: schedule.len(),
+        }
+    }
+
+    /// Chain per-bucket schedules: each bucket keeps internal barrier
+    /// edges, its dependency-free transfers are gated on the bucket's
+    /// release instant, and buckets share **no** edges — consecutive
+    /// buckets pipeline back-to-back on the wire instead of serializing
+    /// behind a global network lock.
+    ///
+    /// Returns the combined schedule plus each bucket's transfer range.
+    #[must_use]
+    pub fn chain(buckets: &[(f64, StepSchedule)]) -> (Self, Vec<std::ops::Range<usize>>) {
+        let mut transfers: Vec<DepTransfer> = Vec::new();
+        let mut ranges = Vec::with_capacity(buckets.len());
+        let mut stage_base = 0usize;
+        for (release_s, schedule) in buckets {
+            let bucket_first = transfers.len();
+            push_barrier_bucket(&mut transfers, schedule, *release_s, stage_base);
+            stage_base += schedule.len();
+            ranges.push(bucket_first..transfers.len());
+        }
+        (
+            Self {
+                transfers,
+                stages: stage_base,
+            },
+            ranges,
+        )
+    }
+
+    /// The transfers in topological order.
+    #[must_use]
+    pub fn transfers(&self) -> &[DepTransfer] {
+        &self.transfers
+    }
+
+    /// Number of transfers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// True when the schedule has no transfers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// Number of source stages (steps / bucket-steps) the schedule was
+    /// lowered from.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.stages
+    }
+
+    /// Total payload bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.transfer.bytes).sum()
+    }
+
+    /// Total dependency edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.transfers.iter().map(|t| t.deps.len()).sum()
+    }
+
+    /// Does this DAG encode full step barriers? True iff every release is
+    /// 0 and every transfer depends on exactly the whole previous
+    /// non-empty stage — the shape produced by [`DepSchedule::from_steps`].
+    /// Substrates pin `execute_dag == execute` bit-exactly on such DAGs.
+    #[must_use]
+    pub fn is_barrier_shaped(&self) -> bool {
+        if self.transfers.iter().any(|t| t.release_s != 0.0) {
+            return false;
+        }
+        let mut prev: Vec<usize> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut stage = usize::MAX;
+        for (i, t) in self.transfers.iter().enumerate() {
+            if t.stage != stage {
+                if !current.is_empty() {
+                    prev = std::mem::take(&mut current);
+                }
+                current.clear();
+                stage = t.stage;
+            }
+            if t.deps != prev {
+                return false;
+            }
+            current.push(i);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_sim::NodeId;
+
+    fn t(src: usize, dst: usize, bytes: u64) -> Transfer {
+        Transfer::shortest(NodeId(src), NodeId(dst), bytes)
+    }
+
+    #[test]
+    fn barrier_lowering_spans_empty_steps() {
+        let sched = StepSchedule::from_steps(vec![
+            vec![t(0, 1, 10), t(2, 3, 20)],
+            vec![],
+            vec![t(1, 2, 30)],
+        ]);
+        let dag = DepSchedule::from_steps(&sched);
+        assert_eq!(dag.len(), 3);
+        assert_eq!(dag.stage_count(), 3);
+        assert_eq!(dag.transfers()[0].deps, Vec::<usize>::new());
+        assert_eq!(dag.transfers()[1].deps, Vec::<usize>::new());
+        // The step after the empty one depends on the last non-empty step.
+        assert_eq!(dag.transfers()[2].deps, vec![0, 1]);
+        assert_eq!(dag.transfers()[2].stage, 2);
+        assert!(dag.is_barrier_shaped());
+        assert_eq!(dag.total_bytes(), 60);
+    }
+
+    #[test]
+    fn pipelined_lowering_tracks_node_involvement() {
+        // Step 0: 0->1 and 2->3. Step 1: 1->2 (depends on both: node 1
+        // received from 0... only transfer 0 involves node 1) and 3->0.
+        let sched = StepSchedule::from_steps(vec![
+            vec![t(0, 1, 10), t(2, 3, 20)],
+            vec![t(1, 2, 30), t(3, 0, 40)],
+        ]);
+        let dag = DepSchedule::pipelined_from_steps(&sched);
+        assert_eq!(dag.transfers()[2].deps, vec![0]); // 1 took part in 0->1
+        assert_eq!(dag.transfers()[3].deps, vec![1]); // 3 took part in 2->3
+        assert!(!dag.is_barrier_shaped());
+        assert!(dag.edge_count() < DepSchedule::from_steps(&sched).edge_count());
+    }
+
+    #[test]
+    fn pipelined_lowering_reaches_across_idle_steps() {
+        // Node 0 sends in step 0, is idle in step 1, sends again in step 2:
+        // the step-2 send must still depend on its step-0 transfer.
+        let sched = StepSchedule::from_steps(vec![
+            vec![t(0, 1, 10)],
+            vec![t(2, 3, 20)],
+            vec![t(0, 3, 30)],
+        ]);
+        let dag = DepSchedule::pipelined_from_steps(&sched);
+        assert_eq!(dag.transfers()[2].deps, vec![0]);
+    }
+
+    #[test]
+    fn chain_gates_buckets_on_release_and_shares_no_edges() {
+        let bucket = StepSchedule::from_steps(vec![vec![t(0, 1, 10)], vec![t(1, 2, 20)]]);
+        let (dag, ranges) = DepSchedule::chain(&[(1e-3, bucket.clone()), (2e-3, bucket)]);
+        assert_eq!(dag.len(), 4);
+        assert_eq!(ranges, vec![0..2, 2..4]);
+        assert_eq!(dag.transfers()[0].release_s, 1e-3);
+        assert_eq!(dag.transfers()[1].deps, vec![0]);
+        assert_eq!(dag.transfers()[1].release_s, 0.0);
+        // Second bucket: gated on its own release, no cross-bucket edges.
+        assert_eq!(dag.transfers()[2].release_s, 2e-3);
+        assert_eq!(dag.transfers()[2].deps, Vec::<usize>::new());
+        assert_eq!(dag.transfers()[3].deps, vec![2]);
+        assert_eq!(dag.stage_count(), 4);
+        assert!(!dag.is_barrier_shaped());
+    }
+
+    #[test]
+    fn from_transfers_validates_invariants() {
+        let bad_dep = vec![DepTransfer {
+            transfer: t(0, 1, 1),
+            deps: vec![0],
+            release_s: 0.0,
+            stage: 0,
+        }];
+        assert!(DepSchedule::from_transfers(bad_dep).is_err());
+        let bad_stage = vec![
+            DepTransfer {
+                transfer: t(0, 1, 1),
+                deps: vec![],
+                release_s: 0.0,
+                stage: 1,
+            },
+            DepTransfer {
+                transfer: t(1, 2, 1),
+                deps: vec![],
+                release_s: 0.0,
+                stage: 0,
+            },
+        ];
+        assert!(DepSchedule::from_transfers(bad_stage).is_err());
+        let bad_release = vec![DepTransfer {
+            transfer: t(0, 1, 1),
+            deps: vec![],
+            release_s: f64::NAN,
+            stage: 0,
+        }];
+        assert!(DepSchedule::from_transfers(bad_release).is_err());
+    }
+
+    #[test]
+    fn exec_mode_labels() {
+        assert_eq!(ExecMode::Barrier.label(), "barrier");
+        assert_eq!(ExecMode::Pipelined.to_string(), "pipelined");
+    }
+
+    #[test]
+    fn empty_schedule_is_barrier_shaped() {
+        let dag = DepSchedule::default();
+        assert!(dag.is_empty());
+        assert!(dag.is_barrier_shaped());
+        assert_eq!(dag.edge_count(), 0);
+    }
+}

@@ -34,6 +34,9 @@
 //!   generic collectives→optical lowering;
 //! * [`substrate`] — the unified [`substrate::Substrate`] execution trait
 //!   over the optical ring and the electrical fluid-model cluster;
+//! * [`dag`] — the dependency-aware [`dag::DepSchedule`] IR and its
+//!   barrier/pipelined lowerings, executed event-driven by
+//!   [`substrate::Substrate::execute_dag`];
 //! * [`timeline`] — simulator-backed training iterations: per-bucket
 //!   all-reduces executed on a substrate and merged with gradient-ready
 //!   times into an [`timeline::IterationTimeline`].
@@ -54,6 +57,7 @@
 pub mod alltoall;
 pub mod baselines;
 pub mod cost;
+pub mod dag;
 pub mod describe;
 pub mod error;
 pub mod lower;
@@ -69,6 +73,7 @@ pub mod timeline;
 pub mod prelude {
     pub use crate::baselines::{lower_collective_to_optical, oring_schedule};
     pub use crate::cost::{predict_time_s, CostBreakdown};
+    pub use crate::dag::{DepSchedule, DepTransfer, ExecMode};
     pub use crate::describe::describe_plan;
     pub use crate::error::WrhtError;
     pub use crate::lower::{
@@ -83,16 +88,21 @@ pub mod prelude {
     };
     pub use crate::steps::{paper_step_count, tree_wavelength_requirement};
     pub use crate::substrate::{
-        ElectricalSubstrate, OpticalSubstrate, RunReport, StepTiming, Substrate,
+        DagRunReport, DagTiming, ElectricalSubstrate, OpticalSubstrate, RunReport, StepTiming,
+        Substrate,
     };
     pub use crate::timeline::{
-        execute_timeline, BucketTimeline, IterationTimeline, TimelineBucket,
+        execute_timeline, execute_timeline_pipelined, BucketTimeline, IterationTimeline,
+        TimelineBucket,
     };
 }
 
+pub use dag::{DepSchedule, DepTransfer, ExecMode};
 pub use error::WrhtError;
 pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
 pub use params::{GroupSize, WrhtParams};
 pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};
-pub use substrate::{ElectricalSubstrate, OpticalSubstrate, RunReport, Substrate};
-pub use timeline::{execute_timeline, IterationTimeline, TimelineBucket};
+pub use substrate::{DagRunReport, ElectricalSubstrate, OpticalSubstrate, RunReport, Substrate};
+pub use timeline::{
+    execute_timeline, execute_timeline_pipelined, IterationTimeline, TimelineBucket,
+};

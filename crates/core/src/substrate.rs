@@ -29,10 +29,11 @@
 //! assert_eq!(o.step_count(), e.step_count());
 //! ```
 
+use crate::dag::DepSchedule;
 use crate::error::Result;
-use electrical_sim::runner::{run_steps, StepTransfer};
+use electrical_sim::runner::{run_dag, run_steps, DagFlow, StepTransfer};
 use electrical_sim::Network;
-use optical_sim::sim::{StepReport, StepSchedule};
+use optical_sim::sim::{DagTransfer, StepReport, StepSchedule};
 use optical_sim::{OpticalConfig, RingSimulator, Strategy};
 use serde::{Deserialize, Serialize};
 
@@ -117,6 +118,36 @@ impl RunReport {
     }
 }
 
+/// Per-transfer timing of a dependency-aware run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagTiming {
+    /// Instant the transfer's gates opened (dependencies, release time
+    /// and — optically — wavelengths satisfied), seconds.
+    pub start_s: f64,
+    /// Completion instant, seconds.
+    pub finish_s: f64,
+}
+
+/// Substrate-independent result of executing a [`DepSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagRunReport {
+    /// Name of the substrate that produced the report.
+    pub substrate: String,
+    /// Completion time of the last transfer, seconds.
+    pub makespan_s: f64,
+    /// Per-transfer windows in [`DepSchedule`] order.
+    pub transfers: Vec<DagTiming>,
+    /// Highest wavelength index in use at any instant + 1 (0 without WDM).
+    pub peak_wavelength: usize,
+    /// Fluid-solver invocations (0 on the optical substrate). With the
+    /// incremental engine each invocation covers only the contention
+    /// component whose active-flow set changed.
+    pub rate_recomputations: usize,
+    /// Progressive-filling work units (0 on the optical substrate) — the
+    /// solve-complexity metric the incremental engine reduces.
+    pub solver_work: usize,
+}
+
 /// A fabric that can execute step-synchronous communication schedules.
 ///
 /// Implementations must be deterministic: executing the same schedule twice
@@ -130,6 +161,15 @@ pub trait Substrate {
 
     /// Execute `schedule` and report per-step timing.
     fn execute(&mut self, schedule: &StepSchedule) -> Result<RunReport>;
+
+    /// Execute a dependency-aware schedule event-driven: each transfer
+    /// starts the instant its predecessors complete (and its release time
+    /// has passed). On a barrier-shaped DAG
+    /// ([`DepSchedule::is_barrier_shaped`]) the makespan equals the
+    /// stepped [`Substrate::execute`] total bit-exactly on both
+    /// substrates; on general DAGs consecutive steps and buckets overlap
+    /// on the wire.
+    fn execute_dag(&mut self, dag: &DepSchedule) -> Result<DagRunReport>;
 }
 
 /// The WDM optical ring as an execution substrate.
@@ -198,6 +238,31 @@ impl Substrate for OpticalSubstrate {
     fn execute(&mut self, schedule: &StepSchedule) -> Result<RunReport> {
         let report = self.sim.run_stepped(schedule, self.strategy)?;
         Ok(Self::report_from_stepped(&report))
+    }
+
+    fn execute_dag(&mut self, dag: &DepSchedule) -> Result<DagRunReport> {
+        let transfers: Vec<DagTransfer> = dag
+            .transfers()
+            .iter()
+            .map(|t| DagTransfer {
+                transfer: t.transfer.clone(),
+                release_s: t.release_s,
+                deps: t.deps.clone(),
+            })
+            .collect();
+        let report = self.sim.run_dag(&transfers, self.strategy)?;
+        Ok(DagRunReport {
+            substrate: "optical".into(),
+            makespan_s: report.makespan_s,
+            transfers: report
+                .transfer_times
+                .iter()
+                .map(|&(start_s, finish_s)| DagTiming { start_s, finish_s })
+                .collect(),
+            peak_wavelength: report.peak_wavelength,
+            rate_recomputations: 0,
+            solver_work: 0,
+        })
     }
 }
 
@@ -269,6 +334,34 @@ impl Substrate for ElectricalSubstrate {
                     peak_wavelength: 0,
                 })
                 .collect(),
+        })
+    }
+
+    fn execute_dag(&mut self, dag: &DepSchedule) -> Result<DagRunReport> {
+        let flows: Vec<DagFlow> = dag
+            .transfers()
+            .iter()
+            .map(|t| DagFlow {
+                src: t.transfer.src.0,
+                dst: t.transfer.dst.0,
+                bytes: t.transfer.bytes,
+                release_s: t.release_s,
+                deps: t.deps.clone(),
+                stage: t.stage,
+            })
+            .collect();
+        let report = run_dag(&self.net, &flows, self.step_overhead_s)?;
+        Ok(DagRunReport {
+            substrate: "electrical".into(),
+            makespan_s: report.makespan_s,
+            transfers: report
+                .windows
+                .iter()
+                .map(|&(start_s, finish_s)| DagTiming { start_s, finish_s })
+                .collect(),
+            peak_wavelength: 0,
+            rate_recomputations: report.rate_recomputations,
+            solver_work: report.solver_work,
         })
     }
 }
@@ -379,6 +472,82 @@ mod tests {
         let util = report.utilization(4.0 * 1e9);
         assert!((util - 0.25).abs() < 1e-12, "util={util}");
         assert_eq!(report.utilization(0.0), 0.0);
+    }
+
+    #[test]
+    fn barrier_dag_matches_execute_bit_exactly_on_both_substrates() {
+        let n = 8;
+        let sched = oring_schedule(n, 8_000, 4);
+        let dag = crate::dag::DepSchedule::from_steps(&sched);
+        assert!(dag.is_barrier_shaped());
+
+        let mut o = optical(n, 4);
+        let stepped = o.execute(&sched).unwrap();
+        let event = o.execute_dag(&dag).unwrap();
+        assert_eq!(event.makespan_s.to_bits(), stepped.total_time_s.to_bits());
+
+        let mut e = electrical(n);
+        let stepped = e.execute(&sched).unwrap();
+        let event = e.execute_dag(&dag).unwrap();
+        assert_eq!(event.makespan_s.to_bits(), stepped.total_time_s.to_bits());
+        assert_eq!(event.transfers.len(), sched.transfer_count());
+    }
+
+    #[test]
+    fn pipelined_dag_is_never_slower_than_barrier() {
+        let n = 8;
+        let sched = oring_schedule(n, 8_000, 4);
+        let pipelined = crate::dag::DepSchedule::pipelined_from_steps(&sched);
+        assert!(!pipelined.is_barrier_shaped());
+        for (barrier_s, report) in [
+            {
+                let mut o = optical(n, 4);
+                (
+                    o.execute(&sched).unwrap().total_time_s,
+                    o.execute_dag(&pipelined).unwrap(),
+                )
+            },
+            {
+                let mut e = electrical(n);
+                (
+                    e.execute(&sched).unwrap().total_time_s,
+                    e.execute_dag(&pipelined).unwrap(),
+                )
+            },
+        ] {
+            assert!(
+                report.makespan_s <= barrier_s + 1e-12,
+                "{}: pipelined {} vs barrier {barrier_s}",
+                report.substrate,
+                report.makespan_s
+            );
+            assert!(report.makespan_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn electrical_dag_reports_incremental_solver_metrics() {
+        let sched = StepSchedule::from_steps(vec![
+            vec![
+                Transfer::shortest(NodeId(0), NodeId(1), 1_000_000),
+                Transfer::shortest(NodeId(2), NodeId(3), 2_000_000),
+            ],
+            vec![Transfer::shortest(NodeId(1), NodeId(2), 1_000_000)],
+        ]);
+        let mut e = electrical(8);
+        let report = e
+            .execute_dag(&crate::dag::DepSchedule::pipelined_from_steps(&sched))
+            .unwrap();
+        assert!(report.rate_recomputations > 0);
+        assert!(report.solver_work > 0);
+        assert_eq!(report.peak_wavelength, 0);
+        // Optical reports carry no fluid-solver metrics.
+        let mut o = optical(8, 4);
+        let report = o
+            .execute_dag(&crate::dag::DepSchedule::from_steps(&sched))
+            .unwrap();
+        assert_eq!(report.solver_work, 0);
+        assert!(report.peak_wavelength >= 1);
     }
 
     #[test]

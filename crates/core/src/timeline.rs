@@ -35,8 +35,9 @@
 //! assert!(t.hidden_fraction >= 0.0 && t.hidden_fraction <= 1.0);
 //! ```
 
+use crate::dag::DepSchedule;
 use crate::error::Result;
-use crate::substrate::{RunReport, Substrate};
+use crate::substrate::{RunReport, StepTiming, Substrate};
 use optical_sim::sim::StepSchedule;
 use serde::{Deserialize, Serialize};
 
@@ -102,7 +103,16 @@ impl BucketTimeline {
         self.start_s - self.ready_s
     }
 
-    /// Absolute finish instant of every substrate step of this bucket.
+    /// Absolute finish instant of every substrate step of this bucket,
+    /// assuming the steps run back-to-back from `start_s`.
+    ///
+    /// Exact for [`execute_timeline`] buckets (steps are contiguous by
+    /// construction). For [`execute_timeline_pipelined`] buckets the
+    /// report stores per-step *spans* only, and a step may additionally
+    /// wait on wavelengths or links held by an overlapping bucket, so the
+    /// cumulative sum can under-report the true absolute instants — use
+    /// the [`crate::substrate::DagRunReport`] transfer windows when exact
+    /// cross-bucket timing matters.
     #[must_use]
     pub fn step_finish_times_s(&self) -> Vec<f64> {
         let mut at = self.start_s;
@@ -240,6 +250,118 @@ pub fn execute_timeline(
     })
 }
 
+/// Execute one data-parallel iteration with **pipelined** bucket
+/// all-reduces: the lowered bucket schedules are chained into one
+/// [`DepSchedule`] (internal barrier edges per bucket, release at each
+/// bucket's gradient-ready time, no cross-bucket edges) and executed
+/// event-driven in a single [`Substrate::execute_dag`] run. Consecutive
+/// buckets overlap on the wire wherever links and wavelengths allow,
+/// instead of serializing behind a global network lock as
+/// [`execute_timeline`] (and NCCL-style runtimes) do.
+///
+/// The sequential baseline and all derived fractions are computed exactly
+/// as in [`execute_timeline`]. Per-bucket `report`s are reconstructed from
+/// the transfer windows: step durations are each stage's first-start to
+/// last-finish span (stages of different buckets may overlap in time), and
+/// per-step wavelength footprints are not tracked in this mode (the DAG
+/// report only carries the run-wide peak).
+pub fn execute_timeline_pipelined(
+    substrate: &mut dyn Substrate,
+    buckets: &[TimelineBucket],
+    compute_s: f64,
+    mut lower: impl FnMut(u64) -> Result<StepSchedule>,
+) -> Result<IterationTimeline> {
+    let mut lowered: Vec<(f64, StepSchedule)> = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        lowered.push((b.ready_s, lower(b.bytes)?));
+    }
+    let (dag, ranges) = DepSchedule::chain(&lowered);
+    let report = substrate.execute_dag(&dag)?;
+    let substrate_name = report.substrate.clone();
+
+    let mut executed = Vec::with_capacity(buckets.len());
+    let mut total_comm = 0.0f64;
+    let mut last_finish = 0.0f64;
+    for ((b, range), (_, schedule)) in buckets.iter().zip(&ranges).zip(&lowered) {
+        let windows = &report.transfers[range.clone()];
+        let start = windows
+            .iter()
+            .map(|w| w.start_s)
+            .fold(f64::INFINITY, f64::min);
+        let finish = windows.iter().map(|w| w.finish_s).fold(0.0f64, f64::max);
+        let (start, finish) = if windows.is_empty() {
+            (b.ready_s, b.ready_s)
+        } else {
+            (start, finish.max(start))
+        };
+        // Reconstruct per-step timings from the windows: transfers of the
+        // bucket appear in schedule order, so chunk them by step.
+        let mut steps = Vec::with_capacity(schedule.len());
+        let mut offset = 0usize;
+        for step in schedule.steps() {
+            let step_windows = &windows[offset..offset + step.len()];
+            offset += step.len();
+            let s0 = step_windows
+                .iter()
+                .map(|w| w.start_s)
+                .fold(f64::INFINITY, f64::min);
+            let s1 = step_windows
+                .iter()
+                .map(|w| w.finish_s)
+                .fold(0.0f64, f64::max);
+            steps.push(StepTiming {
+                duration_s: if step_windows.is_empty() {
+                    0.0
+                } else {
+                    (s1 - s0).max(0.0)
+                },
+                transfers: step.len(),
+                bytes: step.iter().map(|t| t.bytes).sum(),
+                peak_wavelength: 0,
+            });
+        }
+        total_comm += finish - start;
+        last_finish = last_finish.max(finish);
+        executed.push(BucketTimeline {
+            label: b.label.clone(),
+            bytes: b.bytes,
+            ready_s: b.ready_s,
+            start_s: start,
+            finish_s: finish,
+            report: RunReport {
+                substrate: substrate_name.clone(),
+                total_time_s: finish - start,
+                steps,
+            },
+        });
+    }
+
+    let overlapped_s = if executed.is_empty() {
+        compute_s
+    } else {
+        last_finish.max(compute_s)
+    };
+
+    let total_bytes: u64 = buckets.iter().map(|b| b.bytes).sum();
+    let sequential_comm_s = if total_bytes > 0 {
+        substrate.execute(&lower(total_bytes)?)?.total_time_s
+    } else {
+        0.0
+    };
+
+    let exposed_comm_s = (overlapped_s - compute_s).max(0.0);
+    Ok(IterationTimeline {
+        substrate: substrate.name().to_string(),
+        compute_s,
+        overlapped_s,
+        sequential_s: compute_s + sequential_comm_s,
+        total_comm_s: total_comm,
+        exposed_comm_s,
+        hidden_fraction: hidden_comm_fraction(total_comm, exposed_comm_s),
+        buckets: executed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +466,119 @@ mod tests {
             Err(crate::error::WrhtError::NoNodes)
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn pipelined_overlaps_disjoint_buckets() {
+        // Two buckets on disjoint node pairs, both ready at t=0. Barrier
+        // mode serializes them behind the network lock (2 ms); pipelined
+        // mode runs them concurrently (1 ms).
+        let schedules = [
+            |bytes| -> Result<StepSchedule> {
+                Ok(StepSchedule::from_steps(vec![vec![Transfer::shortest(
+                    NodeId(0),
+                    NodeId(1),
+                    bytes,
+                )]]))
+            },
+            |bytes| -> Result<StepSchedule> {
+                Ok(StepSchedule::from_steps(vec![vec![Transfer::shortest(
+                    NodeId(4),
+                    NodeId(5),
+                    bytes,
+                )]]))
+            },
+        ];
+        let buckets = [
+            TimelineBucket::new(1_000_000, 0.0),
+            TimelineBucket::new(1_000_000, 0.0),
+        ];
+        let mut calls = 0usize;
+        let lower = |bytes: u64| {
+            let f = schedules[calls.min(1)];
+            calls += 1;
+            f(bytes)
+        };
+        let mut sub = optical();
+        let t = execute_timeline_pipelined(&mut sub, &buckets, 0.0, lower).unwrap();
+        assert!((t.overlapped_s - 1e-3).abs() < 1e-12, "{}", t.overlapped_s);
+        assert_eq!(t.bucket_count(), 2);
+        assert!((t.buckets[1].finish_s - 1e-3).abs() < 1e-12);
+        // Both bucket windows start at 0: truly overlapped.
+        assert_eq!(t.buckets[0].start_s, 0.0);
+        assert_eq!(t.buckets[1].start_s, 0.0);
+    }
+
+    #[test]
+    fn pipelined_is_never_slower_than_barrier_on_shared_links() {
+        for electrical in [false, true] {
+            let buckets = [
+                TimelineBucket::new(2_000_000, 1e-3),
+                TimelineBucket::new(1_000_000, 2e-3),
+            ];
+            let run = |pipelined: bool| {
+                let mut optical_sub;
+                let mut electrical_sub;
+                let sub: &mut dyn Substrate = if electrical {
+                    electrical_sub = ElectricalSubstrate::new(
+                        electrical_sim::topology::star_cluster(8, 1e9, 0.0),
+                        0.0,
+                    );
+                    &mut electrical_sub
+                } else {
+                    optical_sub = optical();
+                    &mut optical_sub
+                };
+                if pipelined {
+                    execute_timeline_pipelined(sub, &buckets, 10e-3, one_transfer).unwrap()
+                } else {
+                    execute_timeline(sub, &buckets, 10e-3, one_transfer).unwrap()
+                }
+            };
+            let barrier = run(false);
+            let pipelined = run(true);
+            assert!(
+                pipelined.buckets[1].finish_s <= barrier.buckets[1].finish_s + 1e-12,
+                "electrical={electrical}: pipelined {} vs barrier {}",
+                pipelined.buckets[1].finish_s,
+                barrier.buckets[1].finish_s
+            );
+            assert!(pipelined.overlapped_s <= barrier.overlapped_s + 1e-12);
+            // Same fused sequential baseline in both modes.
+            assert_eq!(
+                pipelined.sequential_s.to_bits(),
+                barrier.sequential_s.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_empty_bucket_list_is_compute_only() {
+        let mut sub = optical();
+        let t = execute_timeline_pipelined(&mut sub, &[], 3e-3, one_transfer).unwrap();
+        assert_eq!(t.overlapped_s, 3e-3);
+        assert_eq!(t.sequential_s, 3e-3);
+        assert_eq!(t.total_comm_s, 0.0);
+        assert_eq!(t.hidden_fraction, 1.0);
+    }
+
+    #[test]
+    fn pipelined_reconstructs_per_step_timings() {
+        let two_steps = |bytes: u64| -> Result<StepSchedule> {
+            let half = bytes / 2;
+            Ok(StepSchedule::from_steps(vec![
+                vec![Transfer::shortest(NodeId(0), NodeId(1), half)],
+                vec![Transfer::shortest(NodeId(1), NodeId(2), bytes - half)],
+            ]))
+        };
+        let buckets = [TimelineBucket::new(2_000_000, 0.0).with_label("fc")];
+        let mut sub = optical();
+        let t = execute_timeline_pipelined(&mut sub, &buckets, 0.0, two_steps).unwrap();
+        assert_eq!(t.total_steps(), 2);
+        let b = &t.buckets[0];
+        assert!((b.report.steps[0].duration_s - 1e-3).abs() < 1e-12);
+        assert!((b.report.steps[1].duration_s - 1e-3).abs() < 1e-12);
+        assert!((b.comm_s() - 2e-3).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub enum NetError {
         /// Destination host.
         dst: usize,
     },
+    /// A flow was frozen at a zero rate (e.g. its route crosses a
+    /// zero-capacity link) and can never finish. Returned instead of an
+    /// infinite makespan.
+    StalledFlow {
+        /// Source host.
+        src: usize,
+        /// Destination host.
+        dst: usize,
+    },
     /// Invalid construction parameter.
     BadConfig(&'static str),
 }
@@ -43,6 +52,12 @@ impl fmt::Display for NetError {
                 write!(f, "zero-byte flow from {src} to {dst}")
             }
             NetError::NoRoute { src, dst } => write!(f, "no route from {src} to {dst}"),
+            NetError::StalledFlow { src, dst } => {
+                write!(
+                    f,
+                    "flow from {src} to {dst} stalled at rate 0 (zero-capacity link)"
+                )
+            }
             NetError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
         }
     }

@@ -14,8 +14,11 @@
 //! * [`topology`] — builders for switched star ("cluster"), ring, full mesh
 //!   and two-level fat-tree networks;
 //! * [`maxmin`] — progressive-filling max-min fair allocation;
-//! * [`sim::FluidSimulator`] — the event loop;
-//! * [`runner`] — barrier-stepped execution of collective schedules.
+//! * [`sim::FluidSimulator`] — the event loop, with incremental
+//!   per-component rate re-solves;
+//! * [`runner`] — barrier-stepped ([`runner::run_steps`]) and
+//!   dependency-aware ([`runner::run_dag`]) execution of collective
+//!   schedules.
 //!
 //! ```
 //! use electrical_sim::prelude::*;
@@ -44,7 +47,7 @@ pub mod prelude {
     pub use crate::error::NetError;
     pub use crate::flow::FlowSpec;
     pub use crate::graph::{LinkId, Network};
-    pub use crate::runner::{run_steps, StepTransfer};
+    pub use crate::runner::{run_dag, run_steps, DagFlow, DagRunReport, StepTransfer};
     pub use crate::sim::{FluidSimulator, RunReport};
     pub use crate::stats::{offered_load, LoadReport};
     pub use crate::topology::{fat_tree_two_level, full_mesh, ring, star_cluster, torus_2d};

@@ -6,6 +6,14 @@
 //! algorithm saturates the most-contended link, freezes the flows crossing
 //! it, subtracts their bandwidth and repeats.
 //!
+//! Numerical contract: for every flow with a non-empty route the returned
+//! rate is **finite and non-negative** — degenerate capacities (zero,
+//! negative, `NaN`) freeze the affected flows at a zero rate instead of
+//! leaving them at the infinite sentinel, so callers can detect the stall
+//! ([`crate::error::NetError::StalledFlow`]) rather than report instant
+//! completion. Only flows with genuinely empty routes keep an infinite
+//! rate (they complete in latency only).
+//!
 //! ```
 //! use electrical_sim::maxmin::maxmin_rates;
 //! use electrical_sim::topology::star_cluster;
@@ -19,12 +27,37 @@
 
 use crate::graph::{LinkId, Network};
 
+/// Relative tolerance for the per-link bottleneck tie test.
+const REL_EPS: f64 = 1e-12;
+
+/// Is `share` at (or numerically indistinguishable from) the bottleneck
+/// share `best`? Compared with a **relative** epsilon scaled to the larger
+/// of the two magnitudes, so links whose capacities span many orders of
+/// magnitude (1 Kb/s next to 100 Gb/s) tie correctly: an absolute or
+/// one-sided `best * (1 + eps)` threshold either misses ties on large
+/// links (whose `remaining` carries absolute rounding error far above
+/// `eps * best`) or overflows to infinity near `f64::MAX`.
+#[inline]
+fn at_bottleneck(share: f64, best: f64) -> bool {
+    share <= best + REL_EPS * share.abs().max(best.abs())
+}
+
 /// Compute max-min fair rates (bytes/s) for `routes`, one route per flow.
 ///
 /// Flows with empty routes are given an infinite rate (they complete in
 /// latency only); callers prevent this case for real networks.
 #[must_use]
 pub fn maxmin_rates(net: &Network, routes: &[Vec<LinkId>]) -> Vec<f64> {
+    let mut work = 0usize;
+    maxmin_rates_counted(net, routes, &mut work)
+}
+
+/// [`maxmin_rates`] that also accumulates the solver's work into `work`:
+/// one unit per link share evaluated and per flow bottleneck test, summed
+/// over progressive-filling rounds. The fluid engines report this as
+/// `solver_work` so full and incremental re-solves can be compared.
+#[must_use]
+pub fn maxmin_rates_counted(net: &Network, routes: &[Vec<LinkId>], work: &mut usize) -> Vec<f64> {
     let n_flows = routes.len();
     let n_links = net.links().len();
     let mut remaining: Vec<f64> = net.links().iter().map(|l| l.capacity_bps).collect();
@@ -35,10 +68,48 @@ pub fn maxmin_rates(net: &Network, routes: &[Vec<LinkId>]) -> Vec<f64> {
             active_on_link[l.0] += 1;
         }
     }
-
+    let links: Vec<usize> = (0..n_links).collect();
+    let flows: Vec<usize> = (0..n_flows).collect();
     let mut rate = vec![f64::INFINITY; n_flows];
-    let mut frozen = vec![false; n_flows];
-    let mut unfrozen = n_flows;
+    progressive_fill(
+        &links,
+        &flows,
+        routes,
+        &mut remaining,
+        &mut active_on_link,
+        &mut rate,
+        work,
+    );
+    rate
+}
+
+/// Progressive filling over an explicit link/flow subset.
+///
+/// This is the solver core shared by the full solve ([`maxmin_rates`],
+/// `links`/`flows` = everything) and the incremental event engine (a
+/// contention component only). `remaining` and `active` are indexed by
+/// global link id and must be pre-initialized for every link in `links`
+/// (capacity and active-flow count); `rate` is indexed by global flow id
+/// and is written for every flow in `flows` that freezes. The caller
+/// guarantees every active flow crossing a listed link is itself listed —
+/// the component property that makes a restricted solve exact.
+///
+/// `links` and `flows` must be ascending so a restricted solve visits its
+/// subset in the same order the full solve would, keeping rates
+/// bit-identical between the two.
+pub(crate) fn progressive_fill(
+    links: &[usize],
+    flows: &[usize],
+    routes: &[Vec<LinkId>],
+    remaining: &mut [f64],
+    active: &mut [usize],
+    rate: &mut [f64],
+    work: &mut usize,
+) {
+    debug_assert!(links.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(flows.windows(2).all(|w| w[0] < w[1]));
+    let mut frozen = vec![false; flows.len()];
+    let mut unfrozen = flows.len();
 
     while unfrozen > 0 {
         // Bottleneck share: smallest fair share among links with active
@@ -46,49 +117,92 @@ pub fn maxmin_rates(net: &Network, routes: &[Vec<LinkId>]) -> Vec<f64> {
         // flow crossing any of them freezes this round — this keeps
         // symmetric workloads (e.g. ring steps) at one round total.
         let mut best_share = f64::INFINITY;
-        for l in 0..n_links {
-            if active_on_link[l] > 0 {
-                let share = remaining[l] / active_on_link[l] as f64;
+        for &l in links {
+            // Every visited link is a unit of work — the full solve scans
+            // all network links per round, the incremental solve only its
+            // component's.
+            *work += 1;
+            if active[l] > 0 {
+                let share = remaining[l] / active[l] as f64;
                 if share < best_share {
                     best_share = share;
                 }
             }
         }
         if best_share == f64::INFINITY {
-            // Remaining flows cross no active link (empty routes): done.
+            // Either the remaining flows cross no active link (empty
+            // routes, which legitimately keep an infinite rate) or every
+            // active link produced a NaN share (corrupt capacities). The
+            // latter must not leak infinite rates: freeze those flows at
+            // zero so the stall is detectable downstream.
+            for (k, &f) in flows.iter().enumerate() {
+                if !frozen[k] && routes[f].iter().any(|&l| active[l.0] > 0) {
+                    rate[f] = 0.0;
+                }
+            }
             break;
         }
-        let threshold = best_share * (1.0 + 1e-12);
         let mut progressed = false;
-        for (f, route) in routes.iter().enumerate() {
-            if frozen[f] {
+        for (k, &f) in flows.iter().enumerate() {
+            if frozen[k] {
                 continue;
             }
-            let bottlenecked = route.iter().any(|&l| {
-                active_on_link[l.0] > 0 && remaining[l.0] / active_on_link[l.0] as f64 <= threshold
+            *work += 1;
+            let bottlenecked = routes[f].iter().any(|&l| {
+                active[l.0] > 0 && at_bottleneck(remaining[l.0] / active[l.0] as f64, best_share)
             });
             if !bottlenecked {
                 continue;
             }
-            frozen[f] = true;
+            frozen[k] = true;
             progressed = true;
             unfrozen -= 1;
-            rate[f] = best_share;
-            for &l in route {
-                remaining[l.0] = (remaining[l.0] - best_share).max(0.0);
-                active_on_link[l.0] -= 1;
+            // Degenerate (negative) capacities clamp to a zero rate so the
+            // stall is detectable instead of running the clock backwards.
+            let r = best_share.max(0.0);
+            rate[f] = r;
+            for &l in &routes[f] {
+                remaining[l.0] = (remaining[l.0] - r).max(0.0);
+                active[l.0] -= 1;
             }
         }
         if !progressed {
-            break; // Defensive: numerical corner, avoid spinning.
+            // Defensive numerical corner: the bottleneck link's own tie
+            // test failed. Freeze every remaining flow at its current
+            // per-link fair share (never the infinite sentinel) so
+            // downstream time-to-finish stays finite, then stop.
+            for (k, &f) in flows.iter().enumerate() {
+                if frozen[k] {
+                    continue;
+                }
+                let mut share = f64::INFINITY;
+                for &l in &routes[f] {
+                    if active[l.0] > 0 {
+                        let s = remaining[l.0] / active[l.0] as f64;
+                        share = if s.is_nan() || share.is_nan() {
+                            f64::NAN
+                        } else {
+                            share.min(s)
+                        };
+                    }
+                }
+                if share.is_finite() {
+                    rate[f] = share.max(0.0);
+                } else if share.is_nan() {
+                    rate[f] = 0.0;
+                }
+                // An infinite share (no active link left on the route)
+                // keeps the latency-only infinite sentinel.
+            }
+            break;
         }
     }
-    rate
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{Link, Router};
     use crate::topology::{ring, star_cluster};
 
     fn routes(net: &Network, pairs: &[(usize, usize)]) -> Vec<Vec<LinkId>> {
@@ -191,5 +305,138 @@ mod tests {
     fn empty_flow_set() {
         let net = star_cluster(2, 1e9, 0.0);
         assert!(maxmin_rates(&net, &[]).is_empty());
+    }
+
+    /// Regression: a negative (corrupt) capacity used to fire the
+    /// `!progressed` bail-out — `best_share * (1 + 1e-12)` moves a negative
+    /// threshold *below* `best_share`, so not even the bottleneck link's own
+    /// flows passed the tie test, and every unfrozen flow silently kept
+    /// `rate = INFINITY` (finishing instantly downstream). Rates must now
+    /// be finite and non-negative.
+    #[test]
+    fn negative_capacity_freezes_finite_rates() {
+        let net = Network::from_parts(
+            2,
+            vec![
+                Link {
+                    capacity_bps: -1e9,
+                    latency_s: 0.0,
+                },
+                Link {
+                    capacity_bps: 1e9,
+                    latency_s: 0.0,
+                },
+                Link {
+                    capacity_bps: 1e9,
+                    latency_s: 0.0,
+                },
+                Link {
+                    capacity_bps: 1e9,
+                    latency_s: 0.0,
+                },
+            ],
+            Router::Star,
+        );
+        let rates = maxmin_rates(&net, &routes(&net, &[(0, 1), (1, 0)]));
+        for (f, &r) in rates.iter().enumerate() {
+            assert!(r.is_finite(), "flow {f} kept a non-finite rate: {r}");
+            assert!(r >= 0.0, "flow {f} got a negative rate: {r}");
+        }
+        // The flow crossing the corrupt uplink is stalled at zero; the
+        // healthy opposite direction still gets its full share.
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 1e9).abs() < 1.0);
+    }
+
+    /// Regression: a NaN capacity used to leave its flows at the infinite
+    /// sentinel via the `best_share == INFINITY` exit (NaN shares never
+    /// compare below infinity).
+    #[test]
+    fn nan_capacity_freezes_zero_not_infinity() {
+        // Host 0's uplink and host 1's downlink are corrupt, so the 0 -> 1
+        // flow crosses only NaN links and can never pass a bottleneck tie
+        // test; the 1 -> 0 flow is healthy.
+        let nan = Link {
+            capacity_bps: f64::NAN,
+            latency_s: 0.0,
+        };
+        let ok = Link {
+            capacity_bps: 1e9,
+            latency_s: 0.0,
+        };
+        let net = Network::from_parts(2, vec![nan, ok, ok, nan], Router::Star);
+        let rates = maxmin_rates(&net, &routes(&net, &[(0, 1), (1, 0)]));
+        assert_eq!(rates[0], 0.0, "NaN-capacity flow must freeze at zero");
+        assert!((rates[1] - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_freezes_at_zero() {
+        let net = star_cluster(2, 0.0, 0.0);
+        let rates = maxmin_rates(&net, &routes(&net, &[(0, 1)]));
+        assert_eq!(rates[0], 0.0);
+    }
+
+    /// Heterogeneous capacities spanning many orders of magnitude:
+    /// 1 Kb/s (125 B/s) edge links next to 100 Gb/s (12.5e9 B/s) core
+    /// links. The relative-epsilon tie test must keep the allocation
+    /// feasible and bottlenecked on every flow.
+    #[test]
+    fn heterogeneous_capacities_stay_feasible_and_bottlenecked() {
+        // Star with per-host capacities: hosts 0..2 slow (1 Kb/s), 3..6
+        // fast (100 Gb/s).
+        let slow = Link {
+            capacity_bps: 125.0,
+            latency_s: 0.0,
+        };
+        let fast = Link {
+            capacity_bps: 12.5e9,
+            latency_s: 0.0,
+        };
+        let mut links = Vec::new();
+        for h in 0..6 {
+            let l = if h < 2 { slow } else { fast };
+            links.push(l); // uplink 2h
+            links.push(l); // downlink 2h+1
+        }
+        let net = Network::from_parts(6, links, Router::Star);
+        let pairs = [(0usize, 3usize), (1, 3), (2, 3), (4, 3), (2, 5), (4, 5)];
+        let flows = routes(&net, &pairs);
+        let rates = maxmin_rates(&net, &flows);
+        let mut load = vec![0.0f64; net.links().len()];
+        for (route, &rate) in flows.iter().zip(&rates) {
+            assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+            for &l in route {
+                load[l.0] += rate;
+            }
+        }
+        for (l, &used) in load.iter().enumerate() {
+            assert!(
+                used <= net.links()[l].capacity_bps * (1.0 + 1e-9),
+                "link {l} oversubscribed: {used}"
+            );
+        }
+        for (f, route) in flows.iter().enumerate() {
+            assert!(
+                route
+                    .iter()
+                    .any(|&l| load[l.0] >= net.links()[l.0].capacity_bps * (1.0 - 1e-6)),
+                "flow {f} has no saturated bottleneck"
+            );
+        }
+        // Slow-host flows are pinned near their 125 B/s ports; fast flows
+        // share the remaining fast capacity, orders of magnitude higher.
+        assert!(rates[0] <= 125.0 * (1.0 + 1e-9));
+        assert!(rates[3] > 1e9);
+    }
+
+    #[test]
+    fn work_counter_accumulates() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = routes(&net, &[(0, 1), (0, 2)]);
+        let mut work = 0usize;
+        let rates = maxmin_rates_counted(&net, &flows, &mut work);
+        assert_eq!(rates, maxmin_rates(&net, &flows));
+        assert!(work > 0, "solver work must be counted");
     }
 }

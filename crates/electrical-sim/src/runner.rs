@@ -9,7 +9,7 @@
 use crate::error::Result;
 use crate::flow::FlowSpec;
 use crate::graph::Network;
-use crate::sim::run_flows;
+use crate::sim::{run_engine, run_flows, EngineFlow};
 use serde::{Deserialize, Serialize};
 
 /// One transfer inside a step (sizes in bytes).
@@ -67,6 +67,197 @@ pub fn run_steps(
     Ok(SteppedReport {
         total_time_s: step_times.iter().sum(),
         step_times_s: step_times,
+    })
+}
+
+/// One transfer of a dependency-aware schedule: a [`StepTransfer`] plus
+/// explicit predecessor edges, an absolute release time and the source
+/// stage (step or bucket-step) it was lowered from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagFlow {
+    /// Source host.
+    pub src: usize,
+    /// Destination host.
+    pub dst: usize,
+    /// Payload bytes. 0 is legal and makes the transfer a pure control
+    /// gate: it completes after the launch overhead alone — no latency,
+    /// no bandwidth competition — but still gates its dependents. This
+    /// mirrors the stepped runner, which skips zero-byte flows while
+    /// charging the launch overhead.
+    pub bytes: u64,
+    /// Earliest release time, seconds (gradient-ready instants and the
+    /// like); 0 for purely dependency-driven transfers.
+    pub release_s: f64,
+    /// Indices of transfers that must complete first (each `<` own index,
+    /// so the list is a DAG in topological order by construction).
+    pub deps: Vec<usize>,
+    /// Source stage the transfer was lowered from (used to detect
+    /// barrier-shaped DAGs and for per-stage reporting). Must be
+    /// non-decreasing along the transfer list.
+    pub stage: usize,
+}
+
+/// Timing report for a dependency-aware run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagRunReport {
+    /// Completion time of the last transfer, seconds.
+    pub makespan_s: f64,
+    /// Per-transfer `(start, finish)` windows in submission order. `start`
+    /// is the instant the transfer's gates opened (dependencies and
+    /// release satisfied), before its launch overhead.
+    pub windows: Vec<(f64, f64)>,
+    /// Rate solver invocations (see [`crate::sim::RunReport`]).
+    pub rate_recomputations: usize,
+    /// Progressive-filling work units (see [`crate::sim::RunReport`]).
+    pub solver_work: usize,
+    /// Whether the run took the barrier fast path (per-stage fluid runs
+    /// composed exactly like [`run_steps`]) instead of the event engine.
+    pub barrier_fast_path: bool,
+}
+
+/// If `flows` encodes full step barriers — stages non-decreasing, every
+/// release at 0, and every transfer depending on exactly the previous
+/// non-empty stage — return the per-stage index lists.
+fn barrier_stages(flows: &[DagFlow]) -> Option<Vec<Vec<usize>>> {
+    if flows.iter().any(|f| f.release_s != 0.0) {
+        return None;
+    }
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    for (i, f) in flows.iter().enumerate() {
+        if f.stage + 1 < stages.len() {
+            return None; // stages must be non-decreasing
+        }
+        if f.stage >= stages.len() {
+            stages.resize_with(f.stage + 1, Vec::new);
+        }
+        stages[f.stage].push(i);
+    }
+    let mut prev: &[usize] = &[];
+    for stage in &stages {
+        for &i in stage {
+            if flows[i].deps != prev {
+                return None;
+            }
+        }
+        if !stage.is_empty() {
+            prev = stage;
+        }
+    }
+    Some(stages)
+}
+
+/// Execute a dependency-aware schedule over `net`.
+///
+/// Barrier-shaped inputs (each transfer gated on the whole previous
+/// stage, no release times) take a fast path that runs one fluid solve
+/// per stage and composes stage times exactly like [`run_steps`] — so a
+/// DAG encoding full step barriers reproduces the stepped runner's total
+/// **bit-exactly**. Everything else goes through the event-driven engine:
+/// transfers released the instant their last predecessor completes, rates
+/// re-solved incrementally only over the contention component whose
+/// active-flow set changed.
+///
+/// `per_message_overhead_s` is charged once per transfer after its gates
+/// open (per non-empty stage on the fast path, matching [`run_steps`]).
+pub fn run_dag(
+    net: &Network,
+    flows: &[DagFlow],
+    per_message_overhead_s: f64,
+) -> Result<DagRunReport> {
+    if let Some(stages) = barrier_stages(flows) {
+        return run_dag_barrier(net, flows, &stages, per_message_overhead_s);
+    }
+    run_dag_event_driven(net, flows, per_message_overhead_s)
+}
+
+/// The barrier fast path: per-stage fluid runs composed like [`run_steps`].
+fn run_dag_barrier(
+    net: &Network,
+    flows: &[DagFlow],
+    stages: &[Vec<usize>],
+    per_message_overhead_s: f64,
+) -> Result<DagRunReport> {
+    let mut windows = vec![(0.0, 0.0); flows.len()];
+    let mut recomputations = 0usize;
+    let mut solver_work = 0usize;
+    let mut base = 0.0f64;
+    for stage in stages {
+        if stage.is_empty() {
+            continue;
+        }
+        let payload: Vec<usize> = stage
+            .iter()
+            .copied()
+            .filter(|&i| flows[i].bytes > 0)
+            .collect();
+        let specs: Vec<FlowSpec> = payload
+            .iter()
+            .map(|&i| FlowSpec::new(flows[i].src, flows[i].dst, flows[i].bytes))
+            .collect();
+        let makespan_s = if specs.is_empty() {
+            0.0
+        } else {
+            let report = run_flows(net, &specs)?;
+            recomputations += report.rate_recomputations;
+            solver_work += report.solver_work;
+            for (&i, outcome) in payload.iter().zip(&report.flows) {
+                windows[i] = (base, base + per_message_overhead_s + outcome.finish_s);
+            }
+            report.makespan_s
+        };
+        for &i in stage {
+            if flows[i].bytes == 0 {
+                // Zero-byte control gates are validated like every other
+                // flow (the event engine routes them too) and finish after
+                // the launch only — within the stage's overhead slot, so
+                // the next stage's base never precedes them.
+                net.route(flows[i].src, flows[i].dst)?;
+                windows[i] = (base, base + per_message_overhead_s);
+            }
+        }
+        // The exact arithmetic of run_steps: each non-empty stage adds
+        // fl(overhead + makespan) to a left-fold running total.
+        base += per_message_overhead_s + makespan_s;
+    }
+    Ok(DagRunReport {
+        makespan_s: base,
+        windows,
+        rate_recomputations: recomputations,
+        solver_work,
+        barrier_fast_path: true,
+    })
+}
+
+/// Execute a dependency-aware schedule strictly through the event-driven
+/// engine, bypassing the barrier fast path. Used by differential tests and
+/// benchmarks; [`run_dag`] is the production entry point.
+pub fn run_dag_event_driven(
+    net: &Network,
+    flows: &[DagFlow],
+    per_message_overhead_s: f64,
+) -> Result<DagRunReport> {
+    let engine_flows: Vec<EngineFlow> = flows
+        .iter()
+        .map(|f| EngineFlow {
+            src: f.src,
+            dst: f.dst,
+            bytes: f.bytes,
+            release_s: f.release_s,
+            delay_s: per_message_overhead_s,
+            deps: f.deps.clone(),
+        })
+        .collect();
+    let report = run_engine(net, &engine_flows)?;
+    Ok(DagRunReport {
+        makespan_s: report.makespan_s,
+        windows: report
+            .outcomes
+            .iter()
+            .map(|o| (o.start_s, o.finish_s))
+            .collect(),
+        rate_recomputations: report.rate_recomputations,
+        solver_work: report.solver_work,
+        barrier_fast_path: false,
     })
 }
 
@@ -171,6 +362,242 @@ mod tests {
         let r = run_steps(&net, &mixed, 1e-6).unwrap();
         assert!((r.step_times_s[0] - (1e-3 + 1e-6)).abs() < 1e-9);
         assert!((r.step_times_s[1] - 1e-6).abs() < 1e-15);
+    }
+
+    /// Lower `steps` to the barrier-shaped DAG (every transfer gated on
+    /// the whole previous non-empty step).
+    fn barrier_dag(steps: &[Vec<StepTransfer>]) -> Vec<DagFlow> {
+        let mut flows = Vec::new();
+        let mut prev: Vec<usize> = Vec::new();
+        for (stage, step) in steps.iter().enumerate() {
+            let first = flows.len();
+            for t in step {
+                flows.push(DagFlow {
+                    src: t.src,
+                    dst: t.dst,
+                    bytes: t.bytes,
+                    release_s: 0.0,
+                    deps: prev.clone(),
+                    stage,
+                });
+            }
+            if !step.is_empty() {
+                prev = (first..flows.len()).collect();
+            }
+        }
+        flows
+    }
+
+    #[test]
+    fn barrier_dag_matches_run_steps_bit_exactly() {
+        let net = star_cluster(8, 1e9, 500e-9);
+        let steps = vec![
+            vec![
+                StepTransfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 1_000_000,
+                },
+                StepTransfer {
+                    src: 0,
+                    dst: 2,
+                    bytes: 700_000,
+                },
+            ],
+            vec![],
+            vec![StepTransfer {
+                src: 2,
+                dst: 3,
+                bytes: 2_000_000,
+            }],
+        ];
+        let stepped = run_steps(&net, &steps, 5e-6).unwrap();
+        let dag = run_dag(&net, &barrier_dag(&steps), 5e-6).unwrap();
+        assert!(dag.barrier_fast_path);
+        assert_eq!(dag.makespan_s.to_bits(), stepped.total_time_s.to_bits());
+    }
+
+    #[test]
+    fn pipelined_dag_is_never_slower_than_the_barrier() {
+        let net = star_cluster(8, 1e9, 0.0);
+        let steps = vec![
+            vec![StepTransfer {
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+            }],
+            vec![StepTransfer {
+                src: 2,
+                dst: 3,
+                bytes: 1_000_000,
+            }],
+        ];
+        let barrier = run_steps(&net, &steps, 0.0).unwrap();
+        // Drop the cross-step edge: the two disjoint transfers overlap.
+        let mut flows = barrier_dag(&steps);
+        flows[1].deps.clear();
+        let dag = run_dag(&net, &flows, 0.0).unwrap();
+        assert!(!dag.barrier_fast_path);
+        assert!((dag.makespan_s - 1e-3).abs() < 1e-12);
+        assert!(dag.makespan_s <= barrier.total_time_s);
+    }
+
+    #[test]
+    fn event_driven_barrier_dag_agrees_with_fast_path() {
+        let net = star_cluster(8, 1e9, 500e-9);
+        let steps = vec![
+            vec![
+                StepTransfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 1_000_000,
+                },
+                StepTransfer {
+                    src: 2,
+                    dst: 1,
+                    bytes: 500_000,
+                },
+            ],
+            vec![StepTransfer {
+                src: 1,
+                dst: 4,
+                bytes: 1_500_000,
+            }],
+        ];
+        let flows = barrier_dag(&steps);
+        let fast = run_dag(&net, &flows, 5e-6).unwrap();
+        let event = run_dag_event_driven(&net, &flows, 5e-6).unwrap();
+        assert!(fast.barrier_fast_path && !event.barrier_fast_path);
+        assert!(
+            (fast.makespan_s - event.makespan_s).abs() / fast.makespan_s < 1e-9,
+            "fast {} vs event {}",
+            fast.makespan_s,
+            event.makespan_s
+        );
+    }
+
+    #[test]
+    fn dag_release_times_gate_transfers() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = vec![DagFlow {
+            src: 0,
+            dst: 1,
+            bytes: 1_000_000,
+            release_s: 2e-3,
+            deps: vec![],
+            stage: 0,
+        }];
+        let dag = run_dag(&net, &flows, 0.0).unwrap();
+        assert!(!dag.barrier_fast_path);
+        assert!((dag.makespan_s - 3e-3).abs() < 1e-12);
+        assert!((dag.windows[0].0 - 2e-3).abs() < 1e-12);
+    }
+
+    /// Regression (review finding): with latency links and zero-byte
+    /// gates, the fast path and the event engine must agree, every
+    /// dependent's window must start at or after its dependency's finish,
+    /// and no window may end past the makespan.
+    #[test]
+    fn zero_byte_gates_on_latency_links_keep_engines_and_causality_consistent() {
+        let net = star_cluster(4, 1e9, 1e-6);
+        let flows = vec![
+            DagFlow {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+                release_s: 0.0,
+                deps: vec![],
+                stage: 0,
+            },
+            DagFlow {
+                src: 1,
+                dst: 2,
+                bytes: 1_000_000,
+                release_s: 0.0,
+                deps: vec![0],
+                stage: 1,
+            },
+        ];
+        for overhead in [0.0, 5e-6] {
+            let fast = run_dag(&net, &flows, overhead).unwrap();
+            let event = run_dag_event_driven(&net, &flows, overhead).unwrap();
+            assert!(fast.barrier_fast_path && !event.barrier_fast_path);
+            for r in [&fast, &event] {
+                assert!(
+                    r.windows[1].0 >= r.windows[0].1 - 1e-15,
+                    "dependent starts at {} before its gate finishes at {}",
+                    r.windows[1].0,
+                    r.windows[0].1
+                );
+                for &(_, finish) in &r.windows {
+                    assert!(finish <= r.makespan_s + 1e-15);
+                }
+            }
+            let scale = fast.makespan_s.max(1e-30);
+            assert!(
+                (fast.makespan_s - event.makespan_s).abs() / scale < 1e-9,
+                "overhead {overhead}: fast {} vs event {}",
+                fast.makespan_s,
+                event.makespan_s
+            );
+        }
+    }
+
+    /// Regression (review finding): an unroutable zero-byte gate in a
+    /// mixed stage must fail on the fast path exactly as it does in the
+    /// event engine, not be silently accepted.
+    #[test]
+    fn fast_path_validates_zero_byte_routes_in_mixed_stages() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = vec![
+            DagFlow {
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                release_s: 0.0,
+                deps: vec![],
+                stage: 0,
+            },
+            DagFlow {
+                src: 2,
+                dst: 2, // self-flow: unroutable
+                bytes: 0,
+                release_s: 0.0,
+                deps: vec![],
+                stage: 0,
+            },
+        ];
+        let fast = run_dag(&net, &flows, 0.0);
+        let event = run_dag_event_driven(&net, &flows, 0.0);
+        assert_eq!(fast.unwrap_err(), crate::error::NetError::SelfFlow(2));
+        assert_eq!(event.unwrap_err(), crate::error::NetError::SelfFlow(2));
+    }
+
+    #[test]
+    fn zero_byte_dag_transfers_gate_but_cost_only_overhead() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = vec![
+            DagFlow {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+                release_s: 0.0,
+                deps: vec![],
+                stage: 0,
+            },
+            DagFlow {
+                src: 1,
+                dst: 2,
+                bytes: 1_000_000,
+                release_s: 0.0,
+                deps: vec![0],
+                stage: 1,
+            },
+        ];
+        let dag = run_dag(&net, &flows, 1e-6).unwrap();
+        // Zero-byte gate completes after its 1 us launch; the dependent
+        // pays its own launch then 1 ms of serialization.
+        assert!((dag.makespan_s - (2e-6 + 1e-3)).abs() < 1e-12);
     }
 
     #[test]

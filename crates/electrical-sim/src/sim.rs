@@ -1,14 +1,35 @@
 //! The fluid (flow-level) event loop.
 //!
-//! Rates are recomputed at every event (flow release, latency expiry or
+//! Rates are recomputed at events (flow release, latency expiry or
 //! completion); between events every flow progresses linearly at its
 //! max-min fair rate. A flow first sits in a latency phase equal to the sum
 //! of its route's link latencies, then competes for bandwidth.
+//!
+//! Two engines share this module:
+//!
+//! * [`run_flows`] — the production engine. Rates are re-solved
+//!   **incrementally**: an event only re-runs progressive filling over the
+//!   contention component (flows transitively sharing links) whose
+//!   active-flow set actually changed; disjoint flows keep their rates and
+//!   pending completion times. Because max-min components are independent,
+//!   the resulting rates are bit-identical to a full re-solve.
+//! * [`run_flows_full_resolve`] — the reference engine: every event
+//!   re-runs the full progressive-filling solve over all links × flows
+//!   (the pre-incremental behaviour). Kept for differential tests and the
+//!   solver benchmarks.
+//!
+//! Both engines return a typed [`NetError::StalledFlow`] when a flow is
+//! frozen at rate zero (its route crosses a zero-capacity link) instead of
+//! looping or reporting an infinite/zero makespan.
+//!
+//! The incremental engine also powers the dependency-aware DAG execution
+//! in [`crate::runner::run_dag`]: flows may declare predecessor edges and
+//! are released the instant their last predecessor completes.
 
 use crate::error::{NetError, Result};
 use crate::flow::FlowSpec;
 use crate::graph::{LinkId, Network};
-use crate::maxmin::maxmin_rates;
+use crate::maxmin::{maxmin_rates_counted, progressive_fill};
 use serde::{Deserialize, Serialize};
 
 /// Completion information for one flow.
@@ -27,19 +48,15 @@ pub struct RunReport {
     pub makespan_s: f64,
     /// Per-flow outcomes in submission order.
     pub flows: Vec<FlowOutcome>,
-    /// Number of rate recomputations performed (a complexity metric).
+    /// Number of rate solver invocations. The incremental engine invokes
+    /// the solver once per event whose active-flow set changed, restricted
+    /// to the affected contention component; the full-resolve reference
+    /// invokes it once per event over everything.
     pub rate_recomputations: usize,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
-    /// Waiting for its release time.
-    Pending,
-    /// In the latency pipe until the given time.
-    Latency(f64),
-    /// Transmitting; `remaining` bytes to go.
-    Active,
-    Done,
+    /// Total progressive-filling work (link shares evaluated plus flow
+    /// bottleneck tests, summed over rounds) — the complexity metric that
+    /// shows the incremental engine's saving over a full re-solve.
+    pub solver_work: usize,
 }
 
 /// Flow-level simulator over a [`Network`].
@@ -82,14 +99,387 @@ impl FluidSimulator {
     }
 }
 
+/// Absolute tolerance used for time comparisons (seconds) and residual
+/// payload (bytes): events within `EPS` coincide and residues below `EPS`
+/// complete.
+const EPS: f64 = 1e-9;
+
+/// One flow of the dependency-aware engine ([`run_engine`]): a point-to-
+/// point transfer gated on its predecessors, an absolute release time and
+/// a per-flow launch delay (protocol/launch overhead paid after the gates
+/// open, before the latency pipe).
+#[derive(Debug, Clone)]
+pub(crate) struct EngineFlow {
+    /// Source host.
+    pub src: usize,
+    /// Destination host.
+    pub dst: usize,
+    /// Payload bytes. 0 is legal and makes the flow a pure control gate:
+    /// it completes `delay_s` after its gates open — no latency phase, no
+    /// bandwidth competition — mirroring the stepped runner, which
+    /// charges zero-byte transfers nothing beyond the launch overhead.
+    pub bytes: u64,
+    /// Earliest release time, seconds.
+    pub release_s: f64,
+    /// Launch overhead paid once per flow, seconds.
+    pub delay_s: f64,
+    /// Indices of flows that must complete first (each `<` own index).
+    pub deps: Vec<usize>,
+}
+
+/// Per-flow window reported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct EngineOutcome {
+    /// Instant the flow's gates opened (deps + release satisfied).
+    pub start_s: f64,
+    /// Completion instant.
+    pub finish_s: f64,
+}
+
+/// Result of a dependency-aware engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EngineReport {
+    pub makespan_s: f64,
+    pub outcomes: Vec<EngineOutcome>,
+    pub rate_recomputations: usize,
+    pub solver_work: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Waiting for predecessors to complete.
+    Blocked,
+    /// Predecessors done; waiting for its release time.
+    Pending,
+    /// In the launch-delay + latency pipe until the given time.
+    Latency(f64),
+    /// Transmitting; `remaining` bytes to go.
+    Active,
+    Done,
+}
+
+/// The dependency-aware fluid engine with incremental max-min re-solves.
+///
+/// Generalizes the classic flow loop: flows may declare predecessor edges
+/// (released the instant the last predecessor completes), an absolute
+/// release time and a launch delay. With no deps and no delay this is
+/// bit-identical to [`run_flows_full_resolve`] on the same specs — the
+/// incremental component solve yields the same rates as a full solve, and
+/// the event arithmetic is unchanged.
+pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineReport> {
+    let n = flows.len();
+    if n == 0 {
+        return Ok(EngineReport {
+            makespan_s: 0.0,
+            outcomes: Vec::new(),
+            rate_recomputations: 0,
+            solver_work: 0,
+        });
+    }
+
+    // Validate and pre-route everything up front.
+    let mut routes: Vec<Vec<LinkId>> = Vec::with_capacity(n);
+    let mut latencies: Vec<f64> = Vec::with_capacity(n);
+    for (i, f) in flows.iter().enumerate() {
+        if f.deps.iter().any(|&d| d >= i) {
+            return Err(NetError::BadConfig("dependency must precede its flow"));
+        }
+        if !f.release_s.is_finite() || f.release_s < 0.0 {
+            return Err(NetError::BadConfig("release time must be finite and >= 0"));
+        }
+        routes.push(net.route(f.src, f.dst)?);
+        latencies.push(net.route_latency(f.src, f.dst)?);
+    }
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut missing: Vec<usize> = vec![0; n];
+    for (i, f) in flows.iter().enumerate() {
+        missing[i] = f.deps.len();
+        for &d in &f.deps {
+            dependents[d].push(i);
+        }
+    }
+
+    let n_links = net.links().len();
+    let mut phase: Vec<Phase> = (0..n)
+        .map(|i| {
+            if missing[i] == 0 {
+                Phase::Pending
+            } else {
+                Phase::Blocked
+            }
+        })
+        .collect();
+    let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes as f64).collect();
+    let mut start = vec![0.0f64; n];
+    let mut finish = vec![0.0f64; n];
+    let mut rate = vec![0.0f64; n];
+    let mut now = 0.0f64;
+
+    // Incremental-solver state: which active flows cross each link, links
+    // whose active set changed since the last solve, and solver scratch.
+    let mut flows_on_link: Vec<Vec<usize>> = vec![Vec::new(); n_links];
+    let mut dirty: Vec<usize> = Vec::new();
+    let mut link_seen = vec![false; n_links];
+    let mut flow_seen = vec![false; n];
+    let mut cap_scratch = vec![0.0f64; n_links];
+    let mut count_scratch = vec![0usize; n_links];
+    let mut recomputations = 0usize;
+    let mut solver_work = 0usize;
+
+    loop {
+        // Promote flows whose gates opened or timers expired. Completions
+        // of zero-byte flows can unblock dependents at the same instant,
+        // so iterate to a fixpoint (deps point backwards, so this
+        // terminates).
+        loop {
+            let mut unblocked = false;
+            for i in 0..n {
+                match phase[i] {
+                    Phase::Pending if flows[i].release_s <= now + EPS => {
+                        start[i] = now;
+                        // Zero-byte control gates skip the latency pipe.
+                        let pipe = if remaining[i] <= EPS {
+                            flows[i].delay_s
+                        } else {
+                            flows[i].delay_s + latencies[i]
+                        };
+                        if pipe > 0.0 {
+                            phase[i] = Phase::Latency(now + pipe);
+                        } else if remaining[i] <= EPS {
+                            phase[i] = Phase::Done;
+                            finish[i] = now;
+                            for &dep in &dependents[i] {
+                                missing[dep] -= 1;
+                                unblocked = true;
+                            }
+                        } else {
+                            phase[i] = Phase::Active;
+                            for &l in &routes[i] {
+                                flows_on_link[l.0].push(i);
+                                dirty.push(l.0);
+                            }
+                        }
+                    }
+                    Phase::Latency(t) if t <= now + EPS => {
+                        if remaining[i] <= EPS {
+                            phase[i] = Phase::Done;
+                            finish[i] = now.max(t);
+                            for &dep in &dependents[i] {
+                                missing[dep] -= 1;
+                                unblocked = true;
+                            }
+                        } else {
+                            phase[i] = Phase::Active;
+                            for &l in &routes[i] {
+                                flows_on_link[l.0].push(i);
+                                dirty.push(l.0);
+                            }
+                        }
+                    }
+                    Phase::Blocked if missing[i] == 0 => {
+                        phase[i] = Phase::Pending;
+                        unblocked = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !unblocked {
+                break;
+            }
+        }
+
+        // Re-solve rates, but only over the contention component whose
+        // active-flow set changed. Flows outside it keep their rates.
+        if !dirty.is_empty() {
+            let mut comp_links: Vec<usize> = Vec::new();
+            let mut comp_flows: Vec<usize> = Vec::new();
+            let mut stack: Vec<usize> = Vec::new();
+            for &l in &dirty {
+                if !link_seen[l] {
+                    link_seen[l] = true;
+                    comp_links.push(l);
+                    stack.push(l);
+                }
+            }
+            while let Some(l) = stack.pop() {
+                for &f in &flows_on_link[l] {
+                    if !flow_seen[f] {
+                        flow_seen[f] = true;
+                        comp_flows.push(f);
+                        for &l2 in &routes[f] {
+                            if !link_seen[l2.0] {
+                                link_seen[l2.0] = true;
+                                comp_links.push(l2.0);
+                                stack.push(l2.0);
+                            }
+                        }
+                    }
+                }
+            }
+            comp_links.sort_unstable();
+            comp_flows.sort_unstable();
+            if !comp_flows.is_empty() {
+                recomputations += 1;
+                for &l in &comp_links {
+                    cap_scratch[l] = net.links()[l].capacity_bps;
+                    count_scratch[l] = flows_on_link[l].len();
+                }
+                progressive_fill(
+                    &comp_links,
+                    &comp_flows,
+                    &routes,
+                    &mut cap_scratch,
+                    &mut count_scratch,
+                    &mut rate,
+                    &mut solver_work,
+                );
+            }
+            for &l in &comp_links {
+                link_seen[l] = false;
+            }
+            for &f in &comp_flows {
+                flow_seen[f] = false;
+            }
+            dirty.clear();
+        }
+
+        // A zero rate can only come from a degenerate (zero/negative/NaN
+        // capacity) link and is therefore permanent: fail typed instead of
+        // reporting an infinite or bogus makespan.
+        for i in 0..n {
+            if phase[i] == Phase::Active && (rate[i].is_nan() || rate[i] <= 0.0) {
+                return Err(NetError::StalledFlow {
+                    src: flows[i].src,
+                    dst: flows[i].dst,
+                });
+            }
+        }
+
+        // Earliest next event: release, latency expiry, or completion.
+        let mut next = f64::INFINITY;
+        for i in 0..n {
+            match phase[i] {
+                Phase::Pending => next = next.min(flows[i].release_s),
+                Phase::Latency(t) => next = next.min(t),
+                Phase::Active => {
+                    if rate[i].is_finite() {
+                        next = next.min(now + remaining[i] / rate[i]);
+                    } else {
+                        next = next.min(now);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if next == f64::INFINITY {
+            if phase.iter().all(|&p| p == Phase::Done) {
+                break;
+            }
+            return Err(NetError::BadConfig("unreachable flows in dependency DAG"));
+        }
+        let dt = (next - now).max(0.0);
+
+        // Advance active flows. A flow completes when its payload is
+        // drained (within EPS) or when its residual time-to-finish no
+        // longer advances the f64 clock (`next + q == next`): at large
+        // absolute times a sub-ulp residue can otherwise stall the event
+        // loop with `dt == 0` forever.
+        for i in 0..n {
+            if phase[i] != Phase::Active {
+                continue;
+            }
+            if rate[i] == f64::INFINITY {
+                remaining[i] = 0.0;
+            } else {
+                remaining[i] -= rate[i] * dt;
+            }
+            if remaining[i] <= EPS || next + remaining[i] / rate[i] <= next {
+                remaining[i] = 0.0;
+                phase[i] = Phase::Done;
+                finish[i] = next;
+                for &l in &routes[i] {
+                    flows_on_link[l.0].retain(|&f| f != i);
+                    dirty.push(l.0);
+                }
+                for &dep in &dependents[i] {
+                    missing[dep] -= 1;
+                }
+            }
+        }
+        now = next;
+
+        if phase.iter().all(|&p| p == Phase::Done) {
+            break;
+        }
+    }
+
+    let makespan = finish.iter().copied().fold(0.0f64, f64::max);
+    Ok(EngineReport {
+        makespan_s: makespan,
+        outcomes: start
+            .iter()
+            .zip(&finish)
+            .map(|(&start_s, &finish_s)| EngineOutcome { start_s, finish_s })
+            .collect(),
+        rate_recomputations: recomputations,
+        solver_work,
+    })
+}
+
 /// Simulate `specs` over `net` and report completion times.
+///
+/// Rates are re-solved incrementally per contention component (see the
+/// module docs); results are bit-identical to
+/// [`run_flows_full_resolve`], with less solver work.
 pub fn run_flows(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
+    for s in specs {
+        if s.bytes == 0 {
+            return Err(NetError::EmptyFlow {
+                src: s.src,
+                dst: s.dst,
+            });
+        }
+    }
+    let flows: Vec<EngineFlow> = specs
+        .iter()
+        .map(|s| EngineFlow {
+            src: s.src,
+            dst: s.dst,
+            bytes: s.bytes,
+            release_s: s.release_s(),
+            delay_s: 0.0,
+            deps: Vec::new(),
+        })
+        .collect();
+    let report = run_engine(net, &flows)?;
+    Ok(RunReport {
+        makespan_s: report.makespan_s,
+        flows: specs
+            .iter()
+            .zip(&report.outcomes)
+            .map(|(s, o)| FlowOutcome {
+                release_s: s.release_s(),
+                finish_s: o.finish_s,
+            })
+            .collect(),
+        rate_recomputations: report.rate_recomputations,
+        solver_work: report.solver_work,
+    })
+}
+
+/// The pre-incremental reference engine: every event re-runs the full
+/// progressive-filling solve over all links × flows. Used by differential
+/// tests (its outcomes must match [`run_flows`] bit-exactly) and by the
+/// `maxmin_incremental` benchmark as the cost baseline.
+pub fn run_flows_full_resolve(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
     let n = specs.len();
     if n == 0 {
         return Ok(RunReport {
             makespan_s: 0.0,
             flows: Vec::new(),
             rate_recomputations: 0,
+            solver_work: 0,
         });
     }
 
@@ -107,55 +497,74 @@ pub fn run_flows(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
         latencies.push(net.route_latency(s.src, s.dst)?);
     }
 
-    let mut phase: Vec<Phase> = vec![Phase::Pending; n];
+    #[derive(Clone, Copy, PartialEq)]
+    enum SimplePhase {
+        Pending,
+        Latency(f64),
+        Active,
+        Done,
+    }
+
+    let mut phase: Vec<SimplePhase> = vec![SimplePhase::Pending; n];
     let mut remaining: Vec<f64> = specs.iter().map(|s| s.bytes as f64).collect();
     let mut finish: Vec<f64> = vec![0.0; n];
     let mut now = 0.0f64;
     let mut recomputations = 0usize;
-    const EPS: f64 = 1e-9;
+    let mut solver_work = 0usize;
 
     loop {
         // Promote pending/latency flows whose timers expired.
         for i in 0..n {
             match phase[i] {
-                Phase::Pending if specs[i].release_s() <= now + EPS => {
+                SimplePhase::Pending if specs[i].release_s() <= now + EPS => {
                     let ready = now + latencies[i];
                     phase[i] = if latencies[i] > 0.0 {
-                        Phase::Latency(ready)
+                        SimplePhase::Latency(ready)
                     } else {
-                        Phase::Active
+                        SimplePhase::Active
                     };
                 }
-                Phase::Latency(t) if t <= now + EPS => phase[i] = Phase::Active,
+                SimplePhase::Latency(t) if t <= now + EPS => phase[i] = SimplePhase::Active,
                 _ => {}
             }
         }
 
-        // Gather active flows and compute rates.
-        let active_idx: Vec<usize> = (0..n).filter(|&i| phase[i] == Phase::Active).collect();
+        // Gather active flows and recompute ALL rates from scratch.
+        let active_idx: Vec<usize> = (0..n)
+            .filter(|&i| phase[i] == SimplePhase::Active)
+            .collect();
         let rates: Vec<f64> = if active_idx.is_empty() {
             Vec::new()
         } else {
             recomputations += 1;
             let active_routes: Vec<Vec<LinkId>> =
                 active_idx.iter().map(|&i| routes[i].clone()).collect();
-            maxmin_rates(net, &active_routes)
+            maxmin_rates_counted(net, &active_routes, &mut solver_work)
         };
+
+        for (k, &i) in active_idx.iter().enumerate() {
+            if rates[k].is_nan() || rates[k] <= 0.0 {
+                return Err(NetError::StalledFlow {
+                    src: specs[i].src,
+                    dst: specs[i].dst,
+                });
+            }
+        }
 
         // Earliest next event: release, latency expiry, or completion.
         let mut next = f64::INFINITY;
         for i in 0..n {
             match phase[i] {
-                Phase::Pending => next = next.min(specs[i].release_s()),
-                Phase::Latency(t) => next = next.min(t),
+                SimplePhase::Pending => next = next.min(specs[i].release_s()),
+                SimplePhase::Latency(t) => next = next.min(t),
                 _ => {}
             }
         }
         for (k, &i) in active_idx.iter().enumerate() {
             let rate = rates[k];
-            if rate > 0.0 && rate.is_finite() {
+            if rate.is_finite() {
                 next = next.min(now + remaining[i] / rate);
-            } else if rate == f64::INFINITY {
+            } else {
                 next = next.min(now);
             }
         }
@@ -165,7 +574,8 @@ pub fn run_flows(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
         }
         let dt = (next - now).max(0.0);
 
-        // Advance active flows.
+        // Advance active flows (sub-ulp residues complete at `next`, as in
+        // the incremental engine — see `run_engine`).
         for (k, &i) in active_idx.iter().enumerate() {
             let rate = rates[k];
             if rate == f64::INFINITY {
@@ -173,15 +583,15 @@ pub fn run_flows(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
             } else {
                 remaining[i] -= rate * dt;
             }
-            if remaining[i] <= EPS {
+            if remaining[i] <= EPS || next + remaining[i] / rate <= next {
                 remaining[i] = 0.0;
-                phase[i] = Phase::Done;
+                phase[i] = SimplePhase::Done;
                 finish[i] = next;
             }
         }
         now = next;
 
-        if phase.iter().all(|&p| p == Phase::Done) {
+        if phase.iter().all(|&p| p == SimplePhase::Done) {
             break;
         }
     }
@@ -198,6 +608,7 @@ pub fn run_flows(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
             })
             .collect(),
         rate_recomputations: recomputations,
+        solver_work,
     })
 }
 
@@ -290,5 +701,157 @@ mod tests {
         sim.submit(FlowSpec::new(1, 0, 1_000));
         let r = sim.run().unwrap();
         assert_eq!(r.flows.len(), 1);
+    }
+
+    /// Satellite regression: a flow crossing a zero-capacity link is frozen
+    /// at rate 0; the engine must fail typed instead of looping or
+    /// reporting an infinite/zero makespan.
+    #[test]
+    fn zero_capacity_link_is_a_typed_stall() {
+        let net = star_cluster(4, 0.0, 0.0);
+        let err = run_flows(&net, &[FlowSpec::new(0, 1, 1_000)]).unwrap_err();
+        assert_eq!(err, NetError::StalledFlow { src: 0, dst: 1 });
+        let err = run_flows_full_resolve(&net, &[FlowSpec::new(0, 1, 1_000)]).unwrap_err();
+        assert_eq!(err, NetError::StalledFlow { src: 0, dst: 1 });
+    }
+
+    /// The incremental engine must agree bit-exactly with the full-resolve
+    /// reference — same makespan, same per-flow finishes — while doing no
+    /// more solver work.
+    #[test]
+    fn incremental_matches_full_resolve_bit_exactly() {
+        let net = star_cluster(8, 1e9, 500e-9);
+        let specs: Vec<FlowSpec> = vec![
+            FlowSpec::new(0, 1, 1_000_000),
+            FlowSpec::new(0, 2, 700_000),
+            FlowSpec::new(3, 4, 900_000),
+            FlowSpec::released_at(5, 1, 400_000, 3e-4),
+            FlowSpec::new(6, 7, 123_456),
+        ];
+        let a = run_flows(&net, &specs).unwrap();
+        let b = run_flows_full_resolve(&net, &specs).unwrap();
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        for (x, y) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(x.finish_s.to_bits(), y.finish_s.to_bits());
+        }
+        assert!(
+            a.solver_work <= b.solver_work,
+            "incremental {} vs full {}",
+            a.solver_work,
+            b.solver_work
+        );
+    }
+
+    /// Disjoint components must not be re-solved when an unrelated flow
+    /// completes.
+    #[test]
+    fn disjoint_completions_skip_unaffected_components() {
+        let net = star_cluster(8, 1e9, 0.0);
+        // Three disjoint pairs with different sizes: three completion
+        // events, each only dirtying its own pair of links.
+        let specs = vec![
+            FlowSpec::new(0, 1, 1_000_000),
+            FlowSpec::new(2, 3, 2_000_000),
+            FlowSpec::new(4, 5, 3_000_000),
+        ];
+        let a = run_flows(&net, &specs).unwrap();
+        let b = run_flows_full_resolve(&net, &specs).unwrap();
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+        // Full resolve solves 3 flows, then 2, then 1; incremental solves
+        // each pair exactly once (at activation) and never again.
+        assert!(
+            a.solver_work < b.solver_work,
+            "incremental {} vs full {}",
+            a.solver_work,
+            b.solver_work
+        );
+    }
+
+    #[test]
+    fn dependency_chain_serializes_flows() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = vec![
+            EngineFlow {
+                src: 0,
+                dst: 1,
+                bytes: 1_000_000,
+                release_s: 0.0,
+                delay_s: 0.0,
+                deps: vec![],
+            },
+            EngineFlow {
+                src: 1,
+                dst: 2,
+                bytes: 1_000_000,
+                release_s: 0.0,
+                delay_s: 0.0,
+                deps: vec![0],
+            },
+        ];
+        let r = run_engine(&net, &flows).unwrap();
+        assert!((r.outcomes[0].finish_s - 1e-3).abs() < 1e-12);
+        assert!((r.outcomes[1].start_s - 1e-3).abs() < 1e-12);
+        assert!((r.makespan_s - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_byte_engine_flow_gates_dependents() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = vec![
+            EngineFlow {
+                src: 0,
+                dst: 1,
+                bytes: 0,
+                release_s: 1e-3,
+                delay_s: 0.0,
+                deps: vec![],
+            },
+            EngineFlow {
+                src: 1,
+                dst: 2,
+                bytes: 1_000_000,
+                release_s: 0.0,
+                delay_s: 0.0,
+                deps: vec![0],
+            },
+        ];
+        let r = run_engine(&net, &flows).unwrap();
+        // The zero-byte flow completes instantly at its release; the
+        // dependent starts right there.
+        assert!((r.outcomes[0].finish_s - 1e-3).abs() < 1e-12);
+        assert!((r.outcomes[1].start_s - 1e-3).abs() < 1e-12);
+        assert!((r.makespan_s - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_dependency_is_rejected() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = vec![EngineFlow {
+            src: 0,
+            dst: 1,
+            bytes: 1,
+            release_s: 0.0,
+            delay_s: 0.0,
+            deps: vec![0],
+        }];
+        assert!(matches!(
+            run_engine(&net, &flows),
+            Err(NetError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn launch_delay_shifts_the_flow() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let flows = vec![EngineFlow {
+            src: 0,
+            dst: 1,
+            bytes: 1_000_000,
+            release_s: 0.0,
+            delay_s: 5e-6,
+            deps: vec![],
+        }];
+        let r = run_engine(&net, &flows).unwrap();
+        assert!((r.makespan_s - (5e-6 + 1e-3)).abs() < 1e-12);
     }
 }

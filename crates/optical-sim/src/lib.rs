@@ -8,7 +8,7 @@
 //! node can transmit and receive on many wavelengths concurrently and a
 //! lightpath passes intermediate nodes without electrical conversion.
 //!
-//! The simulator offers two execution models:
+//! The simulator offers three execution models:
 //!
 //! * [`sim::RingSimulator::run_stepped`] — the step-synchronous model used by
 //!   the paper: a schedule is a sequence of steps, every transfer of a step
@@ -18,6 +18,11 @@
 //! * [`sim::RingSimulator::run_event_driven`] — a discrete-event model in
 //!   which transfers contend for wavelengths dynamically; used for the
 //!   contention ablations and as a cross-check of the stepped model.
+//! * [`sim::RingSimulator::run_dag`] — the dependency-aware model: each
+//!   transfer carries predecessor edges and a release time, starts the
+//!   instant its gates open, and frees its wavelengths on completion
+//!   rather than at a step barrier. On barrier-shaped DAGs it agrees
+//!   bit-exactly with the stepped model.
 //!
 //! Transfers may be *striped* across several wavelengths
 //! ([`request::Transfer::lanes`]) which is how Wrht exploits WDM parallelism.
@@ -61,7 +66,7 @@ pub mod prelude {
     pub use crate::physical::PhysicalModel;
     pub use crate::request::{DirectionChoice, Transfer};
     pub use crate::rwa::{Occupancy, Strategy};
-    pub use crate::sim::{RingSimulator, StepReport, StepSchedule};
+    pub use crate::sim::{DagReport, DagTransfer, RingSimulator, StepReport, StepSchedule};
     pub use crate::timing::TimingModel;
     pub use crate::topology::{Direction, NodeId, RingTopology};
     pub use crate::trace::{run_stepped_traced, RunTrace, TraceEntry};

@@ -10,6 +10,7 @@
 use wrht_bench::campaign::Algorithm;
 use wrht_bench::timeline::{model_timeline, timeline_table, TimelineRow};
 use wrht_bench::{ExperimentConfig, SubstrateKind};
+use wrht_core::dag::ExecMode;
 
 fn main() {
     let mut cfg = ExperimentConfig::default();
@@ -46,6 +47,7 @@ fn main() {
         Algorithm::Wrht,
         SubstrateKind::Optical,
         optical_sim::Strategy::FirstFit,
+        ExecMode::Barrier,
     )
     .expect("feasible timeline");
     println!();

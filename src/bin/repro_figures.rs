@@ -23,6 +23,9 @@
 //!
 //! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
 //! caps the campaign worker count (default: available parallelism).
+//! `--mode=barrier|pipelined|both` picks the `train` execution mode:
+//! barrier serializes bucket all-reduces on the network, pipelined
+//! overlaps them through the dependency-aware executor.
 //! JSON copies of every series are written to `results/`; campaign cells,
 //! combined JSON and CSV land in `results/campaign/`.
 //! ```
@@ -41,6 +44,7 @@ use wrht_bench::report::{
 };
 use wrht_bench::timeline::TimelineRow;
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
+use wrht_core::dag::ExecMode;
 use wrht_core::steps::{
     alltoall_wavelength_requirement, paper_step_count, surviving_reps, tree_wavelength_requirement,
 };
@@ -217,14 +221,22 @@ fn cmd_sweep(cfg: &ExperimentConfig, results: &Path, threads: usize, models: &[d
     write_json(&sink, "headline.json", &to_json(&h));
 }
 
-fn cmd_train(cfg: &ExperimentConfig, results: &Path, threads: usize, models: &[dnn_models::Model]) {
+fn cmd_train(
+    cfg: &ExperimentConfig,
+    results: &Path,
+    threads: usize,
+    models: &[dnn_models::Model],
+    modes: &[ExecMode],
+) {
     let n = *cfg.scales.first().expect("scales non-empty");
-    let spec = wrht_bench::campaign::train_spec(cfg, models, n, 2023);
+    let spec = wrht_bench::campaign::train_spec(cfg, models, n, 2023, modes);
     let bucket_bytes = spec.cells.first().map_or(25 << 20, |c| c.bucket_bytes);
     let sink = results.join("train");
+    let mode_labels: Vec<&str> = modes.iter().map(|m| m.label()).collect();
     println!(
-        "== Training-timeline campaign: {} cells over {} worker thread(s) ==",
+        "== Training-timeline campaign: {} cells ({}) over {} worker thread(s) ==",
         spec.cells.len(),
+        mode_labels.join("+"),
         threads
     );
     let report = run_timeline_campaign(&spec, threads, Some(&sink));
@@ -267,10 +279,16 @@ fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
 }
 
 /// Dispatch one CLI command; returns `false` for unknown commands.
-fn run_command(cmd: &str, cfg: &ExperimentConfig, results: &Path, threads: usize) -> bool {
+fn run_command(
+    cmd: &str,
+    cfg: &ExperimentConfig,
+    results: &Path,
+    threads: usize,
+    modes: &[ExecMode],
+) -> bool {
     match cmd {
         "sweep" => cmd_sweep(cfg, results, threads, &dnn_models::paper_models()),
-        "train" => cmd_train(cfg, results, threads, &dnn_models::paper_models()),
+        "train" => cmd_train(cfg, results, threads, &dnn_models::paper_models(), modes),
         "fig2" => cmd_fig2(cfg, results),
         "headline" => cmd_headline(cfg, results),
         "steps" => cmd_steps(),
@@ -298,6 +316,16 @@ fn run_command(cmd: &str, cfg: &ExperimentConfig, results: &Path, threads: usize
     true
 }
 
+/// Parse `--mode=barrier|pipelined|both` (default: barrier).
+fn parse_modes(value: Option<&str>) -> Option<Vec<ExecMode>> {
+    match value {
+        None | Some("barrier") => Some(vec![ExecMode::Barrier]),
+        Some("pipelined") => Some(vec![ExecMode::Pipelined]),
+        Some("both") => Some(vec![ExecMode::Barrier, ExecMode::Pipelined]),
+        Some(_) => None,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
@@ -309,17 +337,31 @@ fn main() {
             std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
         })
         .max(1);
+    let mode_arg = args.iter().find_map(|a| a.strip_prefix("--mode="));
+    let Some(modes) = parse_modes(mode_arg) else {
+        eprintln!(
+            "unknown --mode '{}'; expected barrier, pipelined or both",
+            mode_arg.unwrap_or_default()
+        );
+        std::process::exit(2);
+    };
     let cmd = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map_or("all", String::as_str);
+    if mode_arg.is_some() && cmd != "train" {
+        eprintln!(
+            "warning: --mode only affects the `train` command; `{cmd}` ignores it \
+             (the sweep's barrier-vs-pipelined ablation cells are built in)"
+        );
+    }
     let cfg = if small {
         ExperimentConfig::small()
     } else {
         ExperimentConfig::default()
     };
 
-    if !run_command(cmd, &cfg, Path::new("results"), threads) {
+    if !run_command(cmd, &cfg, Path::new("results"), threads, &modes) {
         eprintln!("unknown command '{cmd}'; see the binary docs for usage");
         std::process::exit(2);
     }
@@ -347,7 +389,13 @@ mod tests {
     #[test]
     fn headline_command_runs_and_writes_json_on_a_tiny_config() {
         let results = temp_results("headline");
-        assert!(run_command("headline", &tiny_cfg(), &results, 1));
+        assert!(run_command(
+            "headline",
+            &tiny_cfg(),
+            &results,
+            1,
+            &[ExecMode::Barrier]
+        ));
         let json = fs::read_to_string(results.join("headline.json"))
             .expect("headline.json must be written");
         assert!(json.contains("vs_oring_pct"));
@@ -357,15 +405,33 @@ mod tests {
     #[test]
     fn steps_and_wavelengths_commands_run_without_config() {
         let results = temp_results("laws");
-        assert!(run_command("steps", &tiny_cfg(), &results, 1));
-        assert!(run_command("wavelengths", &tiny_cfg(), &results, 1));
+        assert!(run_command(
+            "steps",
+            &tiny_cfg(),
+            &results,
+            1,
+            &[ExecMode::Barrier]
+        ));
+        assert!(run_command(
+            "wavelengths",
+            &tiny_cfg(),
+            &results,
+            1,
+            &[ExecMode::Barrier]
+        ));
         let _ = fs::remove_dir_all(&results);
     }
 
     #[test]
     fn unknown_commands_are_rejected() {
         let results = temp_results("unknown");
-        assert!(!run_command("not-a-command", &tiny_cfg(), &results, 1));
+        assert!(!run_command(
+            "not-a-command",
+            &tiny_cfg(),
+            &results,
+            1,
+            &[ExecMode::Barrier]
+        ));
         assert!(
             !results.exists(),
             "rejected commands must not create output directories"
@@ -375,7 +441,13 @@ mod tests {
     #[test]
     fn train_command_runs_the_timeline_campaign_on_both_substrates() {
         let results = temp_results("train");
-        cmd_train(&tiny_cfg(), &results, 2, &[dnn_models::googlenet()]);
+        cmd_train(
+            &tiny_cfg(),
+            &results,
+            2,
+            &[dnn_models::googlenet()],
+            &[ExecMode::Barrier],
+        );
         let sink = results.join("train");
         let rows = fs::read_to_string(sink.join("train_rows.json")).expect("train_rows.json");
         assert!(rows.contains("GoogLeNet"));
@@ -384,7 +456,13 @@ mod tests {
         assert_eq!(csv.lines().count(), 3); // header + 2 substrates
         assert!(csv.contains("electrical") && csv.contains("optical"));
         // Resumable: a second run reuses the sink without changing output.
-        cmd_train(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
+        cmd_train(
+            &tiny_cfg(),
+            &results,
+            1,
+            &[dnn_models::googlenet()],
+            &[ExecMode::Barrier],
+        );
         let rows2 = fs::read_to_string(sink.join("train_rows.json")).unwrap();
         assert_eq!(rows, rows2);
         let _ = fs::remove_dir_all(&results);

@@ -17,6 +17,7 @@ use proptest::prelude::*;
 use wrht_bench::campaign::Algorithm;
 use wrht_bench::timeline::{iteration_model, lower_allreduce, model_timeline};
 use wrht_bench::{ExperimentConfig, SubstrateKind};
+use wrht_core::dag::ExecMode;
 use wrht_core::substrate::OpticalSubstrate;
 use wrht_core::timeline::{execute_timeline, TimelineBucket};
 use wrht_core::{choose_group_size, WrhtParams};
@@ -66,6 +67,7 @@ fn timeline_is_bit_identical_to_analytic_with_executed_callback() {
                 algorithm,
                 kind,
                 Strategy::FirstFit,
+                ExecMode::Barrier,
             )
             .expect("timeline");
             let analytic =
@@ -108,6 +110,7 @@ fn wrht_timeline_agrees_with_the_analytic_cost_model() {
         Algorithm::Wrht,
         SubstrateKind::Optical,
         Strategy::FirstFit,
+        ExecMode::Barrier,
     )
     .expect("timeline");
 
@@ -167,6 +170,7 @@ fn more_bandwidth_never_increases_iteration_time() {
                 Algorithm::Wrht,
                 kind,
                 Strategy::FirstFit,
+                ExecMode::Barrier,
             )
             .expect("timeline");
             assert!(
@@ -238,6 +242,7 @@ fn zero_parameter_models_yield_compute_only_timelines() {
             Algorithm::Wrht,
             kind,
             Strategy::FirstFit,
+            ExecMode::Barrier,
         )
         .expect("compute-only timeline");
         assert_eq!(t.bucket_count(), 0);
@@ -276,6 +281,7 @@ proptest! {
         let timeline = model_timeline(
             &cfg, &model, n, bucket_bytes,
             Algorithm::Ring, SubstrateKind::Electrical, Strategy::FirstFit,
+            ExecMode::Barrier,
         ).expect("timeline");
         let analytic = analytic_with_executed_callback(
             &cfg, &model, n, bucket_bytes, Algorithm::Ring, SubstrateKind::Electrical,
@@ -303,7 +309,8 @@ proptest! {
             let t = model_timeline(
                 &cfg, &model, 8, bucket_kb << 10,
                 Algorithm::Wrht, SubstrateKind::Optical, Strategy::FirstFit,
-            ).expect("timeline");
+            ExecMode::Barrier,
+        ).expect("timeline");
             prop_assert!(t.overlapped_s <= last * (1.0 + 1e-9));
             last = t.overlapped_s;
         }
