@@ -53,6 +53,7 @@ use std::sync::Mutex;
 use wrht_core::baselines::lower_collective_to_optical;
 use wrht_core::dag::{DepSchedule, ExecMode};
 use wrht_core::lower::to_optical_schedule;
+use wrht_core::tenancy::{Job, SchedPolicy, TenancySpec};
 use wrht_core::{build_plan, choose_group_size, plan_and_simulate, WrhtParams};
 
 /// The collective algorithm a cell times.
@@ -1049,6 +1050,345 @@ pub fn train_spec(
     spec
 }
 
+/// One grid point of a tenancy campaign: `jobs` identical training
+/// iterations of `model` arriving `arrival_stagger_s` apart, composed into
+/// one shared run under `policy` (see
+/// [`wrht_core::substrate::Substrate::execute_jobs`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyCellConfig {
+    /// Fabric shared by all jobs.
+    pub substrate: SubstrateKind,
+    /// Cross-job scheduling policy.
+    pub policy: SchedPolicy,
+    /// Number of concurrent jobs. Job `j` arrives at `j *
+    /// arrival_stagger_s` with priority `j` (latecomers preempt under
+    /// [`SchedPolicy::Priority`], making the axis distinct from FIFO).
+    pub jobs: usize,
+    /// Collective algorithm used per gradient bucket.
+    pub algorithm: Algorithm,
+    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    pub model: String,
+    /// Gradient-fusion bucket budget, bytes.
+    pub bucket_bytes: u64,
+    /// Inter-arrival gap between consecutive jobs, seconds.
+    pub arrival_stagger_s: f64,
+    /// Node count.
+    pub n: usize,
+    /// Wavelength budget (optical; recorded but unused electrically).
+    pub wavelengths: usize,
+    /// RWA strategy (optical; ignored electrically).
+    pub strategy: Strategy,
+}
+
+/// Result of one executed (or failed) tenancy cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyCellResult {
+    /// The cell's configuration.
+    pub cell: TenancyCellConfig,
+    /// FNV-1a hash of the configuration (the sink key).
+    pub config_hash: u64,
+    /// Deterministic per-cell seed: campaign seed ⊕ config hash.
+    pub seed: u64,
+    /// Cluster makespan (last transfer of any job), seconds.
+    pub makespan_s: f64,
+    /// Mean per-job slowdown vs an isolated run.
+    pub mean_slowdown: f64,
+    /// Worst per-job slowdown vs an isolated run.
+    pub max_slowdown: f64,
+    /// Jain fairness index over per-job slowdowns, `(0, 1]`.
+    pub fairness_index: f64,
+    /// Mean fraction of per-job communication hidden behind compute.
+    pub mean_hidden_fraction: f64,
+    /// Peak wavelength footprint (0 electrically).
+    pub peak_wavelengths: usize,
+    /// Total transfers across all jobs.
+    pub transfers: usize,
+    /// Error string for infeasible cells.
+    pub error: Option<String>,
+}
+
+/// A declarative tenancy campaign: shared physical constants plus cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancySweep {
+    /// Campaign name (names the combined sink files).
+    pub name: String,
+    /// Physical constants shared by every cell.
+    pub base: ExperimentConfig,
+    /// Campaign-level seed, mixed into every cell seed.
+    pub seed: u64,
+    /// The cells, in grid order.
+    pub cells: Vec<TenancyCellConfig>,
+}
+
+impl TenancySweep {
+    /// Expand a full cross-product grid in deterministic nested order
+    /// (model → n → jobs → policy → substrate), at the base config's
+    /// wavelength budget.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // one axis per campaign dimension
+    pub fn grid(
+        name: &str,
+        base: ExperimentConfig,
+        models: &[&str],
+        job_counts: &[usize],
+        policies: &[SchedPolicy],
+        nodes: &[usize],
+        substrates: &[SubstrateKind],
+        bucket_bytes: u64,
+        arrival_stagger_s: f64,
+    ) -> Self {
+        let wavelengths = base.wavelengths;
+        let mut cells = Vec::new();
+        for &model in models {
+            for &n in nodes {
+                for &jobs in job_counts {
+                    for &policy in policies {
+                        for &substrate in substrates {
+                            cells.push(TenancyCellConfig {
+                                substrate,
+                                policy,
+                                jobs,
+                                algorithm: Algorithm::Wrht,
+                                model: model.to_string(),
+                                bucket_bytes,
+                                arrival_stagger_s,
+                                n,
+                                wavelengths,
+                                strategy: Strategy::FirstFit,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            base,
+            seed: 0,
+            cells,
+        }
+    }
+}
+
+/// Executed tenancy campaign: results in the same order as `spec.cells`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyCampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// One result per cell, in grid order.
+    pub results: Vec<TenancyCellResult>,
+}
+
+/// Stable FNV-1a hash of a tenancy cell configuration.
+#[must_use]
+pub fn tenancy_config_hash(cell: &TenancyCellConfig) -> u64 {
+    fnv1a(&serde_json::to_string(cell).expect("cell configs serialize"))
+}
+
+/// Execute one tenancy cell against the campaign's physical constants.
+#[must_use]
+pub fn run_tenancy_cell(
+    base: &ExperimentConfig,
+    seed: u64,
+    cell: &TenancyCellConfig,
+) -> TenancyCellResult {
+    let hash = tenancy_config_hash(cell);
+    let mut result = TenancyCellResult {
+        cell: cell.clone(),
+        config_hash: hash,
+        seed: seed ^ hash,
+        makespan_s: 0.0,
+        mean_slowdown: 0.0,
+        max_slowdown: 0.0,
+        fairness_index: 0.0,
+        mean_hidden_fraction: 0.0,
+        peak_wavelengths: 0,
+        transfers: 0,
+        error: None,
+    };
+
+    let Some(model) = dnn_models::paper_models()
+        .into_iter()
+        .find(|m| m.name == cell.model)
+    else {
+        result.error = Some(format!("unknown model '{}'", cell.model));
+        return result;
+    };
+
+    // Cell-local constants: the cell's wavelength budget overrides the base.
+    let mut local = base.clone();
+    local.wavelengths = cell.wavelengths;
+
+    let outcome: wrht_core::error::Result<wrht_core::ClusterReport> = (|| {
+        // Lower the model's gradient buckets once; every job runs the same
+        // iteration, shifted by its arrival.
+        let buckets = crate::timeline::timeline_buckets(&model, cell.bucket_bytes);
+        let mut lowered: Vec<(f64, StepSchedule)> = Vec::with_capacity(buckets.len());
+        for b in &buckets {
+            let (schedule, _) =
+                crate::timeline::lower_allreduce(&local, cell.algorithm, cell.n, b.bytes)?;
+            lowered.push((b.ready_s, schedule));
+        }
+        let im = crate::timeline::iteration_model(&model);
+        let compute_s = im.forward_s + im.backward_s;
+        let mut spec = TenancySpec::new(cell.policy);
+        for j in 0..cell.jobs {
+            spec = spec.with_job(
+                Job::training(
+                    format!("{}#{j}", model.name),
+                    j as f64 * cell.arrival_stagger_s,
+                    lowered.clone(),
+                )
+                .with_compute(compute_s)
+                .with_priority(j as u32),
+            );
+        }
+        local
+            .try_substrate(cell.substrate, cell.n, cell.strategy)?
+            .execute_jobs(&spec)
+    })();
+
+    match outcome {
+        Ok(report) => {
+            result.makespan_s = report.makespan_s;
+            result.mean_slowdown = report.mean_slowdown();
+            result.max_slowdown = report.max_slowdown();
+            result.fairness_index = report.fairness_index;
+            result.mean_hidden_fraction = if report.jobs.is_empty() {
+                1.0
+            } else {
+                report.jobs.iter().map(|j| j.hidden_fraction).sum::<f64>()
+                    / report.jobs.len() as f64
+            };
+            result.peak_wavelengths = report.peak_wavelength;
+            result.transfers = report.jobs.iter().map(|j| j.transfers).sum();
+        }
+        Err(e) => result.error = Some(e.to_string()),
+    }
+    result
+}
+
+/// Run a tenancy campaign over `threads` workers — deterministic and
+/// resumable exactly like [`run_campaign`]: one `jcell-<hash>.json` per
+/// finished cell, grid-ordered results, byte-identical serial/parallel
+/// output, plus combined `<name>.json` / `<name>.csv` tables.
+#[must_use]
+pub fn run_tenancy_campaign(
+    spec: &TenancySweep,
+    threads: usize,
+    sink: Option<&Path>,
+) -> TenancyCampaignReport {
+    if let Some(dir) = sink {
+        let _ = fs::create_dir_all(dir);
+    }
+
+    let ctx = context_hash(&spec.base, spec.seed);
+    let keys: Vec<u64> = spec
+        .cells
+        .iter()
+        .map(|c| tenancy_config_hash(c) ^ ctx)
+        .collect();
+    let mut prefilled: Vec<Option<TenancyCellResult>> = vec![None; spec.cells.len()];
+    for (i, cell) in spec.cells.iter().enumerate() {
+        let expected_seed = spec.seed ^ tenancy_config_hash(cell);
+        prefilled[i] = sink.and_then(|dir| {
+            load_finished(
+                &cell_file(dir, "jcell", keys[i]),
+                |r: &TenancyCellResult| {
+                    r.cell == *cell
+                        && r.config_hash == tenancy_config_hash(cell)
+                        && r.seed == expected_seed
+                },
+            )
+        });
+    }
+
+    let results = run_slots(
+        threads,
+        prefilled,
+        |i| run_tenancy_cell(&spec.base, spec.seed, &spec.cells[i]),
+        |i, result| {
+            if let Some(dir) = sink {
+                let _ = fs::write(cell_file(dir, "jcell", keys[i]), to_json(result));
+            }
+        },
+    );
+
+    let report = TenancyCampaignReport {
+        name: spec.name.clone(),
+        results,
+    };
+    if let Some(dir) = sink {
+        let _ = fs::write(dir.join(format!("{}.json", spec.name)), to_json(&report));
+        let _ = fs::write(
+            dir.join(format!("{}.csv", spec.name)),
+            tenancy_to_csv(&report),
+        );
+    }
+    report
+}
+
+/// Render a tenancy campaign as CSV (stable column order, grid rows).
+#[must_use]
+pub fn tenancy_to_csv(report: &TenancyCampaignReport) -> String {
+    let mut out = String::from(
+        "substrate,policy,jobs,algorithm,model,n,wavelengths,strategy,bucket_bytes,\
+         stagger_s,seed,makespan_s,mean_slowdown,max_slowdown,fairness_index,\
+         mean_hidden_fraction,peak_wavelengths,transfers,error\n",
+    );
+    for r in &report.results {
+        let c = &r.cell;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{}\n",
+            c.substrate.label(),
+            c.policy.label(),
+            c.jobs,
+            c.algorithm.label(),
+            csv_field(&c.model),
+            c.n,
+            c.wavelengths,
+            c.strategy,
+            c.bucket_bytes,
+            c.arrival_stagger_s,
+            r.seed,
+            r.makespan_s,
+            r.mean_slowdown,
+            r.max_slowdown,
+            r.fairness_index,
+            r.mean_hidden_fraction,
+            r.peak_wavelengths,
+            r.transfers,
+            csv_field(r.error.as_deref().unwrap_or("")),
+        ));
+    }
+    out
+}
+
+/// The `repro-figures tenants` campaign: 1/2/4 concurrent training jobs of
+/// the first model under every [`SchedPolicy`] on both substrates at `n`
+/// nodes, arrivals 1 ms apart, DDP-default 25 MB buckets.
+#[must_use]
+pub fn tenants_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64) -> TenancySweep {
+    let first: Vec<&str> = models
+        .first()
+        .map(|m| m.name.as_str())
+        .into_iter()
+        .collect();
+    let mut spec = TenancySweep::grid(
+        "tenants",
+        cfg.clone(),
+        &first,
+        &[1, 2, 4],
+        &SchedPolicy::ALL,
+        &[n],
+        &[SubstrateKind::Electrical, SubstrateKind::Optical],
+        25 << 20,
+        1e-3,
+    );
+    spec.seed = seed;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1403,6 +1743,118 @@ mod tests {
             .cells
             .iter()
             .all(|c| c.algorithm == Algorithm::Wrht && c.n == 16));
+        assert_eq!(spec.seed, 7);
+    }
+
+    fn tiny_tenancy_spec() -> TenancySweep {
+        let mut spec = TenancySweep::grid(
+            "tiny-tenants",
+            tiny_cfg(),
+            &["GoogLeNet"],
+            &[1, 2],
+            &SchedPolicy::ALL,
+            &[8],
+            &[SubstrateKind::Electrical, SubstrateKind::Optical],
+            25 << 20,
+            1e-3,
+        );
+        spec.seed = 13;
+        spec
+    }
+
+    #[test]
+    fn tenancy_grid_expands_the_cross_product_with_unique_hashes() {
+        let spec = tiny_tenancy_spec();
+        assert_eq!(spec.cells.len(), 2 * 3 * 2);
+        assert_eq!(spec.cells[0].substrate, SubstrateKind::Electrical);
+        assert_eq!(spec.cells[0].jobs, 1);
+        assert_eq!(spec.cells.last().unwrap().jobs, 2);
+        let mut hashes: Vec<u64> = spec.cells.iter().map(tenancy_config_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), spec.cells.len(), "hash collision");
+    }
+
+    #[test]
+    fn tenancy_cells_execute_and_single_job_cells_are_unslowed() {
+        let spec = tiny_tenancy_spec();
+        let report = run_tenancy_campaign(&spec, 2, None);
+        assert_eq!(report.results.len(), spec.cells.len());
+        for r in &report.results {
+            assert!(r.error.is_none(), "{:?}: {:?}", r.cell, r.error);
+            assert_eq!(r.seed, spec.seed ^ r.config_hash);
+            assert!(r.makespan_s > 0.0);
+            assert!(r.transfers > 0);
+            assert!(r.fairness_index > 0.0 && r.fairness_index <= 1.0 + 1e-12);
+            assert!(r.max_slowdown >= r.mean_slowdown - 1e-12);
+            if r.cell.jobs == 1 {
+                // A lone tenant is never slowed by the cluster.
+                assert!((r.mean_slowdown - 1.0).abs() < 1e-9, "{r:?}");
+                assert!((r.fairness_index - 1.0).abs() < 1e-9);
+            } else {
+                assert!(r.mean_slowdown >= 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tenancy_parallel_run_is_byte_identical_to_serial() {
+        let spec = tiny_tenancy_spec();
+        let serial = run_tenancy_campaign(&spec, 1, None);
+        let parallel = run_tenancy_campaign(&spec, 8, None);
+        assert_eq!(to_json(&serial), to_json(&parallel));
+    }
+
+    #[test]
+    fn tenancy_sink_resumes_and_rejects_unknown_models() {
+        let dir = std::env::temp_dir().join(format!("wrht-tn-campaign-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut spec = tiny_tenancy_spec();
+        spec.cells.truncate(4);
+        spec.cells.push(TenancyCellConfig {
+            substrate: SubstrateKind::Optical,
+            policy: SchedPolicy::Fifo,
+            jobs: 2,
+            algorithm: Algorithm::Wrht,
+            model: "NotANet".into(),
+            bucket_bytes: 1 << 20,
+            arrival_stagger_s: 0.0,
+            n: 8,
+            wavelengths: 64,
+            strategy: Strategy::FirstFit,
+        });
+        let first = run_tenancy_campaign(&spec, 2, Some(&dir));
+        assert!(first.results.last().unwrap().error.is_some());
+        let resumed = run_tenancy_campaign(&spec, 2, Some(&dir));
+        assert_eq!(to_json(&first), to_json(&resumed));
+        assert!(dir.join("tiny-tenants.json").exists());
+        let csv = fs::read_to_string(dir.join("tiny-tenants.csv")).unwrap();
+        assert_eq!(csv.lines().count(), spec.cells.len() + 1);
+        // Tenancy sink files use their own prefix, so all three campaign
+        // kinds can share a directory without key collisions.
+        let jcells = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("jcell-")
+            })
+            .count();
+        assert_eq!(jcells, spec.cells.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenants_spec_covers_every_policy_on_both_substrates() {
+        let models = dnn_models::paper_models();
+        let spec = tenants_spec(&tiny_cfg(), &models, 16, 7);
+        assert_eq!(spec.cells.len(), 3 * 3 * 2);
+        assert!(spec.cells.iter().all(|c| c.n == 16));
+        for policy in SchedPolicy::ALL {
+            assert!(spec.cells.iter().any(|c| c.policy == policy));
+        }
         assert_eq!(spec.seed, 7);
     }
 

@@ -41,7 +41,15 @@ pub struct ContentionReport {
     pub longest_transfer_s: f64,
 }
 
-/// Generate `count` transfers of `bytes` each over `n` nodes.
+/// Generate transfers of `bytes` each over `n` nodes.
+///
+/// The count contract is exact: [`Pattern::Permutation`] produces
+/// `count.min(n)` transfers (a node sends at most once, and the shuffled
+/// target map is repaired into a derangement so no slot is lost to a
+/// self-send); [`Pattern::UniformRandom`] and [`Pattern::Incast`] produce
+/// exactly `count` (incast saturates with round-robin repeat senders once
+/// every other node already targets node 0). With `n < 2` no valid
+/// transfer exists and the result is empty.
 #[must_use]
 pub fn generate_traffic(
     pattern: Pattern,
@@ -52,15 +60,30 @@ pub fn generate_traffic(
 ) -> Vec<(f64, Transfer)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(count);
+    if n < 2 {
+        return out;
+    }
     match pattern {
         Pattern::Permutation => {
             let mut targets: Vec<usize> = (0..n).collect();
-            // Re-shuffle until derangement-ish: just skip self-sends.
             targets.shuffle(&mut rng);
+            // Repair the shuffle into a derangement: swap fixed points
+            // pairwise (two fixed points resolve each other); a leftover
+            // odd one swaps with its neighbour, which cannot re-create a
+            // fixed point because value `a` only ever sat at index `a`.
+            let fixed: Vec<usize> = (0..n).filter(|&i| targets[i] == i).collect();
+            let mut i = 0;
+            while i + 1 < fixed.len() {
+                targets.swap(fixed[i], fixed[i + 1]);
+                i += 2;
+            }
+            if i < fixed.len() {
+                let a = fixed[i];
+                targets.swap(a, (a + 1) % n);
+            }
             for (src, &dst) in targets.iter().enumerate().take(count.min(n)) {
-                if src != dst {
-                    out.push((0.0, Transfer::shortest(NodeId(src), NodeId(dst), bytes)));
-                }
+                debug_assert_ne!(src, dst, "derangement repair left a self-send");
+                out.push((0.0, Transfer::shortest(NodeId(src), NodeId(dst), bytes)));
             }
         }
         Pattern::UniformRandom => {
@@ -73,7 +96,8 @@ pub fn generate_traffic(
             }
         }
         Pattern::Incast => {
-            for src in 1..=count.min(n - 1) {
+            for k in 0..count {
+                let src = 1 + (k % (n - 1));
                 out.push((0.0, Transfer::shortest(NodeId(src), NodeId(0), bytes)));
             }
         }
@@ -115,8 +139,9 @@ pub fn run_contention(
 /// `(stepped_s, event_driven_s)` — equal when barriers cost nothing.
 pub fn wrht_barrier_sensitivity(config: &OpticalConfig, plan: &WrhtPlan, bytes: u64) -> (f64, f64) {
     let sched = to_optical_schedule(plan, bytes);
-    let mut sim = RingSimulator::new(config.clone());
-    let stepped = sim
+    // One fresh simulator per run: the two measurements must not share any
+    // state, so neither call order nor earlier runs can bias the other.
+    let stepped = RingSimulator::new(config.clone())
         .run_stepped(&sched, Strategy::FirstFit)
         .expect("plan fits by construction");
     let mut released = Vec::new();
@@ -127,7 +152,7 @@ pub fn wrht_barrier_sensitivity(config: &OpticalConfig, plan: &WrhtPlan, bytes: 
         }
         t += stepped.stats.steps[i].duration_s;
     }
-    let event = sim
+    let event = RingSimulator::new(config.clone())
         .run_event_driven(&released)
         .expect("released schedule is valid");
     (stepped.total_time_s, event.makespan_s)
@@ -161,6 +186,105 @@ mod tests {
         // One wavelength: neighbouring senders' nested paths serialize.
         assert_eq!(r.peak_concurrency, 2.min(r.transfers).max(1));
         assert!(r.makespan_s > r.longest_transfer_s);
+    }
+
+    /// Satellite regression: the shuffle used to drop self-send slots, so
+    /// permutation traffic could silently return fewer transfers than
+    /// requested. The repaired derangement must always deliver exactly
+    /// `count.min(n)` transfers with no self-sends, for every seed.
+    #[test]
+    fn permutation_traffic_always_honours_the_requested_count() {
+        for n in [2usize, 3, 5, 16, 33] {
+            for seed in 0..50 {
+                for count in [1usize, n / 2, n, 2 * n] {
+                    let t = generate_traffic(Pattern::Permutation, n, count, 100, seed);
+                    assert_eq!(t.len(), count.min(n), "n={n} seed={seed} count={count}");
+                    assert!(t.iter().all(|(_, tr)| tr.src != tr.dst));
+                    // Still a (partial) permutation: distinct targets.
+                    let mut dsts: Vec<usize> = t.iter().map(|(_, tr)| tr.dst.0).collect();
+                    dsts.sort_unstable();
+                    dsts.dedup();
+                    assert_eq!(dsts.len(), t.len(), "duplicate target");
+                }
+            }
+        }
+    }
+
+    /// Satellite regression: incast used to truncate `count` to `n - 1`, so
+    /// a sweep asking for 64 transfers on 16 nodes quietly measured 15.
+    /// Round-robin repeat senders must saturate the requested count.
+    #[test]
+    fn incast_traffic_saturates_with_repeat_senders() {
+        let t = generate_traffic(Pattern::Incast, 16, 64, 100, 7);
+        assert_eq!(t.len(), 64);
+        assert!(t.iter().all(|(_, tr)| tr.dst.0 == 0 && tr.src.0 != 0));
+        // Round-robin: senders cycle 1..=15 evenly.
+        let mut per_src = [0usize; 16];
+        for (_, tr) in &t {
+            per_src[tr.src.0] += 1;
+        }
+        assert!(per_src[1..].iter().all(|&c| c == 4 || c == 5));
+        // The report reflects the full requested count too.
+        let c = cfg(16, 4);
+        let r = run_contention(&c, Pattern::Incast, 64, 1 << 16, 7);
+        assert_eq!(r.transfers, 64);
+    }
+
+    #[test]
+    fn every_pattern_reports_the_requested_transfer_count() {
+        let c = cfg(16, 8);
+        for pattern in [
+            Pattern::Permutation,
+            Pattern::UniformRandom,
+            Pattern::Incast,
+        ] {
+            let r = run_contention(&c, pattern, 16, 1 << 16, 11);
+            assert_eq!(r.transfers, 16, "{pattern:?}");
+        }
+        // Degenerate rings produce no traffic instead of looping/panicking.
+        for pattern in [
+            Pattern::Permutation,
+            Pattern::UniformRandom,
+            Pattern::Incast,
+        ] {
+            assert!(generate_traffic(pattern, 1, 4, 100, 0).is_empty());
+        }
+    }
+
+    /// Satellite regression: the stepped and event-driven barrier runs now
+    /// use one fresh simulator each; permuting the call order must be
+    /// bit-identical.
+    #[test]
+    fn barrier_sensitivity_is_call_order_independent() {
+        let n = 32;
+        let c = cfg(n, 8);
+        let plan = build_plan(n, 4, 8).unwrap();
+        let bytes = 1 << 20;
+        // Order 1: the production helper (stepped first, then event).
+        let (stepped_a, event_a) = wrht_barrier_sensitivity(&c, &plan, bytes);
+        // Order 2: event first on its own simulator, then stepped.
+        let sched = to_optical_schedule(&plan, bytes);
+        let reference = RingSimulator::new(c.clone())
+            .run_stepped(&sched, Strategy::FirstFit)
+            .unwrap();
+        let mut released = Vec::new();
+        let mut t = 0.0;
+        for (i, step) in sched.steps().iter().enumerate() {
+            for tr in step {
+                released.push((t, tr.clone()));
+            }
+            t += reference.stats.steps[i].duration_s;
+        }
+        let event_b = RingSimulator::new(c.clone())
+            .run_event_driven(&released)
+            .unwrap()
+            .makespan_s;
+        let stepped_b = RingSimulator::new(c.clone())
+            .run_stepped(&sched, Strategy::FirstFit)
+            .unwrap()
+            .total_time_s;
+        assert_eq!(stepped_a.to_bits(), stepped_b.to_bits());
+        assert_eq!(event_a.to_bits(), event_b.to_bits());
     }
 
     #[test]

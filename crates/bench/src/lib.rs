@@ -39,8 +39,9 @@ pub mod report;
 pub mod timeline;
 
 pub use campaign::{
-    run_campaign, run_timeline_campaign, sweep_spec, train_spec, Algorithm, CampaignReport,
-    CampaignSpec, TimelineReport, TimelineSpec,
+    run_campaign, run_tenancy_campaign, run_timeline_campaign, sweep_spec, tenants_spec,
+    train_spec, Algorithm, CampaignReport, CampaignSpec, TenancyCampaignReport, TenancySweep,
+    TimelineReport, TimelineSpec,
 };
 pub use config::{ExperimentConfig, SubstrateKind};
 pub use fig2::{fig2_row, fig2_series, headline, Fig2Row, Fig2Series, Headline};

@@ -243,6 +243,33 @@ pub fn render_contention(reports: &[ContentionReport], n: usize, w: usize) -> St
     out
 }
 
+/// Render the multi-job tenancy campaign as an aligned table. Failed cells
+/// are skipped (their errors live in the campaign CSV/JSON).
+#[must_use]
+pub fn render_tenants(results: &[crate::campaign::TenancyCellResult], n: usize) -> String {
+    let mut out = format!("== Multi-job tenancy (n = {n}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>11} {:>9} {:>5} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "substrate", "policy", "jobs", "makespan ms", "mean slow", "max slow", "fairness", "hidden"
+    );
+    for r in results.iter().filter(|r| r.error.is_none()) {
+        let _ = writeln!(
+            out,
+            "{:>11} {:>9} {:>5} {:>12.3} {:>11.2}x {:>9.2}x {:>10.3} {:>7.1}%",
+            r.cell.substrate.label(),
+            r.cell.policy.label(),
+            r.cell.jobs,
+            r.makespan_s * 1e3,
+            r.mean_slowdown,
+            r.max_slowdown,
+            r.fairness_index,
+            r.mean_hidden_fraction * 100.0
+        );
+    }
+    out
+}
+
 /// Serialize any experiment payload as pretty JSON.
 pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("experiment types serialize")

@@ -254,6 +254,27 @@ impl DepSchedule {
         )
     }
 
+    /// Build a schedule of **independent** transfers, each released at its
+    /// own instant with no dependency edges — the shape of background
+    /// traffic (incast floods, permutation storms) injected next to a
+    /// structured job in a multi-tenant run.
+    #[must_use]
+    pub fn from_released(released: &[(f64, Transfer)]) -> Self {
+        let transfers = released
+            .iter()
+            .map(|(release_s, tr)| DepTransfer {
+                transfer: tr.clone(),
+                deps: Vec::new(),
+                release_s: release_s.max(0.0),
+                stage: 0,
+            })
+            .collect();
+        Self {
+            transfers,
+            stages: usize::from(!released.is_empty()),
+        }
+    }
+
     /// The transfers in topological order.
     #[must_use]
     pub fn transfers(&self) -> &[DepTransfer] {

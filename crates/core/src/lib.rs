@@ -39,7 +39,11 @@
 //!   [`substrate::Substrate::execute_dag`];
 //! * [`timeline`] — simulator-backed training iterations: per-bucket
 //!   all-reduces executed on a substrate and merged with gradient-ready
-//!   times into an [`timeline::IterationTimeline`].
+//!   times into an [`timeline::IterationTimeline`];
+//! * [`tenancy`] — multi-job tenancy: concurrent jobs composed into one
+//!   shared DAG run ([`substrate::Substrate::execute_jobs`]) under a
+//!   [`tenancy::SchedPolicy`], priced per tenant in a
+//!   [`tenancy::ClusterReport`].
 //!
 //! ```
 //! use wrht_core::prelude::*;
@@ -67,6 +71,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod steps;
 pub mod substrate;
+pub mod tenancy;
 pub mod timeline;
 
 /// Common re-exports.
@@ -91,6 +96,9 @@ pub mod prelude {
         DagRunReport, DagTiming, ElectricalSubstrate, OpticalSubstrate, RunReport, StepTiming,
         Substrate,
     };
+    pub use crate::tenancy::{
+        ClusterReport, Job, JobId, JobReport, JobWorkload, SchedPolicy, TenancySpec,
+    };
     pub use crate::timeline::{
         execute_timeline, execute_timeline_pipelined, BucketTimeline, IterationTimeline,
         TimelineBucket,
@@ -103,6 +111,7 @@ pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
 pub use params::{GroupSize, WrhtParams};
 pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};
 pub use substrate::{DagRunReport, ElectricalSubstrate, OpticalSubstrate, RunReport, Substrate};
+pub use tenancy::{ClusterReport, Job, JobId, JobReport, SchedPolicy, TenancySpec};
 pub use timeline::{
     execute_timeline, execute_timeline_pipelined, IterationTimeline, TimelineBucket,
 };

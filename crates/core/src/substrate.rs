@@ -31,7 +31,8 @@
 
 use crate::dag::DepSchedule;
 use crate::error::Result;
-use electrical_sim::runner::{run_dag, run_steps, DagFlow, StepTransfer};
+use crate::tenancy::{ClusterReport, JobArbitration, TenancySpec, TenantDagRun};
+use electrical_sim::runner::{run_dag, run_dag_jobs, run_steps, DagFlow, StepTransfer};
 use electrical_sim::Network;
 use optical_sim::sim::{DagTransfer, StepReport, StepSchedule};
 use optical_sim::{OpticalConfig, RingSimulator, Strategy};
@@ -170,6 +171,37 @@ pub trait Substrate {
     /// substrates; on general DAGs consecutive steps and buckets overlap
     /// on the wire.
     fn execute_dag(&mut self, dag: &DepSchedule) -> Result<DagRunReport>;
+
+    /// Execute a **multi-job** composed DAG (see
+    /// [`crate::tenancy::TenancySpec::compose`]): transfers carry job tags
+    /// and contended resources are arbitrated across jobs per `arb`. The
+    /// optical grant loop orders waiters by job rank / accumulated service;
+    /// the electrical fluid model keeps max-min rates (inherently
+    /// fair-shared) but attributes the rate solution to jobs. With a single
+    /// job this is bit-exact with [`Substrate::execute_dag`].
+    fn execute_dag_jobs(&mut self, dag: &DepSchedule, arb: &JobArbitration)
+        -> Result<TenantDagRun>;
+
+    /// Execute a set of concurrent jobs sharing this substrate under the
+    /// spec's scheduling policy, and price the outcome per tenant: the
+    /// jobs' schedules are composed into one shared DAG run
+    /// ([`Substrate::execute_dag_jobs`]), then every job is additionally
+    /// run **alone** on the idle substrate to anchor its
+    /// slowdown-vs-isolation, and the per-job makespans, exposed
+    /// communication, bandwidth shares and the Jain fairness index are
+    /// assembled into a [`ClusterReport`].
+    fn execute_jobs(&mut self, spec: &TenancySpec) -> Result<ClusterReport> {
+        let composed = spec.compose()?;
+        let arb = spec.arbitration(&composed.job_of);
+        let run = self.execute_dag_jobs(&composed.dag, &arb)?;
+        let mut isolated = Vec::with_capacity(spec.jobs.len());
+        for lowered in &composed.lowered {
+            isolated.push(self.execute_dag(lowered)?.makespan_s);
+        }
+        Ok(crate::tenancy::cluster_report(
+            spec, &composed, &run, &isolated,
+        ))
+    }
 }
 
 /// The WDM optical ring as an execution substrate.
@@ -262,6 +294,50 @@ impl Substrate for OpticalSubstrate {
             peak_wavelength: report.peak_wavelength,
             rate_recomputations: 0,
             solver_work: 0,
+        })
+    }
+
+    fn execute_dag_jobs(
+        &mut self,
+        dag: &DepSchedule,
+        arb: &JobArbitration,
+    ) -> Result<TenantDagRun> {
+        let transfers: Vec<DagTransfer> = dag
+            .transfers()
+            .iter()
+            .map(|t| DagTransfer {
+                transfer: t.transfer.clone(),
+                release_s: t.release_s,
+                deps: t.deps.clone(),
+            })
+            .collect();
+        let report = self.sim.run_dag_jobs(&transfers, arb, self.strategy)?;
+        let jobs = arb.rank.len();
+        Ok(TenantDagRun {
+            dag: DagRunReport {
+                substrate: "optical".into(),
+                makespan_s: report.makespan_s,
+                transfers: report
+                    .transfer_times
+                    .iter()
+                    .map(|&(start_s, finish_s)| DagTiming { start_s, finish_s })
+                    .collect(),
+                peak_wavelength: report.peak_wavelength,
+                rate_recomputations: 0,
+                solver_work: 0,
+            },
+            // Wavelengths are granted whole — there is no fractional rate
+            // solution to attribute on the optical ring; delivered bytes
+            // are the exact payload sums (as on the electrical fast path).
+            job_active_s: vec![0.0; jobs],
+            job_service_bytes: {
+                let mut service = vec![0.0f64; jobs];
+                for (t, &j) in dag.transfers().iter().zip(&arb.job_of) {
+                    service[j] += t.transfer.bytes as f64;
+                }
+                service
+            },
+            job_peak_rate_bps: vec![0.0; jobs],
         })
     }
 }
@@ -362,6 +438,53 @@ impl Substrate for ElectricalSubstrate {
             peak_wavelength: 0,
             rate_recomputations: report.rate_recomputations,
             solver_work: report.solver_work,
+        })
+    }
+
+    fn execute_dag_jobs(
+        &mut self,
+        dag: &DepSchedule,
+        arb: &JobArbitration,
+    ) -> Result<TenantDagRun> {
+        let flows: Vec<DagFlow> = dag
+            .transfers()
+            .iter()
+            .map(|t| DagFlow {
+                src: t.transfer.src.0,
+                dst: t.transfer.dst.0,
+                bytes: t.transfer.bytes,
+                release_s: t.release_s,
+                deps: t.deps.clone(),
+                stage: t.stage,
+            })
+            .collect();
+        // The max-min fluid model is inherently fair-shared: ranks do not
+        // change electrical rates, but the solver attributes its solution
+        // to the job tags so tenants' bandwidth can be priced.
+        let tenant = run_dag_jobs(
+            &self.net,
+            &flows,
+            &arb.job_of,
+            arb.rank.len(),
+            self.step_overhead_s,
+        )?;
+        Ok(TenantDagRun {
+            dag: DagRunReport {
+                substrate: "electrical".into(),
+                makespan_s: tenant.report.makespan_s,
+                transfers: tenant
+                    .report
+                    .windows
+                    .iter()
+                    .map(|&(start_s, finish_s)| DagTiming { start_s, finish_s })
+                    .collect(),
+                peak_wavelength: 0,
+                rate_recomputations: tenant.report.rate_recomputations,
+                solver_work: tenant.report.solver_work,
+            },
+            job_active_s: tenant.job_active_s,
+            job_service_bytes: tenant.job_service_bytes,
+            job_peak_rate_bps: tenant.job_peak_rate_bps,
         })
     }
 }

@@ -47,7 +47,9 @@ pub mod prelude {
     pub use crate::error::NetError;
     pub use crate::flow::FlowSpec;
     pub use crate::graph::{LinkId, Network};
-    pub use crate::runner::{run_dag, run_steps, DagFlow, DagRunReport, StepTransfer};
+    pub use crate::runner::{
+        run_dag, run_dag_jobs, run_steps, DagFlow, DagRunReport, StepTransfer, TenantDagReport,
+    };
     pub use crate::sim::{FluidSimulator, RunReport};
     pub use crate::stats::{offered_load, LoadReport};
     pub use crate::topology::{fat_tree_two_level, full_mesh, ring, star_cluster, torus_2d};

@@ -125,6 +125,9 @@ pub(crate) struct EngineFlow {
     pub delay_s: f64,
     /// Indices of flows that must complete first (each `<` own index).
     pub deps: Vec<usize>,
+    /// Tenant job the flow belongs to (0 for single-job runs). Drives the
+    /// per-job rate attribution in [`EngineReport`].
+    pub job: usize,
 }
 
 /// Per-flow window reported by the engine.
@@ -137,12 +140,23 @@ pub(crate) struct EngineOutcome {
 }
 
 /// Result of a dependency-aware engine run.
+///
+/// The three `job_*` vectors are indexed by [`EngineFlow::job`] (length =
+/// max job + 1) and attribute the max-min rate solution to tenants: between
+/// two events every job's aggregate allocated rate is known exactly, so the
+/// engine integrates it over the interval (`job_service_bytes`), accumulates
+/// the time the job had at least one transmitting flow (`job_active_s`) and
+/// records the largest aggregate allocation it ever held
+/// (`job_peak_rate_bps`).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct EngineReport {
     pub makespan_s: f64,
     pub outcomes: Vec<EngineOutcome>,
     pub rate_recomputations: usize,
     pub solver_work: usize,
+    pub job_active_s: Vec<f64>,
+    pub job_service_bytes: Vec<f64>,
+    pub job_peak_rate_bps: Vec<f64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,6 +188,9 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
             outcomes: Vec::new(),
             rate_recomputations: 0,
             solver_work: 0,
+            job_active_s: Vec::new(),
+            job_service_bytes: Vec::new(),
+            job_peak_rate_bps: Vec::new(),
         });
     }
 
@@ -225,6 +242,14 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
     let mut count_scratch = vec![0usize; n_links];
     let mut recomputations = 0usize;
     let mut solver_work = 0usize;
+
+    // Per-job rate attribution (see `EngineReport`).
+    let n_jobs = flows.iter().map(|f| f.job + 1).max().unwrap_or(0);
+    let mut job_active_s = vec![0.0f64; n_jobs];
+    let mut job_service_bytes = vec![0.0f64; n_jobs];
+    let mut job_peak_rate = vec![0.0f64; n_jobs];
+    let mut job_agg_rate = vec![0.0f64; n_jobs];
+    let mut job_busy = vec![false; n_jobs];
 
     loop {
         // Promote flows whose gates opened or timers expired. Completions
@@ -380,6 +405,26 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
         }
         let dt = (next - now).max(0.0);
 
+        // Attribute the current rate allocation to jobs over [now, next]:
+        // each transmitting flow's max-min rate is constant on the interval.
+        job_agg_rate.fill(0.0);
+        job_busy.fill(false);
+        for i in 0..n {
+            if phase[i] == Phase::Active && rate[i].is_finite() {
+                job_agg_rate[flows[i].job] += rate[i];
+                job_busy[flows[i].job] = true;
+            }
+        }
+        for j in 0..n_jobs {
+            if job_busy[j] {
+                job_peak_rate[j] = job_peak_rate[j].max(job_agg_rate[j]);
+                if dt > 0.0 {
+                    job_active_s[j] += dt;
+                    job_service_bytes[j] += job_agg_rate[j] * dt;
+                }
+            }
+        }
+
         // Advance active flows. A flow completes when its payload is
         // drained (within EPS) or when its residual time-to-finish no
         // longer advances the f64 clock (`next + q == next`): at large
@@ -424,6 +469,9 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
             .collect(),
         rate_recomputations: recomputations,
         solver_work,
+        job_active_s,
+        job_service_bytes,
+        job_peak_rate_bps: job_peak_rate,
     })
 }
 
@@ -450,6 +498,7 @@ pub fn run_flows(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
             release_s: s.release_s(),
             delay_s: 0.0,
             deps: Vec::new(),
+            job: 0,
         })
         .collect();
     let report = run_engine(net, &flows)?;
@@ -778,6 +827,7 @@ mod tests {
                 release_s: 0.0,
                 delay_s: 0.0,
                 deps: vec![],
+                job: 0,
             },
             EngineFlow {
                 src: 1,
@@ -786,6 +836,7 @@ mod tests {
                 release_s: 0.0,
                 delay_s: 0.0,
                 deps: vec![0],
+                job: 0,
             },
         ];
         let r = run_engine(&net, &flows).unwrap();
@@ -805,6 +856,7 @@ mod tests {
                 release_s: 1e-3,
                 delay_s: 0.0,
                 deps: vec![],
+                job: 0,
             },
             EngineFlow {
                 src: 1,
@@ -813,6 +865,7 @@ mod tests {
                 release_s: 0.0,
                 delay_s: 0.0,
                 deps: vec![0],
+                job: 0,
             },
         ];
         let r = run_engine(&net, &flows).unwrap();
@@ -833,6 +886,7 @@ mod tests {
             release_s: 0.0,
             delay_s: 0.0,
             deps: vec![0],
+            job: 0,
         }];
         assert!(matches!(
             run_engine(&net, &flows),
@@ -850,6 +904,7 @@ mod tests {
             release_s: 0.0,
             delay_s: 5e-6,
             deps: vec![],
+            job: 0,
         }];
         let r = run_engine(&net, &flows).unwrap();
         assert!((r.makespan_s - (5e-6 + 1e-3)).abs() < 1e-12);

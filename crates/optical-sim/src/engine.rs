@@ -99,6 +99,12 @@ impl<T> EventQueue<T> {
         })
     }
 
+    /// Timestamp of the earliest pending event, without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {

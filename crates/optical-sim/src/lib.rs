@@ -66,7 +66,9 @@ pub mod prelude {
     pub use crate::physical::PhysicalModel;
     pub use crate::request::{DirectionChoice, Transfer};
     pub use crate::rwa::{Occupancy, Strategy};
-    pub use crate::sim::{DagReport, DagTransfer, RingSimulator, StepReport, StepSchedule};
+    pub use crate::sim::{
+        DagReport, DagTransfer, JobArbitration, RingSimulator, StepReport, StepSchedule,
+    };
     pub use crate::timing::TimingModel;
     pub use crate::topology::{Direction, NodeId, RingTopology};
     pub use crate::trace::{run_stepped_traced, RunTrace, TraceEntry};
@@ -78,7 +80,7 @@ pub use error::OpticalError;
 pub use path::LightPath;
 pub use request::{DirectionChoice, Transfer};
 pub use rwa::{Occupancy, Strategy};
-pub use sim::{RingSimulator, StepReport, StepSchedule};
+pub use sim::{JobArbitration, RingSimulator, StepReport, StepSchedule};
 pub use timing::TimingModel;
 pub use topology::{Direction, NodeId, RingTopology};
 pub use wavelength::{Wavelength, WavelengthSet};

@@ -91,6 +91,28 @@ pub struct DagTransfer {
     pub deps: Vec<usize>,
 }
 
+/// Cross-job wavelength arbitration for [`RingSimulator::run_dag_jobs`].
+///
+/// A multi-tenant DAG is a concatenation of per-job transfer lists; serving
+/// waiters in plain DAG order would hand every contended wavelength to the
+/// job that happens to come first in the list. This struct tells the grant
+/// loop which job each transfer belongs to and how jobs are ordered when
+/// they compete for lanes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobArbitration {
+    /// Job index of every transfer, parallel to the transfer list. Every
+    /// entry must be `< rank.len()`.
+    pub job_of: Vec<usize>,
+    /// Static grant rank per job — when two jobs' waiters compete for the
+    /// same lanes, the lower-ranked job is served first (e.g. FIFO by
+    /// arrival, or by priority).
+    pub rank: Vec<u64>,
+    /// When set, the job with the least accumulated service (granted
+    /// lane-seconds) is served first and `rank` only breaks ties —
+    /// a deterministic fair-share discipline.
+    pub fair_share: bool,
+}
+
 /// Result of a dependency-aware run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DagReport {
@@ -338,6 +360,43 @@ impl RingSimulator {
     /// Unlike the stepped mode, a transfer that momentarily cannot get its
     /// lanes waits instead of failing, so contention shows up as time.
     pub fn run_dag(&mut self, transfers: &[DagTransfer], strategy: Strategy) -> Result<DagReport> {
+        self.run_dag_arbitrated(transfers, strategy, None)
+    }
+
+    /// Execute a **multi-job** transfer DAG: like [`RingSimulator::run_dag`],
+    /// but waiters competing for wavelengths are served in the order the
+    /// [`JobArbitration`] dictates (static per-job rank, optionally
+    /// least-service-first fair sharing) instead of pure DAG order. Within
+    /// a job, waiters keep their DAG order. With a single job (all tags
+    /// equal, one rank) this is **bit-exact** with [`RingSimulator::run_dag`]
+    /// — the arbitration key degenerates to the transfer index.
+    pub fn run_dag_jobs(
+        &mut self,
+        transfers: &[DagTransfer],
+        arb: &JobArbitration,
+        strategy: Strategy,
+    ) -> Result<DagReport> {
+        if arb.job_of.len() != transfers.len() {
+            return Err(OpticalError::BadConfig(
+                "job tag list must match the transfer list",
+            ));
+        }
+        if arb.job_of.iter().any(|&j| j >= arb.rank.len()) {
+            return Err(OpticalError::BadConfig(
+                "job tag out of range of the rank table",
+            ));
+        }
+        self.run_dag_arbitrated(transfers, strategy, Some(arb))
+    }
+
+    /// Shared body of [`RingSimulator::run_dag`] (no arbitration: waiters
+    /// served in DAG order) and [`RingSimulator::run_dag_jobs`].
+    fn run_dag_arbitrated(
+        &mut self,
+        transfers: &[DagTransfer],
+        strategy: Strategy,
+        arb: Option<&JobArbitration>,
+    ) -> Result<DagReport> {
         #[derive(Debug)]
         enum Ev {
             Gate(usize),
@@ -409,36 +468,75 @@ impl RingSimulator {
         ];
         let mut claimed_set: Vec<(usize, usize)> = Vec::new();
 
+        // Accumulated service (granted lane-seconds) per job, driving the
+        // fair-share arbitration order.
+        let mut service = vec![0.0f64; arb.map_or(0, |a| a.rank.len())];
+
+        // Per-event scratch, allocated once: the coalesced event batch, the
+        // grant-scan order and the granted-this-scan flags.
+        let mut batch: Vec<Ev> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut granted = vec![false; transfers.len()];
+
         while let Some((now, ev)) = queue.pop() {
-            match ev {
-                Ev::Gate(id) => {
-                    enqueue(&mut waiting, id);
-                }
-                Ev::Complete(id) => {
-                    for &lambda in &assigned[id] {
-                        occ.release(&paths[id], lambda);
+            // Coalesce every event at this exact instant before granting:
+            // cross-job arbitration must see all simultaneous waiters (and
+            // all simultaneously freed wavelengths) together, not in event
+            // insertion order. (Completes scheduled *by* the grants below
+            // land in a later iteration at the same clock, which is fine.)
+            batch.push(ev);
+            while queue.peek_time() == Some(now) {
+                batch.push(queue.pop().expect("peeked event").1);
+            }
+            for ev in batch.drain(..) {
+                match ev {
+                    Ev::Gate(id) => {
+                        enqueue(&mut waiting, id);
                     }
-                    times[id].1 = now;
-                    makespan = makespan.max(now);
-                    active -= 1;
-                    for &dep in &dependents[id] {
-                        missing[dep] -= 1;
-                        if missing[dep] == 0 {
-                            if transfers[dep].release_s <= now {
-                                enqueue(&mut waiting, dep);
-                            } else {
-                                queue.schedule_at(transfers[dep].release_s, Ev::Gate(dep));
+                    Ev::Complete(id) => {
+                        for &lambda in &assigned[id] {
+                            occ.release(&paths[id], lambda);
+                        }
+                        times[id].1 = now;
+                        makespan = makespan.max(now);
+                        active -= 1;
+                        for &dep in &dependents[id] {
+                            missing[dep] -= 1;
+                            if missing[dep] == 0 {
+                                if transfers[dep].release_s <= now {
+                                    enqueue(&mut waiting, dep);
+                                } else {
+                                    queue.schedule_at(transfers[dep].release_s, Ev::Gate(dep));
+                                }
                             }
                         }
                     }
                 }
             }
-            // Start every waiter that now fits, in DAG order. Segments of
-            // waiters that do NOT fit are claimed so later waiters cannot
-            // overtake them on a shared span.
-            let mut i = 0;
-            while i < waiting.len() {
-                let id = waiting[i];
+            // Start every waiter that now fits. The scan order is DAG order
+            // for single-tenant runs; under arbitration, waiters of the
+            // least-served / lowest-ranked job go first (ties fall back to
+            // DAG order, so one job degenerates to the plain scan).
+            // Segments of waiters that do NOT fit are claimed so later
+            // waiters cannot overtake them on a shared span.
+            order.clear();
+            order.extend_from_slice(&waiting);
+            if let Some(a) = arb {
+                order.sort_by(|&x, &y| {
+                    let (jx, jy) = (a.job_of[x], a.job_of[y]);
+                    let (sx, sy) = if a.fair_share {
+                        (service[jx], service[jy])
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    sx.partial_cmp(&sy)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.rank[jx].cmp(&a.rank[jy]))
+                        .then(x.cmp(&y))
+                });
+            }
+            let mut any_granted = false;
+            for &id in &order {
                 let tr = &transfers[id].transfer;
                 let d = usize::from(paths[id].direction == Direction::CounterClockwise);
                 let overtakes = paths[id].segments.iter().any(|&s| claimed[d][s]);
@@ -451,7 +549,11 @@ impl RingSimulator {
                         active += 1;
                         peak = peak.max(active);
                         peak_wavelength = peak_wavelength.max(occ.peak_wavelengths_used());
-                        waiting.remove(i);
+                        if let Some(a) = arb {
+                            service[a.job_of[id]] += dur * tr.lanes as f64;
+                        }
+                        granted[id] = true;
+                        any_granted = true;
                         continue;
                     }
                 }
@@ -461,7 +563,15 @@ impl RingSimulator {
                         claimed_set.push((d, s));
                     }
                 }
-                i += 1;
+            }
+            if any_granted {
+                waiting.retain(|&id| {
+                    let g = granted[id];
+                    if g {
+                        granted[id] = false;
+                    }
+                    !g
+                });
             }
             for &(d, s) in &claimed_set {
                 claimed[d][s] = false;

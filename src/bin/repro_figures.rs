@@ -19,7 +19,11 @@
 //!   train        Simulator-backed training timelines: per-model iteration
 //!                time with bucketed Wrht all-reduces on BOTH substrates
 //!                (resumable via results/train)
-//!   all          Everything above except sweep and train (default)
+//!   tenants      Multi-job tenancy: 1/2/4 concurrent training jobs sharing
+//!                one substrate under fifo/fair/priority scheduling, with
+//!                per-job slowdowns and Jain fairness (resumable via
+//!                results/tenants)
+//!   all          Everything above except sweep, train and tenants (default)
 //!
 //! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
 //! caps the campaign worker count (default: available parallelism).
@@ -36,11 +40,13 @@ use std::path::Path;
 use wrht_bench::ablations::{
     group_size_sweep, overlap_study, rwa_strategy_compare, variant_study, wavelength_sweep,
 };
-use wrht_bench::campaign::{fig2_from_campaign, run_campaign, run_timeline_campaign, sweep_spec};
+use wrht_bench::campaign::{
+    fig2_from_campaign, run_campaign, run_tenancy_campaign, run_timeline_campaign, sweep_spec,
+};
 use wrht_bench::contention::{run_contention, Pattern};
 use wrht_bench::report::{
     render_contention, render_fig2, render_fit, render_group_size, render_headline, render_overlap,
-    render_timeline, render_variants, render_wavelengths, to_json,
+    render_tenants, render_timeline, render_variants, render_wavelengths, to_json,
 };
 use wrht_bench::timeline::TimelineRow;
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
@@ -258,6 +264,33 @@ fn cmd_train(
     write_json(&sink, "train_rows.json", &to_json(&rows));
 }
 
+fn cmd_tenants(
+    cfg: &ExperimentConfig,
+    results: &Path,
+    threads: usize,
+    models: &[dnn_models::Model],
+) {
+    let n = *cfg.scales.first().expect("scales non-empty");
+    let spec = wrht_bench::campaign::tenants_spec(cfg, models, n, 2023);
+    let sink = results.join("tenants");
+    println!(
+        "== Tenancy campaign: {} cells over {} worker thread(s) ==",
+        spec.cells.len(),
+        threads
+    );
+    let report = run_tenancy_campaign(&spec, threads, Some(&sink));
+    let infeasible = report.results.iter().filter(|r| r.error.is_some()).count();
+    println!(
+        "{} cells finished ({infeasible} infeasible); sink: {}",
+        report.results.len(),
+        sink.display()
+    );
+    println!();
+    print!("{}", render_tenants(&report.results, n));
+    println!();
+    write_json(&sink, "tenant_rows.json", &to_json(&report.results));
+}
+
 fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
     let n = *cfg.scales.first().expect("scales non-empty");
     // A narrow budget makes the contention the stepped model hides visible.
@@ -289,6 +322,7 @@ fn run_command(
     match cmd {
         "sweep" => cmd_sweep(cfg, results, threads, &dnn_models::paper_models()),
         "train" => cmd_train(cfg, results, threads, &dnn_models::paper_models(), modes),
+        "tenants" => cmd_tenants(cfg, results, threads, &dnn_models::paper_models()),
         "fig2" => cmd_fig2(cfg, results),
         "headline" => cmd_headline(cfg, results),
         "steps" => cmd_steps(),
@@ -464,6 +498,25 @@ mod tests {
             &[ExecMode::Barrier],
         );
         let rows2 = fs::read_to_string(sink.join("train_rows.json")).unwrap();
+        assert_eq!(rows, rows2);
+        let _ = fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn tenants_command_runs_the_tenancy_campaign_and_resumes() {
+        let results = temp_results("tenants");
+        cmd_tenants(&tiny_cfg(), &results, 2, &[dnn_models::googlenet()]);
+        let sink = results.join("tenants");
+        let rows = fs::read_to_string(sink.join("tenant_rows.json")).expect("tenant_rows.json");
+        assert!(rows.contains("GoogLeNet"));
+        assert!(rows.contains("\"fairness_index\""));
+        let csv = fs::read_to_string(sink.join("tenants.csv")).expect("tenants campaign CSV");
+        // 3 job counts × 3 policies × 2 substrates + header.
+        assert_eq!(csv.lines().count(), 19);
+        assert!(csv.contains("fifo") && csv.contains("fair") && csv.contains("priority"));
+        // Resumable: a second run reuses the sink without changing output.
+        cmd_tenants(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
+        let rows2 = fs::read_to_string(sink.join("tenant_rows.json")).unwrap();
         assert_eq!(rows, rows2);
         let _ = fs::remove_dir_all(&results);
     }
