@@ -35,6 +35,7 @@ pub mod campaign;
 pub mod config;
 pub mod contention;
 pub mod fig2;
+pub mod perf;
 pub mod report;
 pub mod timeline;
 

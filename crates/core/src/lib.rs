@@ -64,6 +64,18 @@ pub mod cost;
 pub mod dag;
 pub mod describe;
 pub mod error;
+
+/// The shared discrete-event kernel both substrate simulators run on.
+///
+/// Re-exported from the standalone `wrht-kernel` crate so downstream users
+/// (campaign drivers, custom substrates) can schedule against the same
+/// clock/queue semantics — monotonic [`kernel::SimClock`], typed
+/// [`kernel::KernelError`] for backwards scheduling, stable FIFO
+/// tie-breaking and bit-equality same-instant batching — without depending
+/// on either simulator crate.
+pub mod kernel {
+    pub use wrht_kernel::{EventId, EventKernel, KernelError, SimClock, Slab, SlabKey};
+}
 pub mod lower;
 pub mod optimizer;
 pub mod params;

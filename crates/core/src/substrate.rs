@@ -147,6 +147,11 @@ pub struct DagRunReport {
     /// Progressive-filling work units (0 on the optical substrate) — the
     /// solve-complexity metric the incremental engine reduces.
     pub solver_work: usize,
+    /// Discrete events processed by the shared event kernel
+    /// ([`wrht_kernel::EventKernel`]) — grants/releases/completions on the
+    /// optical ring, wake-ups and completions in the electrical fluid
+    /// model. The denominator of the events/sec benchmark.
+    pub events: u64,
 }
 
 /// A fabric that can execute step-synchronous communication schedules.
@@ -294,6 +299,7 @@ impl Substrate for OpticalSubstrate {
             peak_wavelength: report.peak_wavelength,
             rate_recomputations: 0,
             solver_work: 0,
+            events: report.events,
         })
     }
 
@@ -325,6 +331,7 @@ impl Substrate for OpticalSubstrate {
                 peak_wavelength: report.peak_wavelength,
                 rate_recomputations: 0,
                 solver_work: 0,
+                events: report.events,
             },
             // Wavelengths are granted whole — there is no fractional rate
             // solution to attribute on the optical ring; delivered bytes
@@ -438,6 +445,7 @@ impl Substrate for ElectricalSubstrate {
             peak_wavelength: 0,
             rate_recomputations: report.rate_recomputations,
             solver_work: report.solver_work,
+            events: report.events,
         })
     }
 
@@ -481,6 +489,7 @@ impl Substrate for ElectricalSubstrate {
                 peak_wavelength: 0,
                 rate_recomputations: tenant.report.rate_recomputations,
                 solver_work: tenant.report.solver_work,
+                events: tenant.report.events,
             },
             job_active_s: tenant.job_active_s,
             job_service_bytes: tenant.job_service_bytes,

@@ -21,7 +21,13 @@
 //! The two fabrics honour the policy differently. The **optical** grant
 //! loop arbitrates contended wavelengths across jobs: FIFO and priority
 //! order jobs statically, fair share serves the least-served job first
-//! (see [`optical_sim::JobArbitration`]). The **electrical** fluid model is
+//! (see [`optical_sim::JobArbitration`]). Waiters from different jobs are
+//! only ranked in the *same* arbitration scan when their release instants
+//! are **bit-identical** `f64`s — the event kernel coalesces same-instant
+//! events by bit equality, not by epsilon — so policies tie-break across
+//! jobs exactly when releases are derived through identical float
+//! expressions (e.g. the same arrival offset); instants one ulp apart are
+//! served strictly in time order. The **electrical** fluid model is
 //! inherently fair-shared — max-min rates are policy-independent — but the
 //! incremental solver attributes its rate solution to tenants so the report
 //! can price each job's bandwidth share.
@@ -413,6 +419,8 @@ pub struct ClusterReport {
     pub rate_recomputations: usize,
     /// Progressive-filling work units (0 on the optical substrate).
     pub solver_work: usize,
+    /// Discrete events processed by the shared event kernel.
+    pub events: u64,
 }
 
 impl ClusterReport {
@@ -520,6 +528,7 @@ pub fn cluster_report(
         peak_wavelength: run.dag.peak_wavelength,
         rate_recomputations: run.dag.rate_recomputations,
         solver_work: run.dag.solver_work,
+        events: run.dag.events,
     }
 }
 

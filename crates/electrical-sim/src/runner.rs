@@ -110,6 +110,9 @@ pub struct DagRunReport {
     pub rate_recomputations: usize,
     /// Progressive-filling work units (see [`crate::sim::RunReport`]).
     pub solver_work: usize,
+    /// Discrete events processed by the shared kernel (summed over the
+    /// per-stage fluid runs on the barrier fast path).
+    pub events: u64,
     /// Whether the run took the barrier fast path (per-stage fluid runs
     /// composed exactly like [`run_steps`]) instead of the event engine.
     pub barrier_fast_path: bool,
@@ -180,6 +183,7 @@ fn run_dag_barrier(
     let mut windows = vec![(0.0, 0.0); flows.len()];
     let mut recomputations = 0usize;
     let mut solver_work = 0usize;
+    let mut events = 0u64;
     let mut base = 0.0f64;
     for stage in stages {
         if stage.is_empty() {
@@ -200,6 +204,7 @@ fn run_dag_barrier(
             let report = run_flows(net, &specs)?;
             recomputations += report.rate_recomputations;
             solver_work += report.solver_work;
+            events += report.events;
             for (&i, outcome) in payload.iter().zip(&report.flows) {
                 windows[i] = (base, base + per_message_overhead_s + outcome.finish_s);
             }
@@ -224,6 +229,7 @@ fn run_dag_barrier(
         windows,
         rate_recomputations: recomputations,
         solver_work,
+        events,
         barrier_fast_path: true,
     })
 }
@@ -311,6 +317,7 @@ pub fn run_dag_jobs(
             windows: r.outcomes.iter().map(|o| (o.start_s, o.finish_s)).collect(),
             rate_recomputations: r.rate_recomputations,
             solver_work: r.solver_work,
+            events: r.events,
             barrier_fast_path: false,
         },
         job_active_s: pad(r.job_active_s),
@@ -349,6 +356,7 @@ pub fn run_dag_event_driven(
             .collect(),
         rate_recomputations: report.rate_recomputations,
         solver_work: report.solver_work,
+        events: report.events,
         barrier_fast_path: false,
     })
 }

@@ -5,6 +5,14 @@
 //! max-min fair rate. A flow first sits in a latency phase equal to the sum
 //! of its route's link latencies, then competes for bandwidth.
 //!
+//! Since the kernel unification both engines run on
+//! [`wrht_kernel::EventKernel`] — the same discrete-event scheduler the
+//! optical substrate uses. Payloads are *lazy*: a flow's `remaining` bytes
+//! and its single pending completion event are only touched when its
+//! max-min rate actually changes bits, so an event costs work proportional
+//! to the affected contention component, not to the number of flows in
+//! flight.
+//!
 //! Two engines share this module:
 //!
 //! * [`run_flows`] — the production engine. Rates are re-solved
@@ -31,6 +39,24 @@ use crate::flow::FlowSpec;
 use crate::graph::{LinkId, Network};
 use crate::maxmin::{maxmin_rates_counted, progressive_fill};
 use serde::{Deserialize, Serialize};
+use wrht_kernel::EventKernel;
+
+/// Wake-up events of the fluid engines. `Release`/`Timer` only wake the
+/// engine (promotion happens in the engine's own `EPS`-tolerant scan, so a
+/// wake-up can arrive stale when its flow was promoted early). `Complete`
+/// carries the *minimum* completion candidate of one contention component:
+/// rescheduling per-flow on every rate change would push (and later lazily
+/// discard) one heap entry per affected flow per solve — quadratic churn on
+/// an incast — so each solve schedules a single event at the component's
+/// earliest candidate instead, and the engine validates it on arrival
+/// against the carrier flow's current candidate. Superseded entries simply
+/// go stale in the heap; no event is ever cancelled.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Release(usize),
+    Timer(usize),
+    Complete(usize),
+}
 
 /// Completion information for one flow.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,6 +83,10 @@ pub struct RunReport {
     /// bottleneck tests, summed over rounds) — the complexity metric that
     /// shows the incremental engine's saving over a full re-solve.
     pub solver_work: usize,
+    /// Discrete events processed by the shared kernel (release and latency
+    /// wake-ups plus completions). Both engines run on the same event
+    /// kernel, so this is the denominator of the events/sec benchmark.
+    pub events: u64,
 }
 
 /// Flow-level simulator over a [`Network`].
@@ -154,6 +184,8 @@ pub(crate) struct EngineReport {
     pub outcomes: Vec<EngineOutcome>,
     pub rate_recomputations: usize,
     pub solver_work: usize,
+    /// Discrete events processed by the kernel (wake-ups + completions).
+    pub events: u64,
     pub job_active_s: Vec<f64>,
     pub job_service_bytes: Vec<f64>,
     pub job_peak_rate_bps: Vec<f64>,
@@ -188,6 +220,7 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
             outcomes: Vec::new(),
             rate_recomputations: 0,
             solver_work: 0,
+            events: 0,
             job_active_s: Vec::new(),
             job_service_bytes: Vec::new(),
             job_peak_rate_bps: Vec::new(),
@@ -232,12 +265,30 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
     let mut rate = vec![0.0f64; n];
     let mut now = 0.0f64;
 
+    // Discrete-event state. `remaining` is *lazy*: it is only brought up to
+    // date (at the flow's previous rate, from `last_update`) when the
+    // flow's max-min rate actually changes bits, at which point the flow's
+    // completion candidate `cand` is recomputed. Only each contention
+    // component's earliest candidate gets a kernel event (see [`Ev`]);
+    // `sched_cand` remembers, per flow, the instant of the pending heap
+    // entry riding on it (`INFINITY` when none), which both deduplicates
+    // pushes and lets the pop loop tell a live candidate from a stale one.
+    let mut kernel: EventKernel<Ev> = EventKernel::with_capacity(n);
+    let mut release_scheduled = vec![false; n];
+    let mut last_update = vec![0.0f64; n];
+    let mut cand = vec![f64::INFINITY; n];
+    let mut sched_cand = vec![f64::INFINITY; n];
+    let mut old_rate_scratch: Vec<f64> = Vec::new();
+    let mut batch: Vec<Ev> = Vec::new();
+
     // Incremental-solver state: which active flows cross each link, links
     // whose active set changed since the last solve, and solver scratch.
     let mut flows_on_link: Vec<Vec<usize>> = vec![Vec::new(); n_links];
     let mut dirty: Vec<usize> = Vec::new();
     let mut link_seen = vec![false; n_links];
     let mut flow_seen = vec![false; n];
+    let mut flow_comp = vec![0u32; n];
+    let mut comp_min: Vec<(f64, usize)> = Vec::new();
     let mut cap_scratch = vec![0.0f64; n_links];
     let mut count_scratch = vec![0usize; n_links];
     let mut recomputations = 0usize;
@@ -270,6 +321,9 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
                         };
                         if pipe > 0.0 {
                             phase[i] = Phase::Latency(now + pipe);
+                            kernel
+                                .schedule_at(now + pipe, Ev::Timer(i))
+                                .expect("latency expiry is ahead of the clock");
                         } else if remaining[i] <= EPS {
                             phase[i] = Phase::Done;
                             finish[i] = now;
@@ -301,6 +355,19 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
                             }
                         }
                     }
+                    // Release still in the future: schedule its wake-up
+                    // once. (A release within EPS of `now` was promoted
+                    // above and never needs an event; one promoted
+                    // early leaves its event to arrive stale, which
+                    // only advances the kernel clock.) Flows unblocked
+                    // this very pass are caught by the fixpoint's next
+                    // iteration.
+                    Phase::Pending if !release_scheduled[i] => {
+                        release_scheduled[i] = true;
+                        kernel
+                            .schedule_at(flows[i].release_s, Ev::Release(i))
+                            .expect("pending release is ahead of the clock");
+                    }
                     Phase::Blocked if missing[i] == 0 => {
                         phase[i] = Phase::Pending;
                         unblocked = true;
@@ -316,29 +383,45 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
         // Re-solve rates, but only over the contention component whose
         // active-flow set changed. Flows outside it keep their rates.
         if !dirty.is_empty() {
+            // Each dirty link seeds its own traversal, so `flow_comp`
+            // partitions the touched flows into true connected contention
+            // components (a component is either fully traversed by one seed
+            // or untouched). The solve still runs once over the union —
+            // max-min components are independent, so that changes nothing —
+            // but the completion events below must be scheduled per true
+            // component: one component's earliest candidate says nothing
+            // about another's.
             let mut comp_links: Vec<usize> = Vec::new();
             let mut comp_flows: Vec<usize> = Vec::new();
             let mut stack: Vec<usize> = Vec::new();
-            for &l in &dirty {
-                if !link_seen[l] {
-                    link_seen[l] = true;
-                    comp_links.push(l);
-                    stack.push(l);
+            let mut n_comps = 0usize;
+            for &seed in &dirty {
+                if link_seen[seed] {
+                    continue;
                 }
-            }
-            while let Some(l) = stack.pop() {
-                for &f in &flows_on_link[l] {
-                    if !flow_seen[f] {
-                        flow_seen[f] = true;
-                        comp_flows.push(f);
-                        for &l2 in &routes[f] {
-                            if !link_seen[l2.0] {
-                                link_seen[l2.0] = true;
-                                comp_links.push(l2.0);
-                                stack.push(l2.0);
+                link_seen[seed] = true;
+                comp_links.push(seed);
+                stack.push(seed);
+                let mut found_flow = false;
+                while let Some(l) = stack.pop() {
+                    for &f in &flows_on_link[l] {
+                        if !flow_seen[f] {
+                            flow_seen[f] = true;
+                            flow_comp[f] = u32::try_from(n_comps).expect("component count");
+                            comp_flows.push(f);
+                            found_flow = true;
+                            for &l2 in &routes[f] {
+                                if !link_seen[l2.0] {
+                                    link_seen[l2.0] = true;
+                                    comp_links.push(l2.0);
+                                    stack.push(l2.0);
+                                }
                             }
                         }
                     }
+                }
+                if found_flow {
+                    n_comps += 1;
                 }
             }
             comp_links.sort_unstable();
@@ -349,6 +432,8 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
                     cap_scratch[l] = net.links()[l].capacity_bps;
                     count_scratch[l] = flows_on_link[l].len();
                 }
+                old_rate_scratch.clear();
+                old_rate_scratch.extend(comp_flows.iter().map(|&f| rate[f]));
                 progressive_fill(
                     &comp_links,
                     &comp_flows,
@@ -358,6 +443,55 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
                     &mut rate,
                     &mut solver_work,
                 );
+                // A zero rate can only come from a degenerate (zero/
+                // negative/NaN capacity) link and is therefore permanent:
+                // fail typed instead of reporting a bogus makespan. Rates
+                // only change inside a solve, so checking the component
+                // covers every active flow that could have stalled.
+                for (k, &f) in comp_flows.iter().enumerate() {
+                    if rate[f].is_nan() || rate[f] <= 0.0 {
+                        return Err(NetError::StalledFlow {
+                            src: flows[f].src,
+                            dst: flows[f].dst,
+                        });
+                    }
+                    if rate[f].to_bits() == old_rate_scratch[k].to_bits() {
+                        continue;
+                    }
+                    // Lazy advance at the old rate, then recompute the
+                    // completion candidate at the new one. For a freshly
+                    // activated flow `old_rate` is 0.0 and this is a no-op.
+                    // The `.max(now)` only bites when rounding leaves a
+                    // sub-ulp negative residue right before completion.
+                    remaining[f] -= old_rate_scratch[k] * (now - last_update[f]);
+                    last_update[f] = now;
+                    cand[f] = if rate[f].is_finite() {
+                        (now + remaining[f] / rate[f]).max(now)
+                    } else {
+                        now
+                    };
+                }
+                // One event per component, at its earliest candidate
+                // (unchanged-rate flows keep candidates from earlier
+                // solves, so the minimum runs over the whole component).
+                // Skip the push when a pending entry already sits at
+                // exactly those bits on the same carrier flow.
+                comp_min.clear();
+                comp_min.resize(n_comps, (f64::INFINITY, usize::MAX));
+                for &f in &comp_flows {
+                    let c = flow_comp[f] as usize;
+                    if cand[f] < comp_min[c].0 {
+                        comp_min[c] = (cand[f], f);
+                    }
+                }
+                for &(t, f) in &comp_min {
+                    if f != usize::MAX && sched_cand[f].to_bits() != t.to_bits() {
+                        sched_cand[f] = t;
+                        kernel
+                            .schedule_at(t, Ev::Complete(f))
+                            .expect("completion candidate is ahead of the clock");
+                    }
+                }
             }
             for &l in &comp_links {
                 link_seen[l] = false;
@@ -368,41 +502,44 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
             dirty.clear();
         }
 
-        // A zero rate can only come from a degenerate (zero/negative/NaN
-        // capacity) link and is therefore permanent: fail typed instead of
-        // reporting an infinite or bogus makespan.
-        for i in 0..n {
-            if phase[i] == Phase::Active && (rate[i].is_nan() || rate[i] <= 0.0) {
-                return Err(NetError::StalledFlow {
-                    src: flows[i].src,
-                    dst: flows[i].dst,
-                });
-            }
-        }
-
-        // Earliest next event: release, latency expiry, or completion.
-        let mut next = f64::INFINITY;
-        for i in 0..n {
-            match phase[i] {
-                Phase::Pending => next = next.min(flows[i].release_s),
-                Phase::Latency(t) => next = next.min(t),
-                Phase::Active => {
-                    if rate[i].is_finite() {
-                        next = next.min(now + remaining[i] / rate[i]);
-                    } else {
-                        next = next.min(now);
+        // Pop the next batch of same-instant events. Batches made up purely
+        // of stale wake-ups (flows promoted EPS-early above) or superseded
+        // completion candidates advance only the kernel clock, exactly as
+        // the pre-kernel engine never produced an event at those instants.
+        // A `Complete` is live iff its carrier still completes at exactly
+        // this instant; popping one at its remembered instant frees
+        // `sched_cand` whether or not it is still live.
+        let batch_time = loop {
+            batch.clear();
+            match kernel.pop_batch(&mut batch) {
+                None => break None,
+                Some(t) => {
+                    let mut live = false;
+                    for ev in &batch {
+                        match *ev {
+                            Ev::Release(i) => live |= phase[i] == Phase::Pending,
+                            Ev::Timer(i) => live |= matches!(phase[i], Phase::Latency(_)),
+                            Ev::Complete(i) => {
+                                if sched_cand[i].to_bits() == t.to_bits() {
+                                    sched_cand[i] = f64::INFINITY;
+                                }
+                                live |=
+                                    phase[i] == Phase::Active && cand[i].to_bits() == t.to_bits();
+                            }
+                        }
+                    }
+                    if live {
+                        break Some(t);
                     }
                 }
-                _ => {}
             }
-        }
-
-        if next == f64::INFINITY {
+        };
+        let Some(next) = batch_time else {
             if phase.iter().all(|&p| p == Phase::Done) {
                 break;
             }
             return Err(NetError::BadConfig("unreachable flows in dependency DAG"));
-        }
+        };
         let dt = (next - now).max(0.0);
 
         // Attribute the current rate allocation to jobs over [now, next]:
@@ -425,21 +562,17 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
             }
         }
 
-        // Advance active flows. A flow completes when its payload is
-        // drained (within EPS) or when its residual time-to-finish no
-        // longer advances the f64 clock (`next + q == next`): at large
-        // absolute times a sub-ulp residue can otherwise stall the event
-        // loop with `dt == 0` forever.
+        // Apply the instant. Wake-up payloads carry no state of their own —
+        // the promotion scan at the top of the loop does the work once
+        // `now` has advanced — and completions are found by candidate, not
+        // by carrier: every active flow whose candidate bit-equals the
+        // batch instant finishes here, which reproduces the pre-kernel
+        // engine's tie grouping (several flows, even in different
+        // components, completing at one shared instant) without needing an
+        // event per flow.
+        batch.clear();
         for i in 0..n {
-            if phase[i] != Phase::Active {
-                continue;
-            }
-            if rate[i] == f64::INFINITY {
-                remaining[i] = 0.0;
-            } else {
-                remaining[i] -= rate[i] * dt;
-            }
-            if remaining[i] <= EPS || next + remaining[i] / rate[i] <= next {
+            if phase[i] == Phase::Active && cand[i].to_bits() == next.to_bits() {
                 remaining[i] = 0.0;
                 phase[i] = Phase::Done;
                 finish[i] = next;
@@ -469,6 +602,7 @@ pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineRe
             .collect(),
         rate_recomputations: recomputations,
         solver_work,
+        events: kernel.events_processed(),
         job_active_s,
         job_service_bytes,
         job_peak_rate_bps: job_peak_rate,
@@ -514,6 +648,7 @@ pub fn run_flows(net: &Network, specs: &[FlowSpec]) -> Result<RunReport> {
             .collect(),
         rate_recomputations: report.rate_recomputations,
         solver_work: report.solver_work,
+        events: report.events,
     })
 }
 
@@ -529,6 +664,7 @@ pub fn run_flows_full_resolve(net: &Network, specs: &[FlowSpec]) -> Result<RunRe
             flows: Vec::new(),
             rate_recomputations: 0,
             solver_work: 0,
+            events: 0,
         });
     }
 
@@ -546,7 +682,7 @@ pub fn run_flows_full_resolve(net: &Network, specs: &[FlowSpec]) -> Result<RunRe
         latencies.push(net.route_latency(s.src, s.dst)?);
     }
 
-    #[derive(Clone, Copy, PartialEq)]
+    #[derive(Debug, Clone, Copy, PartialEq)]
     enum SimplePhase {
         Pending,
         Latency(f64),
@@ -557,9 +693,26 @@ pub fn run_flows_full_resolve(net: &Network, specs: &[FlowSpec]) -> Result<RunRe
     let mut phase: Vec<SimplePhase> = vec![SimplePhase::Pending; n];
     let mut remaining: Vec<f64> = specs.iter().map(|s| s.bytes as f64).collect();
     let mut finish: Vec<f64> = vec![0.0; n];
+    let mut rate = vec![0.0f64; n];
     let mut now = 0.0f64;
     let mut recomputations = 0usize;
     let mut solver_work = 0usize;
+
+    // Same event-kernel discipline as `run_engine` — lazy `remaining`,
+    // candidates recomputed only when a flow's rate changes bits, and a
+    // single pending `Complete` event at the earliest candidate (the full
+    // solve treats all active flows as one component, so the global
+    // minimum is the right granularity where `run_engine` uses one event
+    // per true component). Because max-min components are independent, the
+    // full solve changes exactly the same rate bits at exactly the same
+    // instants as the incremental component solve, which is what keeps the
+    // two engines bit-identical.
+    let mut kernel: EventKernel<Ev> = EventKernel::with_capacity(n);
+    let mut release_scheduled = vec![false; n];
+    let mut last_update = vec![0.0f64; n];
+    let mut cand = vec![f64::INFINITY; n];
+    let mut sched_cand = vec![f64::INFINITY; n];
+    let mut batch: Vec<Ev> = Vec::new();
 
     loop {
         // Promote pending/latency flows whose timers expired.
@@ -567,13 +720,23 @@ pub fn run_flows_full_resolve(net: &Network, specs: &[FlowSpec]) -> Result<RunRe
             match phase[i] {
                 SimplePhase::Pending if specs[i].release_s() <= now + EPS => {
                     let ready = now + latencies[i];
-                    phase[i] = if latencies[i] > 0.0 {
-                        SimplePhase::Latency(ready)
+                    if latencies[i] > 0.0 {
+                        phase[i] = SimplePhase::Latency(ready);
+                        kernel
+                            .schedule_at(ready, Ev::Timer(i))
+                            .expect("latency expiry is ahead of the clock");
                     } else {
-                        SimplePhase::Active
-                    };
+                        phase[i] = SimplePhase::Active;
+                    }
                 }
                 SimplePhase::Latency(t) if t <= now + EPS => phase[i] = SimplePhase::Active,
+                // Future release: schedule its wake-up exactly once.
+                SimplePhase::Pending if !release_scheduled[i] => {
+                    release_scheduled[i] = true;
+                    kernel
+                        .schedule_at(specs[i].release_s(), Ev::Release(i))
+                        .expect("pending release is ahead of the clock");
+                }
                 _ => {}
             }
         }
@@ -582,57 +745,83 @@ pub fn run_flows_full_resolve(net: &Network, specs: &[FlowSpec]) -> Result<RunRe
         let active_idx: Vec<usize> = (0..n)
             .filter(|&i| phase[i] == SimplePhase::Active)
             .collect();
-        let rates: Vec<f64> = if active_idx.is_empty() {
-            Vec::new()
-        } else {
+        if !active_idx.is_empty() {
             recomputations += 1;
             let active_routes: Vec<Vec<LinkId>> =
                 active_idx.iter().map(|&i| routes[i].clone()).collect();
-            maxmin_rates_counted(net, &active_routes, &mut solver_work)
+            let rates = maxmin_rates_counted(net, &active_routes, &mut solver_work);
+            for (k, &i) in active_idx.iter().enumerate() {
+                if rates[k].is_nan() || rates[k] <= 0.0 {
+                    return Err(NetError::StalledFlow {
+                        src: specs[i].src,
+                        dst: specs[i].dst,
+                    });
+                }
+                if rates[k].to_bits() == rate[i].to_bits() {
+                    continue;
+                }
+                remaining[i] -= rate[i] * (now - last_update[i]);
+                last_update[i] = now;
+                rate[i] = rates[k];
+                cand[i] = if rate[i].is_finite() {
+                    (now + remaining[i] / rate[i]).max(now)
+                } else {
+                    now
+                };
+            }
+            let mut best = (f64::INFINITY, usize::MAX);
+            for &i in &active_idx {
+                if cand[i] < best.0 {
+                    best = (cand[i], i);
+                }
+            }
+            let (t, f) = best;
+            if f != usize::MAX && sched_cand[f].to_bits() != t.to_bits() {
+                sched_cand[f] = t;
+                kernel
+                    .schedule_at(t, Ev::Complete(f))
+                    .expect("completion candidate is ahead of the clock");
+            }
+        }
+
+        // Next batch of same-instant events; stale wake-ups (flows promoted
+        // EPS-early) and superseded candidates only advance the kernel
+        // clock. Same validation-on-pop as `run_engine`.
+        let batch_time = loop {
+            batch.clear();
+            match kernel.pop_batch(&mut batch) {
+                None => break None,
+                Some(t) => {
+                    let mut live = false;
+                    for ev in &batch {
+                        match *ev {
+                            Ev::Release(i) => live |= phase[i] == SimplePhase::Pending,
+                            Ev::Timer(i) => {
+                                live |= matches!(phase[i], SimplePhase::Latency(_));
+                            }
+                            Ev::Complete(i) => {
+                                if sched_cand[i].to_bits() == t.to_bits() {
+                                    sched_cand[i] = f64::INFINITY;
+                                }
+                                live |= phase[i] == SimplePhase::Active
+                                    && cand[i].to_bits() == t.to_bits();
+                            }
+                        }
+                    }
+                    if live {
+                        break Some(t);
+                    }
+                }
+            }
+        };
+        let Some(next) = batch_time else {
+            break; // All done (no dependencies, so the queue only drains).
         };
 
-        for (k, &i) in active_idx.iter().enumerate() {
-            if rates[k].is_nan() || rates[k] <= 0.0 {
-                return Err(NetError::StalledFlow {
-                    src: specs[i].src,
-                    dst: specs[i].dst,
-                });
-            }
-        }
-
-        // Earliest next event: release, latency expiry, or completion.
-        let mut next = f64::INFINITY;
+        // Completions by candidate, not by carrier (see `run_engine`).
+        batch.clear();
         for i in 0..n {
-            match phase[i] {
-                SimplePhase::Pending => next = next.min(specs[i].release_s()),
-                SimplePhase::Latency(t) => next = next.min(t),
-                _ => {}
-            }
-        }
-        for (k, &i) in active_idx.iter().enumerate() {
-            let rate = rates[k];
-            if rate.is_finite() {
-                next = next.min(now + remaining[i] / rate);
-            } else {
-                next = next.min(now);
-            }
-        }
-
-        if next == f64::INFINITY {
-            break; // All done.
-        }
-        let dt = (next - now).max(0.0);
-
-        // Advance active flows (sub-ulp residues complete at `next`, as in
-        // the incremental engine — see `run_engine`).
-        for (k, &i) in active_idx.iter().enumerate() {
-            let rate = rates[k];
-            if rate == f64::INFINITY {
-                remaining[i] = 0.0;
-            } else {
-                remaining[i] -= rate * dt;
-            }
-            if remaining[i] <= EPS || next + remaining[i] / rate <= next {
+            if phase[i] == SimplePhase::Active && cand[i].to_bits() == next.to_bits() {
                 remaining[i] = 0.0;
                 phase[i] = SimplePhase::Done;
                 finish[i] = next;
@@ -658,6 +847,7 @@ pub fn run_flows_full_resolve(net: &Network, specs: &[FlowSpec]) -> Result<RunRe
             .collect(),
         rate_recomputations: recomputations,
         solver_work,
+        events: kernel.events_processed(),
     })
 }
 

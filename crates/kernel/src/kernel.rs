@@ -1,0 +1,575 @@
+//! The event kernel: monotonic clock, typed scheduling errors, and a
+//! deterministic future-event list with batched same-instant extraction.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::slab::{Slab, SlabKey};
+
+/// Error returned when a schedule request violates the kernel's time contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelError {
+    /// The requested time was NaN or infinite.
+    NonFiniteTime {
+        /// The offending timestamp.
+        time: f64,
+    },
+    /// The requested time precedes the current clock; honoring it would
+    /// rewind simulated time.
+    PastEvent {
+        /// The offending timestamp.
+        time: f64,
+        /// The clock value at the time of the request.
+        now: f64,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFiniteTime { time } => {
+                write!(f, "event time must be finite, got {time}")
+            }
+            Self::PastEvent { time, now } => {
+                write!(f, "cannot schedule into the past: {time} < {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Monotonic simulated clock.
+///
+/// The clock starts at zero and only moves forward; [`SimClock::advance_to`]
+/// rejects non-finite targets and targets earlier than the current time with
+/// a typed error instead of silently rewinding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// New clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance the clock to `time`.
+    ///
+    /// # Errors
+    /// [`KernelError::NonFiniteTime`] if `time` is NaN or infinite;
+    /// [`KernelError::PastEvent`] if `time` precedes the current time.
+    pub fn advance_to(&mut self, time: f64) -> Result<(), KernelError> {
+        let time = check_time(time, self.now)?;
+        self.now = time;
+        Ok(())
+    }
+}
+
+/// Validate and normalize an event timestamp against the current clock.
+///
+/// Negative zero is normalized to positive zero so that the bit-equality
+/// coalescing contract treats `-0.0` and `+0.0` as the same instant (they
+/// already compare equal under `==`).
+fn check_time(time: f64, now: f64) -> Result<f64, KernelError> {
+    if !time.is_finite() {
+        return Err(KernelError::NonFiniteTime { time });
+    }
+    if time < now {
+        return Err(KernelError::PastEvent { time, now });
+    }
+    Ok(if time == 0.0 { 0.0 } else { time })
+}
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+///
+/// Handles go stale once the event fires or is canceled; stale handles are
+/// ignored by [`EventKernel::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(SlabKey);
+
+/// Heap entry: small and `Copy` so sift operations never move payloads.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: f64,
+    seq: u64,
+    key: SlabKey,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap on (time, seq). Times are finite by
+        // construction, so `partial_cmp` never observes NaN; the sequence
+        // tie-break makes simultaneous events pop in insertion order
+        // regardless of heap-internal churn.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic discrete-event scheduler with typed payloads.
+///
+/// See the crate-level docs for the full design contract. In short:
+/// scheduling into the past is a typed error, simultaneous events pop in
+/// insertion order, and [`EventKernel::pop_batch`] extracts every event at
+/// the next instant (bit-identical `f64` times) in one call.
+#[derive(Debug)]
+pub struct EventKernel<T> {
+    heap: BinaryHeap<HeapEntry>,
+    payloads: Slab<T>,
+    clock: SimClock,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<T> Default for EventKernel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventKernel<T> {
+    /// Empty kernel at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: Slab::new(),
+            clock: SimClock::new(),
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Empty kernel with room for `cap` pending events before reallocating.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            payloads: Slab::with_capacity(cap),
+            clock: SimClock::new(),
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Total number of events popped (fired) so far. Canceled events and
+    /// lazily discarded heap entries do not count.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (live, uncanceled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Whether no live events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// `-0.0` is normalized to `+0.0` so bit-equality batching has a single
+    /// representation per instant.
+    ///
+    /// # Errors
+    /// [`KernelError::NonFiniteTime`] if `time` is NaN or infinite;
+    /// [`KernelError::PastEvent`] if `time` precedes the current clock.
+    pub fn schedule_at(&mut self, time: f64, payload: T) -> Result<EventId, KernelError> {
+        let time = check_time(time, self.clock.now())?;
+        let key = self.payloads.insert(payload);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { time, seq, key });
+        Ok(EventId(key))
+    }
+
+    /// Schedule `payload` at `delay` after the current time.
+    ///
+    /// # Errors
+    /// Same contract as [`EventKernel::schedule_at`] applied to
+    /// `now + delay`: a NaN/overflowing delay is `NonFiniteTime`, a negative
+    /// delay is `PastEvent`.
+    pub fn schedule_in(&mut self, delay: f64, payload: T) -> Result<EventId, KernelError> {
+        let time = self.clock.now() + delay;
+        self.schedule_at(time, payload)
+    }
+
+    /// Cancel a pending event, returning its payload.
+    ///
+    /// Returns `None` if the event already fired or was already canceled.
+    /// Cancellation is O(1): the payload leaves the slab immediately and the
+    /// heap entry is discarded lazily when it reaches the top.
+    pub fn cancel(&mut self, id: EventId) -> Option<T> {
+        self.payloads.remove(id.0)
+    }
+
+    /// Timestamp of the earliest pending live event, without popping it.
+    ///
+    /// Takes `&mut self` because stale (canceled) heap entries are discarded
+    /// on the way to the answer.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        loop {
+            let head = self.heap.peek()?;
+            if self.payloads.contains(head.key) {
+                return Some(head.time);
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Pop the earliest live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        loop {
+            let entry = self.heap.pop()?;
+            if let Some(payload) = self.payloads.remove(entry.key) {
+                debug_assert!(
+                    entry.time >= self.clock.now(),
+                    "heap produced a past event: {} < {}",
+                    entry.time,
+                    self.clock.now()
+                );
+                self.clock.now = entry.time;
+                self.processed += 1;
+                return Some((entry.time, payload));
+            }
+        }
+    }
+
+    /// Pop **every** live event scheduled at the next instant, appending
+    /// payloads to `out` in insertion order, and advance the clock to that
+    /// instant. Returns the instant, or `None` if no events are pending.
+    ///
+    /// Instant-equality contract: two events belong to the same batch if and
+    /// only if their scheduled `f64` timestamps are bit-identical (`-0.0`
+    /// was normalized to `+0.0` at scheduling time, and times are always
+    /// finite, so bit-equality coincides with `==`). Timestamps one ulp
+    /// apart are distinct instants and arrive in separate batches: callers
+    /// that need mathematically-simultaneous events to coalesce must derive
+    /// their timestamps through identical float expressions.
+    pub fn pop_batch(&mut self, out: &mut Vec<T>) -> Option<f64> {
+        let (time, first) = self.pop()?;
+        out.push(first);
+        while let Some(head) = self.peek_time() {
+            if head.to_bits() != time.to_bits() {
+                break;
+            }
+            let (_, payload) = self.pop().expect("peeked event must pop");
+            out.push(payload);
+        }
+        Some(time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_kernel_pops_none() {
+        let mut k: EventKernel<()> = EventKernel::new();
+        assert!(k.pop().is_none());
+        assert!(k.peek_time().is_none());
+        let mut out = Vec::new();
+        assert!(k.pop_batch(&mut out).is_none());
+        assert!(out.is_empty());
+        assert_eq!(k.now(), 0.0);
+        assert_eq!(k.events_processed(), 0);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut k = EventKernel::new();
+        k.schedule_at(3.0, "c").unwrap();
+        k.schedule_at(1.0, "a").unwrap();
+        k.schedule_at(2.0, "b").unwrap();
+        let got: Vec<_> = std::iter::from_fn(|| k.pop()).map(|(_, p)| p).collect();
+        assert_eq!(got, vec!["a", "b", "c"]);
+        assert_eq!(k.events_processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut k = EventKernel::new();
+        for i in 0..10 {
+            k.schedule_at(5.0, i).unwrap();
+        }
+        let got: Vec<_> = std::iter::from_fn(|| k.pop()).map(|(_, p)| p).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_insertion_keeps_tie_order_bit_identical() {
+        // Satellite regression: tied events must pop in insertion order no
+        // matter how much unrelated heap churn reshapes the internal array.
+        // A fixed-seed LCG drives the churn so the test is deterministic.
+        let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut next = || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        let mut k = EventKernel::new();
+        let mut expected = Vec::new();
+        for i in 0..200u32 {
+            // Interleave tied events at t=7.0 with churn at pseudo-random
+            // earlier/later times, occasionally popping to re-heapify.
+            match next() % 4 {
+                0 => {
+                    k.schedule_at(7.0, Some(i)).unwrap();
+                    expected.push(i);
+                }
+                1 => {
+                    // Early churn; clamp to `now` so it stays schedulable
+                    // after churn pops have advanced the clock.
+                    let t = (1.0 + f64::from(next() % 100) / 50.0).max(k.now());
+                    k.schedule_at(t, None).unwrap();
+                }
+                2 => {
+                    k.schedule_at(9.0 + f64::from(next() % 100) / 50.0, None)
+                        .unwrap();
+                }
+                _ => {
+                    // Churn pop, but never advance the clock past the tied
+                    // instant (that would make later tied schedules invalid).
+                    if k.peek_time().is_some_and(|t| t < 7.0) {
+                        k.pop();
+                    }
+                }
+            }
+        }
+        let mut got = Vec::new();
+        while let Some((t, p)) = k.pop() {
+            if let Some(i) = p {
+                assert_eq!(t.to_bits(), 7.0f64.to_bits());
+                got.push(i);
+            }
+        }
+        assert!(!got.is_empty());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn clock_advances_and_is_monotone() {
+        let mut k = EventKernel::new();
+        k.schedule_at(2.5, ()).unwrap();
+        assert_eq!(k.now(), 0.0);
+        k.pop();
+        assert_eq!(k.now(), 2.5);
+        k.schedule_in(1.0, ()).unwrap();
+        k.schedule_at(2.5, ()).unwrap();
+        let mut prev = k.now();
+        while let Some((t, ())) = k.pop() {
+            assert!(t >= prev, "clock went backwards: {t} < {prev}");
+            assert_eq!(k.now(), t);
+            prev = t;
+        }
+        assert_eq!(prev, 3.5);
+    }
+
+    #[test]
+    fn scheduling_into_the_past_is_a_typed_error() {
+        // Satellite regression: the old EventQueue panicked here and `pop`
+        // could silently rewind `now`; the kernel reports a typed error.
+        let mut k = EventKernel::new();
+        k.schedule_at(2.0, ()).unwrap();
+        k.pop();
+        assert_eq!(
+            k.schedule_at(1.0, ()),
+            Err(KernelError::PastEvent {
+                time: 1.0,
+                now: 2.0
+            })
+        );
+        assert_eq!(
+            k.schedule_in(-0.5, ()),
+            Err(KernelError::PastEvent {
+                time: 1.5,
+                now: 2.0
+            })
+        );
+        // The failed schedule left no trace.
+        assert!(k.is_empty());
+        assert_eq!(k.now(), 2.0);
+    }
+
+    #[test]
+    fn non_finite_time_is_a_typed_error() {
+        let mut k = EventKernel::new();
+        assert!(matches!(
+            k.schedule_at(f64::NAN, ()),
+            Err(KernelError::NonFiniteTime { .. })
+        ));
+        assert_eq!(
+            k.schedule_at(f64::INFINITY, ()),
+            Err(KernelError::NonFiniteTime {
+                time: f64::INFINITY
+            })
+        );
+        assert!(matches!(
+            k.schedule_in(f64::NAN, ()),
+            Err(KernelError::NonFiniteTime { .. })
+        ));
+    }
+
+    #[test]
+    fn sim_clock_rejects_rewind() {
+        let mut c = SimClock::new();
+        c.advance_to(3.0).unwrap();
+        assert_eq!(c.now(), 3.0);
+        assert_eq!(
+            c.advance_to(2.0),
+            Err(KernelError::PastEvent {
+                time: 2.0,
+                now: 3.0
+            })
+        );
+        assert!(matches!(
+            c.advance_to(f64::NEG_INFINITY),
+            Err(KernelError::NonFiniteTime { .. })
+        ));
+        assert_eq!(c.now(), 3.0);
+    }
+
+    #[test]
+    fn len_and_is_empty_track_live_events() {
+        let mut k = EventKernel::new();
+        assert!(k.is_empty());
+        let id = k.schedule_at(1.0, ()).unwrap();
+        k.schedule_at(2.0, ()).unwrap();
+        assert_eq!(k.len(), 2);
+        k.cancel(id);
+        assert_eq!(k.len(), 1);
+        k.pop();
+        assert!(k.is_empty());
+    }
+
+    #[test]
+    fn cancel_semantics() {
+        let mut k = EventKernel::new();
+        let a = k.schedule_at(1.0, "a").unwrap();
+        let b = k.schedule_at(1.0, "b").unwrap();
+        k.schedule_at(1.0, "c").unwrap();
+        assert_eq!(k.cancel(b), Some("b"));
+        assert_eq!(k.cancel(b), None, "double cancel is a no-op");
+        let mut out = Vec::new();
+        assert_eq!(k.pop_batch(&mut out), Some(1.0));
+        assert_eq!(out, vec!["a", "c"], "canceled event must not fire");
+        assert_eq!(k.cancel(a), None, "cancel after fire is a no-op");
+        assert_eq!(k.events_processed(), 2);
+    }
+
+    #[test]
+    fn schedule_during_pop_interleaves_correctly() {
+        // Events scheduled while draining (including at the current instant)
+        // are honored; the classic "cascade" pattern of a simulator.
+        let mut k = EventKernel::new();
+        k.schedule_at(1.0, 0u32).unwrap();
+        let mut fired = Vec::new();
+        while let Some((t, gen)) = k.pop() {
+            fired.push((t, gen));
+            if gen < 3 {
+                // Same-instant follow-up plus a strictly later one.
+                k.schedule_at(t, gen + 1).unwrap();
+                k.schedule_in(1.0, gen + 10).unwrap();
+            }
+            if fired.len() > 32 {
+                panic!("runaway cascade");
+            }
+        }
+        assert_eq!(&fired[..4], &[(1.0, 0), (1.0, 1), (1.0, 2), (1.0, 3)]);
+        assert_eq!(fired.len(), 4 + 3);
+    }
+
+    #[test]
+    fn pop_batch_groups_by_bit_identical_time() {
+        let mut k = EventKernel::new();
+        // 0.1 + 0.2 is one ulp above 0.3: mathematically the same instant,
+        // different bits -> distinct batches. This pins the documented
+        // contract (and the old `peek_time() == Some(now)` behavior, which
+        // also compared exactly).
+        let near = 0.1_f64 + 0.2_f64;
+        assert_ne!(near.to_bits(), 0.3_f64.to_bits());
+        k.schedule_at(0.3, "exact-1").unwrap();
+        k.schedule_at(near, "ulp").unwrap();
+        k.schedule_at(0.15 + 0.15, "exact-2").unwrap(); // == 0.3 bit-exactly
+        let mut out = Vec::new();
+        assert_eq!(k.pop_batch(&mut out), Some(0.3));
+        assert_eq!(out, vec!["exact-1", "exact-2"]);
+        out.clear();
+        assert_eq!(k.pop_batch(&mut out), Some(near));
+        assert_eq!(out, vec!["ulp"]);
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let mut k = EventKernel::new();
+        k.schedule_at(-0.0, "neg").unwrap();
+        k.schedule_at(0.0, "pos").unwrap();
+        let mut out = Vec::new();
+        let t = k.pop_batch(&mut out).unwrap();
+        assert_eq!(t.to_bits(), 0.0_f64.to_bits(), "-0.0 normalized to +0.0");
+        assert_eq!(out, vec!["neg", "pos"]);
+    }
+
+    #[test]
+    fn burst_of_many_events_drains_in_order() {
+        let mut k = EventKernel::new();
+        let n = 10_000u64;
+        for i in 0..n {
+            // Deterministic scatter with many ties (time quantized to 1/16).
+            let t = f64::from(u32::try_from(i * 7919 % 256).unwrap()) / 16.0;
+            k.schedule_at(t, i).unwrap();
+        }
+        let mut prev_t = f64::NEG_INFINITY;
+        let mut prev_seq_at_t = 0u64;
+        let mut count = 0u64;
+        while let Some((t, i)) = k.pop() {
+            assert!(t >= prev_t);
+            if t.to_bits() == prev_t.to_bits() {
+                assert!(i > prev_seq_at_t, "ties must pop in insertion order");
+            }
+            prev_t = t;
+            prev_seq_at_t = i;
+            count += 1;
+        }
+        assert_eq!(count, n);
+        assert_eq!(k.events_processed(), n);
+    }
+}

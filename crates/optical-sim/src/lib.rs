@@ -44,7 +44,6 @@
 
 pub mod config;
 pub mod conflict;
-pub mod engine;
 pub mod error;
 pub mod path;
 pub mod physical;

@@ -1,7 +1,6 @@
 //! The ring simulator: stepped and event-driven execution of schedules.
 
 use crate::config::OpticalConfig;
-use crate::engine::EventQueue;
 use crate::error::{OpticalError, Result};
 use crate::path::LightPath;
 use crate::request::Transfer;
@@ -9,6 +8,7 @@ use crate::rwa::{Occupancy, Strategy};
 use crate::stats::{RunStats, StepStats};
 use crate::topology::{Direction, RingTopology};
 use serde::{Deserialize, Serialize};
+use wrht_kernel::EventKernel;
 
 /// A step-synchronous communication schedule: every transfer of a step
 /// starts together, and a step ends when its slowest transfer completes.
@@ -78,6 +78,8 @@ pub struct EventReport {
     pub transfer_times: Vec<(f64, f64)>,
     /// Peak number of concurrently active transfers.
     pub peak_concurrency: usize,
+    /// Events processed by the event kernel during the run.
+    pub events: u64,
 }
 
 /// A dependency-aware transfer submitted to [`RingSimulator::run_dag`].
@@ -126,6 +128,8 @@ pub struct DagReport {
     pub peak_concurrency: usize,
     /// Highest wavelength index in use at any instant, plus one.
     pub peak_wavelength: usize,
+    /// Events processed by the event kernel during the run.
+    pub events: u64,
 }
 
 /// Simulator for one optical ring deployment.
@@ -246,9 +250,11 @@ impl RingSimulator {
             paths.push(path);
         }
 
-        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut queue: EventKernel<Ev> = EventKernel::with_capacity(released.len());
         for (i, (t, _)) in released.iter().enumerate() {
-            queue.schedule_at(*t, Ev::Release(i));
+            queue
+                .schedule_at(*t, Ev::Release(i))
+                .map_err(|_| OpticalError::BadConfig("release time must be finite and >= 0"))?;
         }
 
         let mut waiting: Vec<usize> = Vec::new();
@@ -268,7 +274,7 @@ impl RingSimulator {
             released: &[(f64, Transfer)],
             assigned: &mut [Vec<crate::wavelength::Wavelength>],
             times: &mut [(f64, f64)],
-            queue: &mut EventQueue<Ev>,
+            queue: &mut EventKernel<Ev>,
             timing: &crate::timing::TimingModel,
             active: &mut usize,
             peak: &mut usize,
@@ -282,7 +288,9 @@ impl RingSimulator {
                         assigned[id] = lanes;
                         let dur = timing.transfer_time(tr.bytes, tr.lanes, paths[id].hops());
                         times[id].0 = queue.now();
-                        queue.schedule_in(dur, Ev::Complete(id));
+                        queue
+                            .schedule_in(dur, Ev::Complete(id))
+                            .expect("transfer duration is a finite forward delay");
                         *active += 1;
                         *peak = (*peak).max(*active);
                         waiting.remove(i);
@@ -337,6 +345,7 @@ impl RingSimulator {
             makespan_s: makespan,
             transfer_times: times,
             peak_concurrency: peak,
+            events: queue.events_processed(),
         })
     }
 
@@ -438,10 +447,14 @@ impl RingSimulator {
             }
         }
 
-        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut queue: EventKernel<Ev> = EventKernel::with_capacity(transfers.len());
         for (i, t) in transfers.iter().enumerate() {
             if t.deps.is_empty() {
-                queue.schedule_at(t.release_s, Ev::Gate(i));
+                // Release times were validated finite and >= 0 above, and
+                // the clock is still at zero.
+                queue
+                    .schedule_at(t.release_s, Ev::Gate(i))
+                    .expect("validated release time");
             }
         }
 
@@ -478,16 +491,14 @@ impl RingSimulator {
         let mut order: Vec<usize> = Vec::new();
         let mut granted = vec![false; transfers.len()];
 
-        while let Some((now, ev)) = queue.pop() {
-            // Coalesce every event at this exact instant before granting:
-            // cross-job arbitration must see all simultaneous waiters (and
-            // all simultaneously freed wavelengths) together, not in event
-            // insertion order. (Completes scheduled *by* the grants below
-            // land in a later iteration at the same clock, which is fine.)
-            batch.push(ev);
-            while queue.peek_time() == Some(now) {
-                batch.push(queue.pop().expect("peeked event").1);
-            }
+        while let Some(now) = queue.pop_batch(&mut batch) {
+            // The kernel coalesces every event at this exact instant (bit-
+            // identical times — see the `wrht_kernel` coalescing contract)
+            // before granting: cross-job arbitration must see all
+            // simultaneous waiters (and all simultaneously freed
+            // wavelengths) together, not in event insertion order.
+            // (Completes scheduled *by* the grants below land in a later
+            // batch at the same clock, which is fine.)
             for ev in batch.drain(..) {
                 match ev {
                     Ev::Gate(id) => {
@@ -506,7 +517,9 @@ impl RingSimulator {
                                 if transfers[dep].release_s <= now {
                                     enqueue(&mut waiting, dep);
                                 } else {
-                                    queue.schedule_at(transfers[dep].release_s, Ev::Gate(dep));
+                                    queue
+                                        .schedule_at(transfers[dep].release_s, Ev::Gate(dep))
+                                        .expect("validated release time after now");
                                 }
                             }
                         }
@@ -545,7 +558,9 @@ impl RingSimulator {
                         assigned[id] = lanes;
                         let dur = timing.transfer_time(tr.bytes, tr.lanes, paths[id].hops());
                         times[id].0 = queue.now();
-                        queue.schedule_in(dur, Ev::Complete(id));
+                        queue
+                            .schedule_in(dur, Ev::Complete(id))
+                            .expect("transfer duration is a finite forward delay");
                         active += 1;
                         peak = peak.max(active);
                         peak_wavelength = peak_wavelength.max(occ.peak_wavelengths_used());
@@ -594,6 +609,7 @@ impl RingSimulator {
             transfer_times: times,
             peak_concurrency: peak,
             peak_wavelength,
+            events: queue.events_processed(),
         })
     }
 }
@@ -795,6 +811,40 @@ mod tests {
         assert_eq!(r.peak_concurrency, 1);
         // Second starts when first completes.
         assert!((r.transfer_times[1].0 - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grant_instants_coalesce_by_bit_equality_only() {
+        // Satellite regression for the kernel's same-instant contract:
+        // waiters compete in one FIFO arbitration scan iff their release
+        // timestamps are bit-identical. `0.1 + 0.2` is one ulp above `0.3`
+        // — mathematically the same instant, different bits — so a waiter
+        // released at the ulp-later time loses the lanes to one released
+        // at `0.3`, regardless of submission order.
+        let t0 = 0.3_f64;
+        let t_ulp = 0.1_f64 + 0.2_f64;
+        assert_ne!(t0.to_bits(), t_ulp.to_bits());
+        let cfg = OpticalConfig::new(8, 1)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(0.0)
+            .with_hop_propagation(0.0);
+        let first = Transfer::directed(NodeId(0), NodeId(2), 1_000_000, Direction::Clockwise);
+        let second = Transfer::directed(NodeId(1), NodeId(3), 1_000_000, Direction::Clockwise);
+
+        // Bit-identical releases: one batch, FIFO by submission order.
+        let r = RingSimulator::new(cfg.clone())
+            .run_event_driven(&[(t0, first.clone()), (t0, second.clone())])
+            .unwrap();
+        assert_eq!(r.transfer_times[0].0.to_bits(), t0.to_bits());
+        assert!((r.transfer_times[1].0 - (t0 + 1e-3)).abs() < 1e-12);
+
+        // One ulp apart: two batches; the ulp-later waiter serializes even
+        // though it comes first in submission order.
+        let r = RingSimulator::new(cfg)
+            .run_event_driven(&[(t_ulp, first), (t0, second)])
+            .unwrap();
+        assert_eq!(r.transfer_times[1].0.to_bits(), t0.to_bits());
+        assert!((r.transfer_times[0].0 - (t0 + 1e-3)).abs() < 1e-12);
     }
 
     #[test]

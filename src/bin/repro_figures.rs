@@ -1,7 +1,7 @@
 //! Regenerate every figure and headline number of the Wrht paper.
 //!
 //! ```text
-//! repro-figures [command] [--small] [--threads=N]
+//! repro-figures [command] [--small] [--threads=N] [--check=PATH]
 //!
 //! Commands:
 //!   fig2         Figure 2: E-Ring / RD / O-Ring / WRHT across models & scales
@@ -23,7 +23,13 @@
 //!                one substrate under fifo/fair/priority scheduling, with
 //!                per-job slowdowns and Jain fairness (resumable via
 //!                results/tenants)
-//!   all          Everything above except sweep, train and tenants (default)
+//!   bench        The fixed perf suite: wall-clock and events/sec over the
+//!                frozen tenancy / incast / pipelined workloads, written to
+//!                BENCH_v6.json (BENCH_v6.small.json with --small).
+//!                `--check=<path>` compares against a committed baseline and
+//!                fails if any case drops below 80% of its events/sec.
+//!   all          Everything above except sweep, train, tenants and bench
+//!                (default)
 //!
 //! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
 //! caps the campaign worker count (default: available parallelism).
@@ -44,6 +50,7 @@ use wrht_bench::campaign::{
     fig2_from_campaign, run_campaign, run_tenancy_campaign, run_timeline_campaign, sweep_spec,
 };
 use wrht_bench::contention::{run_contention, Pattern};
+use wrht_bench::perf::{run_suite, BenchSuiteResult, SuiteScale};
 use wrht_bench::report::{
     render_contention, render_fig2, render_fit, render_group_size, render_headline, render_overlap,
     render_tenants, render_timeline, render_variants, render_wavelengths, to_json,
@@ -291,6 +298,66 @@ fn cmd_tenants(
     write_json(&sink, "tenant_rows.json", &to_json(&report.results));
 }
 
+/// Run the fixed perf suite and write `BENCH_v6[.small].json` into
+/// `out_dir`. With `check`, compare events/sec against the committed
+/// baseline at that path; returns `false` when a case regressed below 80%.
+fn cmd_bench(small: bool, check: Option<&Path>, out_dir: &Path) -> bool {
+    let (scale, suite, file) = if small {
+        (SuiteScale::small(), "small", "BENCH_v6.small.json")
+    } else {
+        (SuiteScale::full(), "full", "BENCH_v6.json")
+    };
+    // Load the baseline before running (and writing): `--check` may point
+    // at the very file this run is about to overwrite.
+    let baseline: Option<BenchSuiteResult> = match check {
+        None => None,
+        Some(base_path) => match fs::read_to_string(base_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", base_path.display());
+                return false;
+            }
+        },
+    };
+    let milestone = "kernel-unified substrates (shared wrht-kernel event queue)";
+    let result = run_suite(scale, suite, milestone).expect("the frozen perf suite executes");
+    println!("== Fixed perf suite ({suite}) ==");
+    println!(
+        "{:<24} {:>6} {:>10} {:>12} {:>12} {:>14}",
+        "case", "nodes", "transfers", "wall_s", "sim_events", "events/s"
+    );
+    for c in &result.cases {
+        println!(
+            "{:<24} {:>6} {:>10} {:>12.6} {:>12} {:>14.0}",
+            c.name, c.nodes, c.transfers, c.wall_s, c.sim_events, c.events_per_sec
+        );
+    }
+    println!(
+        "aggregate: {:.0} events/s over {} cases",
+        result.aggregate_events_per_sec(),
+        result.cases.len()
+    );
+    write_json(out_dir, file, &to_json(&result));
+    println!("wrote {}", out_dir.join(file).display());
+
+    let (Some(base_path), Some(baseline)) = (check, baseline) else {
+        return true;
+    };
+    let violations = result.regressions_vs(&baseline, 0.8);
+    if violations.is_empty() {
+        println!("bench check ok vs {} (threshold 80%)", base_path.display());
+        true
+    } else {
+        for v in &violations {
+            eprintln!("bench regression: {v}");
+        }
+        false
+    }
+}
+
 fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
     let n = *cfg.scales.first().expect("scales non-empty");
     // A narrow budget makes the contention the stepped model hides visible.
@@ -372,6 +439,10 @@ fn main() {
         })
         .max(1);
     let mode_arg = args.iter().find_map(|a| a.strip_prefix("--mode="));
+    let check = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--check="))
+        .map(Path::new);
     let Some(modes) = parse_modes(mode_arg) else {
         eprintln!(
             "unknown --mode '{}'; expected barrier, pipelined or both",
@@ -388,6 +459,15 @@ fn main() {
             "warning: --mode only affects the `train` command; `{cmd}` ignores it \
              (the sweep's barrier-vs-pipelined ablation cells are built in)"
         );
+    }
+    if cmd == "bench" {
+        if !cmd_bench(small, check, Path::new(".")) {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if check.is_some() {
+        eprintln!("warning: --check only affects the `bench` command; `{cmd}` ignores it");
     }
     let cfg = if small {
         ExperimentConfig::small()
@@ -454,6 +534,45 @@ mod tests {
             &[ExecMode::Barrier]
         ));
         let _ = fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn bench_command_writes_the_versioned_suite_and_checks_baselines() {
+        let out = temp_results("bench");
+        fs::create_dir_all(&out).unwrap();
+        assert!(cmd_bench(true, None, &out));
+        let path = out.join("BENCH_v6.small.json");
+        let json = fs::read_to_string(&path).expect("BENCH_v6.small.json must be written");
+        let result: BenchSuiteResult = serde_json::from_str(&json).expect("round-trips");
+        assert_eq!(result.format, wrht_bench::perf::BENCH_FORMAT);
+        assert_eq!(result.suite, "small");
+        assert!(result.cases.iter().all(|c| c.sim_events > 0));
+
+        // A baseline slower than anything we can measure always passes...
+        let mut easy = result.clone();
+        for c in &mut easy.cases {
+            c.events_per_sec = 1e-3;
+        }
+        let easy_path = out.join("easy.json");
+        fs::write(&easy_path, to_json(&easy)).unwrap();
+        assert!(cmd_bench(true, Some(&easy_path), &out));
+
+        // ...an unreachable one always fails, and a missing one fails loudly.
+        let mut hard = result.clone();
+        for c in &mut hard.cases {
+            c.events_per_sec = 1e18;
+        }
+        let hard_path = out.join("hard.json");
+        fs::write(&hard_path, to_json(&hard)).unwrap();
+        assert!(!cmd_bench(true, Some(&hard_path), &out));
+        assert!(!cmd_bench(true, Some(&out.join("missing.json")), &out));
+
+        // The CI shape: baseline path == output path. The baseline must be
+        // read before this run's results overwrite it, so an unreachable
+        // committed baseline still fails the check.
+        fs::write(&path, to_json(&hard)).unwrap();
+        assert!(!cmd_bench(true, Some(&path), &out));
+        let _ = fs::remove_dir_all(&out);
     }
 
     #[test]
