@@ -52,6 +52,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use wrht_core::baselines::lower_collective_to_optical;
 use wrht_core::dag::{DepSchedule, ExecMode};
+use wrht_core::fault::{
+    fault_cluster_report, FaultClusterReport, FaultKind, FaultPolicy, FaultScript,
+};
 use wrht_core::lower::to_optical_schedule;
 use wrht_core::tenancy::{Job, SchedPolicy, TenancySpec};
 use wrht_core::{build_plan, choose_group_size, plan_and_simulate, WrhtParams};
@@ -1389,6 +1392,544 @@ pub fn tenants_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u6
     spec
 }
 
+/// A declarative fault scenario, timed in **fractions of the clean
+/// makespan** so one scenario scales across models, node counts and
+/// substrates. Resolved into an absolute-time
+/// [`FaultScript`](wrht_core::fault::FaultScript) per cell by
+/// [`FaultScenario::script`].
+///
+/// Each substrate reacts only to the event kinds that exist on it (see
+/// [`wrht_core::fault`]): `WavelengthDown` is an electrical no-op and
+/// `LinkDegrade`/`LinkFlap` are optical no-ops — such cells pin the
+/// zero-blast-radius contract rather than being skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// No fault: the faulted run must be bit-exact with the clean run.
+    None,
+    /// A wavelength fails at `at_frac` of the clean makespan and stays down.
+    WavelengthDown {
+        /// Failed wavelength index.
+        lane: usize,
+        /// Fault instant as a fraction of the clean makespan.
+        at_frac: f64,
+    },
+    /// A link's capacity drops to `factor` at `at_frac` of the clean makespan.
+    LinkDegrade {
+        /// Link index in the electrical network's link table.
+        link: usize,
+        /// Capacity multiplier, `0 < factor <= 1`.
+        factor: f64,
+        /// Fault instant as a fraction of the clean makespan.
+        at_frac: f64,
+    },
+    /// A link goes fully down at `at_frac` and recovers `down_frac` of the
+    /// clean makespan later.
+    LinkFlap {
+        /// Link index in the electrical network's link table.
+        link: usize,
+        /// Outage start as a fraction of the clean makespan.
+        at_frac: f64,
+        /// Outage duration as a fraction of the clean makespan.
+        down_frac: f64,
+    },
+    /// A node fails permanently at `at_frac` of the clean makespan.
+    NodeDown {
+        /// Failed node index.
+        node: usize,
+        /// Fault instant as a fraction of the clean makespan.
+        at_frac: f64,
+    },
+}
+
+impl FaultScenario {
+    /// Stable label used in CSV rows and rendered tables.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            FaultScenario::None => "none".to_string(),
+            FaultScenario::WavelengthDown { lane, at_frac } => {
+                format!("wavelength-down:{lane}@{at_frac}")
+            }
+            FaultScenario::LinkDegrade {
+                link,
+                factor,
+                at_frac,
+            } => format!("link-degrade:{link}x{factor}@{at_frac}"),
+            FaultScenario::LinkFlap {
+                link,
+                at_frac,
+                down_frac,
+            } => format!("link-flap:{link}@{at_frac}+{down_frac}"),
+            FaultScenario::NodeDown { node, at_frac } => format!("node-down:{node}@{at_frac}"),
+        }
+    }
+
+    /// Resolve the scenario against a measured clean makespan into an
+    /// absolute-time fault script.
+    #[must_use]
+    pub fn script(self, clean_makespan_s: f64) -> FaultScript {
+        let at = |frac: f64| frac * clean_makespan_s;
+        match self {
+            FaultScenario::None => FaultScript::new(),
+            FaultScenario::WavelengthDown { lane, at_frac } => {
+                FaultScript::new().with(at(at_frac), FaultKind::WavelengthDown { lane })
+            }
+            FaultScenario::LinkDegrade {
+                link,
+                factor,
+                at_frac,
+            } => FaultScript::new().with(at(at_frac), FaultKind::LinkDegrade { link, factor }),
+            FaultScenario::LinkFlap {
+                link,
+                at_frac,
+                down_frac,
+            } => FaultScript::new().with(
+                at(at_frac),
+                FaultKind::LinkFlap {
+                    link,
+                    // A flap must outlast the instant it lands on even when
+                    // the clean makespan rounds the duration to zero.
+                    down_s: at(down_frac).max(1e-9),
+                },
+            ),
+            FaultScenario::NodeDown { node, at_frac } => {
+                FaultScript::new().with(at(at_frac), FaultKind::NodeDown { node })
+            }
+        }
+    }
+}
+
+/// Serializable mirror of [`wrht_core::fault::FaultPolicy`] (the kernel
+/// type is serde-free by design — the kernel crate has zero deps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Fail the whole job owning an aborted transfer.
+    FailJob,
+    /// Re-admit aborted transfers after a fixed backoff.
+    RetryAfter {
+        /// Backoff before re-admission, seconds.
+        backoff_s: f64,
+    },
+    /// Re-grant aborted transfers immediately over surviving resources.
+    Replan,
+}
+
+impl RecoveryPolicy {
+    /// The kernel-level policy this mirror stands for.
+    #[must_use]
+    pub fn to_policy(self) -> FaultPolicy {
+        match self {
+            RecoveryPolicy::FailJob => FaultPolicy::FailJob,
+            RecoveryPolicy::RetryAfter { backoff_s } => FaultPolicy::RetryAfter(backoff_s),
+            RecoveryPolicy::Replan => FaultPolicy::Replan,
+        }
+    }
+
+    /// Stable label used in CSV rows (same strings as
+    /// [`wrht_core::fault::FaultPolicy::label`]).
+    #[must_use]
+    pub fn label(self) -> String {
+        self.to_policy().label()
+    }
+}
+
+/// One grid point of a fault campaign: a tenancy cell (see
+/// [`TenancyCellConfig`]) plus a [`FaultScenario`] and a recovery
+/// [`RecoveryPolicy`], executed clean and faulted and diffed into blast
+/// radius and recovery metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCellConfig {
+    /// Fabric shared by all jobs.
+    pub substrate: SubstrateKind,
+    /// Cross-job scheduling policy.
+    pub policy: SchedPolicy,
+    /// Recovery policy applied when the fault lands.
+    pub fault_policy: RecoveryPolicy,
+    /// The injected fault, timed in fractions of the clean makespan.
+    pub scenario: FaultScenario,
+    /// Number of concurrent jobs (job `j` arrives at `j * arrival_stagger_s`).
+    pub jobs: usize,
+    /// Collective algorithm used per gradient bucket.
+    pub algorithm: Algorithm,
+    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    pub model: String,
+    /// Gradient-fusion bucket budget, bytes.
+    pub bucket_bytes: u64,
+    /// Inter-arrival gap between consecutive jobs, seconds.
+    pub arrival_stagger_s: f64,
+    /// Node count.
+    pub n: usize,
+    /// Wavelength budget (optical; recorded but unused electrically).
+    pub wavelengths: usize,
+    /// RWA strategy (optical; ignored electrically).
+    pub strategy: Strategy,
+}
+
+/// Result of one executed (or failed) fault cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCellResult {
+    /// The cell's configuration.
+    pub cell: FaultCellConfig,
+    /// FNV-1a hash of the configuration (the sink key).
+    pub config_hash: u64,
+    /// Deterministic per-cell seed: campaign seed ⊕ config hash.
+    pub seed: u64,
+    /// Fault-free makespan of the same composed run, seconds.
+    pub clean_makespan_s: f64,
+    /// Faulted makespan over completed transfers, seconds.
+    pub makespan_s: f64,
+    /// `makespan_s / clean_makespan_s`; exactly 1.0 for a no-op script.
+    pub degraded_ratio: f64,
+    /// First fault impact → last impacted completion, seconds.
+    pub recovery_s: f64,
+    /// Instant the fault first delayed or aborted a transfer, seconds.
+    pub first_impact_s: Option<f64>,
+    /// Transfers that completed later than in the clean run.
+    pub delayed: usize,
+    /// Abort events (a retried transfer can abort more than once).
+    pub aborted: u64,
+    /// Transfers that never completed.
+    pub failed: usize,
+    /// Jobs with at least one failed transfer.
+    pub failed_jobs: usize,
+    /// Total transfers across all jobs.
+    pub transfers: usize,
+    /// Peak wavelength footprint of the faulted run (0 electrically).
+    pub peak_wavelengths: usize,
+    /// Error string for infeasible cells.
+    pub error: Option<String>,
+}
+
+/// A declarative fault campaign: shared physical constants plus cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSweep {
+    /// Campaign name (names the combined sink files).
+    pub name: String,
+    /// Physical constants shared by every cell.
+    pub base: ExperimentConfig,
+    /// Campaign-level seed, mixed into every cell seed.
+    pub seed: u64,
+    /// The cells, in grid order.
+    pub cells: Vec<FaultCellConfig>,
+}
+
+impl FaultSweep {
+    /// Expand a full cross-product grid in deterministic nested order
+    /// (model → n → jobs → scenario → recovery policy → substrate), at the
+    /// base config's wavelength budget.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // one axis per campaign dimension
+    pub fn grid(
+        name: &str,
+        base: ExperimentConfig,
+        models: &[&str],
+        job_counts: &[usize],
+        scenarios: &[FaultScenario],
+        fault_policies: &[RecoveryPolicy],
+        policy: SchedPolicy,
+        nodes: &[usize],
+        substrates: &[SubstrateKind],
+        bucket_bytes: u64,
+        arrival_stagger_s: f64,
+    ) -> Self {
+        let wavelengths = base.wavelengths;
+        let mut cells = Vec::new();
+        for &model in models {
+            for &n in nodes {
+                for &jobs in job_counts {
+                    for &scenario in scenarios {
+                        for &fault_policy in fault_policies {
+                            for &substrate in substrates {
+                                cells.push(FaultCellConfig {
+                                    substrate,
+                                    policy,
+                                    fault_policy,
+                                    scenario,
+                                    jobs,
+                                    algorithm: Algorithm::Wrht,
+                                    model: model.to_string(),
+                                    bucket_bytes,
+                                    arrival_stagger_s,
+                                    n,
+                                    wavelengths,
+                                    strategy: Strategy::FirstFit,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            base,
+            seed: 0,
+            cells,
+        }
+    }
+}
+
+/// Executed fault campaign: results in the same order as `spec.cells`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// One result per cell, in grid order.
+    pub results: Vec<FaultCellResult>,
+}
+
+/// Stable FNV-1a hash of a fault cell configuration.
+#[must_use]
+pub fn fault_config_hash(cell: &FaultCellConfig) -> u64 {
+    fnv1a(&serde_json::to_string(cell).expect("cell configs serialize"))
+}
+
+/// Execute one fault cell against the campaign's physical constants.
+///
+/// The composed multi-job DAG is run **clean** first; the scenario's
+/// fractional fault instants are resolved against that measured makespan,
+/// and the same DAG is re-run **faulted**. The two runs are diffed into
+/// blast-radius and recovery metrics by
+/// [`wrht_core::fault::fault_cluster_report`].
+#[must_use]
+pub fn run_fault_cell(
+    base: &ExperimentConfig,
+    seed: u64,
+    cell: &FaultCellConfig,
+) -> FaultCellResult {
+    let hash = fault_config_hash(cell);
+    let mut result = FaultCellResult {
+        cell: cell.clone(),
+        config_hash: hash,
+        seed: seed ^ hash,
+        clean_makespan_s: 0.0,
+        makespan_s: 0.0,
+        degraded_ratio: 0.0,
+        recovery_s: 0.0,
+        first_impact_s: None,
+        delayed: 0,
+        aborted: 0,
+        failed: 0,
+        failed_jobs: 0,
+        transfers: 0,
+        peak_wavelengths: 0,
+        error: None,
+    };
+
+    let Some(model) = dnn_models::paper_models()
+        .into_iter()
+        .find(|m| m.name == cell.model)
+    else {
+        result.error = Some(format!("unknown model '{}'", cell.model));
+        return result;
+    };
+
+    // Cell-local constants: the cell's wavelength budget overrides the base.
+    let mut local = base.clone();
+    local.wavelengths = cell.wavelengths;
+
+    let outcome: wrht_core::error::Result<FaultClusterReport> = (|| {
+        // Same job construction as `run_tenancy_cell`: every job runs one
+        // training iteration of the model, shifted by its arrival.
+        let buckets = crate::timeline::timeline_buckets(&model, cell.bucket_bytes);
+        let mut lowered: Vec<(f64, StepSchedule)> = Vec::with_capacity(buckets.len());
+        for b in &buckets {
+            let (schedule, _) =
+                crate::timeline::lower_allreduce(&local, cell.algorithm, cell.n, b.bytes)?;
+            lowered.push((b.ready_s, schedule));
+        }
+        let im = crate::timeline::iteration_model(&model);
+        let compute_s = im.forward_s + im.backward_s;
+        let mut spec = TenancySpec::new(cell.policy);
+        for j in 0..cell.jobs {
+            spec = spec.with_job(
+                Job::training(
+                    format!("{}#{j}", model.name),
+                    j as f64 * cell.arrival_stagger_s,
+                    lowered.clone(),
+                )
+                .with_compute(compute_s)
+                .with_priority(j as u32),
+            );
+        }
+
+        let composed = spec.compose()?;
+        let arb = spec.arbitration(&composed.job_of);
+        let mut sub = local.try_substrate(cell.substrate, cell.n, cell.strategy)?;
+        let clean = sub.execute_dag_jobs(&composed.dag, &arb)?;
+        let script = cell.scenario.script(clean.dag.makespan_s);
+        let policy = cell.fault_policy.to_policy();
+        let faulted = sub.execute_dag_jobs_faulted(&composed.dag, &arb, &script, policy)?;
+        Ok(fault_cluster_report(
+            &spec, &composed, &clean.dag, &faulted, policy,
+        ))
+    })();
+
+    match outcome {
+        Ok(report) => {
+            result.clean_makespan_s = report.clean_makespan_s;
+            result.makespan_s = report.makespan_s;
+            result.degraded_ratio = report.degraded_ratio;
+            result.recovery_s = report.recovery_s;
+            result.first_impact_s = report.first_impact_s;
+            result.delayed = report.transfers_delayed;
+            result.aborted = report.transfers_aborted;
+            result.failed = report.transfers_failed;
+            result.failed_jobs = report.failed_jobs();
+            result.transfers = report.jobs.iter().map(|j| j.transfers).sum();
+            result.peak_wavelengths = report.peak_wavelength;
+            result.error = None;
+        }
+        Err(e) => result.error = Some(e.to_string()),
+    }
+    result
+}
+
+/// Run a fault campaign over `threads` workers — deterministic and
+/// resumable exactly like [`run_campaign`]: one `fcell-<hash>.json` per
+/// finished cell, grid-ordered results, byte-identical serial/parallel
+/// output, plus combined `<name>.json` / `<name>.csv` tables.
+#[must_use]
+pub fn run_fault_campaign(
+    spec: &FaultSweep,
+    threads: usize,
+    sink: Option<&Path>,
+) -> FaultCampaignReport {
+    if let Some(dir) = sink {
+        let _ = fs::create_dir_all(dir);
+    }
+
+    let ctx = context_hash(&spec.base, spec.seed);
+    let keys: Vec<u64> = spec
+        .cells
+        .iter()
+        .map(|c| fault_config_hash(c) ^ ctx)
+        .collect();
+    let mut prefilled: Vec<Option<FaultCellResult>> = vec![None; spec.cells.len()];
+    for (i, cell) in spec.cells.iter().enumerate() {
+        let expected_seed = spec.seed ^ fault_config_hash(cell);
+        prefilled[i] = sink.and_then(|dir| {
+            load_finished(&cell_file(dir, "fcell", keys[i]), |r: &FaultCellResult| {
+                r.cell == *cell
+                    && r.config_hash == fault_config_hash(cell)
+                    && r.seed == expected_seed
+            })
+        });
+    }
+
+    let results = run_slots(
+        threads,
+        prefilled,
+        |i| run_fault_cell(&spec.base, spec.seed, &spec.cells[i]),
+        |i, result| {
+            if let Some(dir) = sink {
+                let _ = fs::write(cell_file(dir, "fcell", keys[i]), to_json(result));
+            }
+        },
+    );
+
+    let report = FaultCampaignReport {
+        name: spec.name.clone(),
+        results,
+    };
+    if let Some(dir) = sink {
+        let _ = fs::write(dir.join(format!("{}.json", spec.name)), to_json(&report));
+        let _ = fs::write(
+            dir.join(format!("{}.csv", spec.name)),
+            fault_to_csv(&report),
+        );
+    }
+    report
+}
+
+/// Render a fault campaign as CSV (stable column order, grid rows).
+#[must_use]
+pub fn fault_to_csv(report: &FaultCampaignReport) -> String {
+    let mut out = String::from(
+        "substrate,sched_policy,fault_policy,scenario,jobs,model,n,wavelengths,\
+         bucket_bytes,stagger_s,seed,clean_makespan_s,makespan_s,degraded_ratio,\
+         recovery_s,first_impact_s,delayed,aborted,failed,failed_jobs,transfers,\
+         peak_wavelengths,error\n",
+    );
+    for r in &report.results {
+        let c = &r.cell;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            c.substrate.label(),
+            c.policy.label(),
+            csv_field(&c.fault_policy.label()),
+            csv_field(&c.scenario.label()),
+            c.jobs,
+            csv_field(&c.model),
+            c.n,
+            c.wavelengths,
+            c.bucket_bytes,
+            c.arrival_stagger_s,
+            r.seed,
+            r.clean_makespan_s,
+            r.makespan_s,
+            r.degraded_ratio,
+            r.recovery_s,
+            r.first_impact_s.map_or(String::new(), |t| t.to_string()),
+            r.delayed,
+            r.aborted,
+            r.failed,
+            r.failed_jobs,
+            r.transfers,
+            r.peak_wavelengths,
+            csv_field(r.error.as_deref().unwrap_or("")),
+        ));
+    }
+    out
+}
+
+/// The `repro-figures faults` campaign: 2 concurrent training jobs of the
+/// first model under FIFO arbitration, hit by one wavelength failure, one
+/// link degradation and one node failure (each at 25% of the clean
+/// makespan) under `Replan` and `FailJob` recovery, on both substrates.
+#[must_use]
+pub fn faults_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64) -> FaultSweep {
+    let first: Vec<&str> = models
+        .first()
+        .map(|m| m.name.as_str())
+        .into_iter()
+        .collect();
+    // Mid-run (50% of the clean makespan): late enough that transfers are
+    // in flight — the wavelength loss aborts lightpaths mid-transfer — and
+    // early enough that recovery is visible before the drain.
+    let scenarios = [
+        FaultScenario::WavelengthDown {
+            lane: 0,
+            at_frac: 0.5,
+        },
+        FaultScenario::LinkDegrade {
+            link: 0,
+            factor: 0.25,
+            at_frac: 0.5,
+        },
+        FaultScenario::NodeDown {
+            node: n / 2,
+            at_frac: 0.5,
+        },
+    ];
+    let policies = [RecoveryPolicy::Replan, RecoveryPolicy::FailJob];
+    let mut spec = FaultSweep::grid(
+        "faults",
+        cfg.clone(),
+        &first,
+        &[2],
+        &scenarios,
+        &policies,
+        SchedPolicy::Fifo,
+        &[n],
+        &[SubstrateKind::Electrical, SubstrateKind::Optical],
+        25 << 20,
+        1e-3,
+    );
+    spec.seed = seed;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1856,6 +2397,189 @@ mod tests {
             assert!(spec.cells.iter().any(|c| c.policy == policy));
         }
         assert_eq!(spec.seed, 7);
+    }
+
+    fn tiny_fault_spec() -> FaultSweep {
+        let scenarios = [
+            FaultScenario::None,
+            FaultScenario::WavelengthDown {
+                lane: 0,
+                at_frac: 0.25,
+            },
+            FaultScenario::LinkDegrade {
+                link: 0,
+                factor: 0.25,
+                at_frac: 0.25,
+            },
+            FaultScenario::NodeDown {
+                node: 4,
+                at_frac: 0.25,
+            },
+        ];
+        let mut spec = FaultSweep::grid(
+            "tiny-faults",
+            tiny_cfg(),
+            &["GoogLeNet"],
+            &[2],
+            &scenarios,
+            &[RecoveryPolicy::Replan, RecoveryPolicy::FailJob],
+            SchedPolicy::Fifo,
+            &[8],
+            &[SubstrateKind::Electrical, SubstrateKind::Optical],
+            25 << 20,
+            1e-3,
+        );
+        spec.seed = 17;
+        spec
+    }
+
+    #[test]
+    fn fault_grid_expands_the_cross_product_with_unique_hashes() {
+        let spec = tiny_fault_spec();
+        assert_eq!(spec.cells.len(), 4 * 2 * 2);
+        assert_eq!(spec.cells[0].substrate, SubstrateKind::Electrical);
+        assert_eq!(spec.cells[0].scenario, FaultScenario::None);
+        let mut hashes: Vec<u64> = spec.cells.iter().map(fault_config_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), spec.cells.len(), "hash collision");
+    }
+
+    #[test]
+    fn fault_cells_execute_and_empty_scripts_have_zero_blast_radius() {
+        let spec = tiny_fault_spec();
+        let report = run_fault_campaign(&spec, 2, None);
+        assert_eq!(report.results.len(), spec.cells.len());
+        for r in &report.results {
+            assert!(r.error.is_none(), "{:?}: {:?}", r.cell, r.error);
+            assert_eq!(r.seed, spec.seed ^ r.config_hash);
+            assert!(r.clean_makespan_s > 0.0);
+            assert!(r.transfers > 0);
+            if r.cell.scenario == FaultScenario::None {
+                // The no-fault cell pins the bit-exactness contract: the
+                // faulted entry point with an empty script must reproduce
+                // the clean run exactly.
+                assert_eq!(r.makespan_s, r.clean_makespan_s, "{r:?}");
+                assert_eq!(r.degraded_ratio, 1.0);
+                assert_eq!(
+                    (r.delayed, r.aborted, r.failed, r.failed_jobs),
+                    (0, 0, 0, 0)
+                );
+                assert_eq!(r.recovery_s, 0.0);
+                assert_eq!(r.first_impact_s, None);
+            }
+        }
+        // The campaign must exercise at least one cell with real impact on
+        // each substrate (wavelength loss optically, node loss electrically).
+        for kind in [SubstrateKind::Optical, SubstrateKind::Electrical] {
+            assert!(
+                report
+                    .results
+                    .iter()
+                    .any(|r| r.cell.substrate == kind && (r.aborted > 0 || r.failed > 0)),
+                "no impacted cell on {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_parallel_run_is_byte_identical_to_serial() {
+        let spec = tiny_fault_spec();
+        let serial = run_fault_campaign(&spec, 1, None);
+        let parallel = run_fault_campaign(&spec, 8, None);
+        assert_eq!(to_json(&serial), to_json(&parallel));
+    }
+
+    #[test]
+    fn fault_sink_resumes_and_rejects_unknown_models() {
+        let dir = std::env::temp_dir().join(format!("wrht-ft-campaign-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut spec = tiny_fault_spec();
+        spec.cells.truncate(4);
+        spec.cells.push(FaultCellConfig {
+            substrate: SubstrateKind::Optical,
+            policy: SchedPolicy::Fifo,
+            fault_policy: RecoveryPolicy::Replan,
+            scenario: FaultScenario::None,
+            jobs: 2,
+            algorithm: Algorithm::Wrht,
+            model: "NotANet".into(),
+            bucket_bytes: 1 << 20,
+            arrival_stagger_s: 0.0,
+            n: 8,
+            wavelengths: 64,
+            strategy: Strategy::FirstFit,
+        });
+        let first = run_fault_campaign(&spec, 2, Some(&dir));
+        assert!(first.results.last().unwrap().error.is_some());
+        let resumed = run_fault_campaign(&spec, 2, Some(&dir));
+        assert_eq!(to_json(&first), to_json(&resumed));
+        assert!(dir.join("tiny-faults.json").exists());
+        let csv = fs::read_to_string(dir.join("tiny-faults.csv")).unwrap();
+        assert_eq!(csv.lines().count(), spec.cells.len() + 1);
+        // Fault sink files use their own prefix, so all four campaign kinds
+        // can share a directory without key collisions.
+        let fcells = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("fcell-")
+            })
+            .count();
+        assert_eq!(fcells, spec.cells.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_spec_covers_all_scenarios_under_both_policies() {
+        let models = dnn_models::paper_models();
+        let spec = faults_spec(&tiny_cfg(), &models, 16, 7);
+        // 3 scenarios × 2 recovery policies × 2 substrates.
+        assert_eq!(spec.cells.len(), 3 * 2 * 2);
+        assert!(spec.cells.iter().all(|c| c.n == 16 && c.jobs == 2));
+        assert!(spec
+            .cells
+            .iter()
+            .any(|c| matches!(c.scenario, FaultScenario::WavelengthDown { .. })));
+        assert!(spec
+            .cells
+            .iter()
+            .any(|c| matches!(c.scenario, FaultScenario::LinkDegrade { .. })));
+        assert!(spec
+            .cells
+            .iter()
+            .any(|c| matches!(c.scenario, FaultScenario::NodeDown { node: 8, .. })));
+        assert_eq!(spec.seed, 7);
+    }
+
+    #[test]
+    fn fault_scenarios_resolve_against_the_clean_makespan() {
+        let s = FaultScenario::WavelengthDown {
+            lane: 3,
+            at_frac: 0.5,
+        };
+        let script = s.script(8.0);
+        assert_eq!(script.len(), 1);
+        assert_eq!(script.events()[0].at_s, 4.0);
+        assert!(FaultScenario::None.script(8.0).is_empty());
+        let flap = FaultScenario::LinkFlap {
+            link: 1,
+            at_frac: 0.25,
+            down_frac: 0.0,
+        }
+        .script(8.0);
+        // A zero-duration flap still validates: the outage is floored.
+        assert!(matches!(
+            flap.events()[0].kind,
+            FaultKind::LinkFlap { down_s, .. } if down_s > 0.0
+        ));
+        assert_eq!(
+            RecoveryPolicy::RetryAfter { backoff_s: 0.5 }.label(),
+            "retry-after:0.5"
+        );
     }
 
     #[test]

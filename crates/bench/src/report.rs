@@ -270,6 +270,43 @@ pub fn render_tenants(results: &[crate::campaign::TenancyCellResult], n: usize) 
     out
 }
 
+/// Render the fault campaign as a fixed-width table: one row per cell with
+/// the degraded-vs-clean makespan ratio, blast radius (delayed / aborted /
+/// failed transfers) and recovery time.
+#[must_use]
+pub fn render_faults(results: &[crate::campaign::FaultCellResult], n: usize) -> String {
+    let mut out = format!("== Fault & degradation dynamics (n = {n}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>11} {:>24} {:>10} {:>12} {:>9} {:>8} {:>8} {:>7} {:>12}",
+        "substrate",
+        "scenario",
+        "recovery",
+        "makespan ms",
+        "degraded",
+        "delayed",
+        "aborted",
+        "failed",
+        "recovery ms"
+    );
+    for r in results.iter().filter(|r| r.error.is_none()) {
+        let _ = writeln!(
+            out,
+            "{:>11} {:>24} {:>10} {:>12.3} {:>8.2}x {:>8} {:>8} {:>7} {:>12.3}",
+            r.cell.substrate.label(),
+            r.cell.scenario.label(),
+            r.cell.fault_policy.label(),
+            r.makespan_s * 1e3,
+            r.degraded_ratio,
+            r.delayed,
+            r.aborted,
+            r.failed,
+            r.recovery_s * 1e3
+        );
+    }
+    out
+}
+
 /// Serialize any experiment payload as pretty JSON.
 pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("experiment types serialize")
@@ -294,6 +331,53 @@ mod tests {
                 wrht_steps: 5,
             }],
         }
+    }
+
+    #[test]
+    fn fault_table_lists_scenario_policy_and_blast_radius() {
+        use crate::campaign::{
+            Algorithm, FaultCellConfig, FaultCellResult, FaultScenario, RecoveryPolicy,
+        };
+        use crate::config::SubstrateKind;
+        let r = FaultCellResult {
+            cell: FaultCellConfig {
+                substrate: SubstrateKind::Optical,
+                policy: wrht_core::SchedPolicy::Fifo,
+                fault_policy: RecoveryPolicy::Replan,
+                scenario: FaultScenario::WavelengthDown {
+                    lane: 0,
+                    at_frac: 0.25,
+                },
+                jobs: 2,
+                algorithm: Algorithm::Wrht,
+                model: "TestNet".into(),
+                bucket_bytes: 1 << 20,
+                arrival_stagger_s: 0.0,
+                n: 16,
+                wavelengths: 64,
+                strategy: optical_sim::Strategy::FirstFit,
+            },
+            config_hash: 1,
+            seed: 1,
+            clean_makespan_s: 1.0,
+            makespan_s: 1.5,
+            degraded_ratio: 1.5,
+            recovery_s: 0.5,
+            first_impact_s: Some(0.25),
+            delayed: 3,
+            aborted: 2,
+            failed: 0,
+            failed_jobs: 0,
+            transfers: 10,
+            peak_wavelengths: 4,
+            error: None,
+        };
+        let t = render_faults(&[r], 16);
+        assert!(t.contains("optical"));
+        assert!(t.contains("wavelength-down:0@0.25"));
+        assert!(t.contains("replan"));
+        assert!(t.contains("degraded"));
+        assert!(t.contains("1.50x"));
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum WrhtError {
     Optical(OpticalError),
     /// An error bubbled up from the electrical substrate.
     Electrical(NetError),
+    /// A malformed fault script or recovery policy, normalized to one
+    /// variant regardless of which substrate rejected it.
+    Fault(wrht_kernel::FaultError),
 }
 
 impl fmt::Display for WrhtError {
@@ -49,6 +52,7 @@ impl fmt::Display for WrhtError {
             ),
             WrhtError::Optical(e) => write!(f, "optical substrate error: {e}"),
             WrhtError::Electrical(e) => write!(f, "electrical substrate error: {e}"),
+            WrhtError::Fault(e) => write!(f, "fault script: {e}"),
         }
     }
 }
@@ -58,6 +62,7 @@ impl std::error::Error for WrhtError {
         match self {
             WrhtError::Optical(e) => Some(e),
             WrhtError::Electrical(e) => Some(e),
+            WrhtError::Fault(e) => Some(e),
             _ => None,
         }
     }
@@ -65,13 +70,27 @@ impl std::error::Error for WrhtError {
 
 impl From<OpticalError> for WrhtError {
     fn from(e: OpticalError) -> Self {
-        WrhtError::Optical(e)
+        match e {
+            OpticalError::Fault(fe) => WrhtError::Fault(fe),
+            other => WrhtError::Optical(other),
+        }
     }
 }
 
 impl From<NetError> for WrhtError {
     fn from(e: NetError) -> Self {
-        WrhtError::Electrical(e)
+        // Normalize fault-script rejections so callers can match one
+        // variant whichever substrate validated the script.
+        match e {
+            NetError::Fault(fe) => WrhtError::Fault(fe),
+            other => WrhtError::Electrical(other),
+        }
+    }
+}
+
+impl From<wrht_kernel::FaultError> for WrhtError {
+    fn from(e: wrht_kernel::FaultError) -> Self {
+        WrhtError::Fault(e)
     }
 }
 

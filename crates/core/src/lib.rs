@@ -43,7 +43,12 @@
 //! * [`tenancy`] — multi-job tenancy: concurrent jobs composed into one
 //!   shared DAG run ([`substrate::Substrate::execute_jobs`]) under a
 //!   [`tenancy::SchedPolicy`], priced per tenant in a
-//!   [`tenancy::ClusterReport`].
+//!   [`tenancy::ClusterReport`];
+//! * [`fault`] — fault and degradation dynamics: typed
+//!   [`fault::FaultScript`] events executed through the shared kernel
+//!   under a recovery [`fault::FaultPolicy`], with per-job blast radius
+//!   and recovery time in a [`fault::FaultClusterReport`]
+//!   ([`substrate::Substrate::execute_jobs_faulted`]).
 //!
 //! ```
 //! use wrht_core::prelude::*;
@@ -64,6 +69,7 @@ pub mod cost;
 pub mod dag;
 pub mod describe;
 pub mod error;
+pub mod fault;
 
 /// The shared discrete-event kernel both substrate simulators run on.
 ///
@@ -93,6 +99,10 @@ pub mod prelude {
     pub use crate::dag::{DepSchedule, DepTransfer, ExecMode};
     pub use crate::describe::describe_plan;
     pub use crate::error::WrhtError;
+    pub use crate::fault::{
+        FaultClusterReport, FaultError, FaultEvent, FaultKind, FaultPolicy, FaultRunReport,
+        FaultScript, FaultTiming, JobBlastRadius,
+    };
     pub use crate::lower::{
         to_logical_schedule, to_optical_schedule, to_optical_schedule_with, BroadcastMode,
     };
@@ -119,6 +129,7 @@ pub mod prelude {
 
 pub use dag::{DepSchedule, DepTransfer, ExecMode};
 pub use error::WrhtError;
+pub use fault::{FaultClusterReport, FaultPolicy, FaultRunReport, FaultScript};
 pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
 pub use params::{GroupSize, WrhtParams};
 pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};

@@ -31,8 +31,13 @@
 
 use crate::dag::DepSchedule;
 use crate::error::Result;
+use crate::fault::{
+    fault_cluster_report, FaultClusterReport, FaultPolicy, FaultRunReport, FaultScript, FaultTiming,
+};
 use crate::tenancy::{ClusterReport, JobArbitration, TenancySpec, TenantDagRun};
-use electrical_sim::runner::{run_dag, run_dag_jobs, run_steps, DagFlow, StepTransfer};
+use electrical_sim::runner::{
+    run_dag, run_dag_jobs, run_dag_jobs_faulted, run_steps, DagFlow, StepTransfer,
+};
 use electrical_sim::Network;
 use optical_sim::sim::{DagTransfer, StepReport, StepSchedule};
 use optical_sim::{OpticalConfig, RingSimulator, Strategy};
@@ -207,6 +212,53 @@ pub trait Substrate {
             spec, &composed, &run, &isolated,
         ))
     }
+
+    /// Execute a dependency-aware schedule under a [`FaultScript`] with the
+    /// given recovery [`FaultPolicy`]. Each substrate reacts only to the
+    /// event kinds that exist on it (see [`crate::fault`]); with no
+    /// relevant events the run delegates to [`Substrate::execute_dag`] and
+    /// is **bit-exact** with it.
+    fn execute_dag_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport>;
+
+    /// The multi-job counterpart of [`Substrate::execute_dag_faulted`]:
+    /// transfers carry job tags, contended resources are arbitrated across
+    /// jobs per `arb`, and [`crate::fault::FaultPolicy::FailJob`] fails
+    /// whole jobs rather than single transfers. With no relevant events the
+    /// run delegates to [`Substrate::execute_dag_jobs`] bit-exactly.
+    fn execute_dag_jobs_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        arb: &JobArbitration,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport>;
+
+    /// Execute a set of concurrent jobs under a fault script and measure
+    /// the blast radius: the composed DAG is run **clean**
+    /// ([`Substrate::execute_dag_jobs`]) and **faulted**
+    /// ([`Substrate::execute_dag_jobs_faulted`]), and the two runs are
+    /// diffed into a [`FaultClusterReport`] — per-job transfers aborted /
+    /// delayed / failed, recovery time and the degraded-vs-clean makespan
+    /// ratio.
+    fn execute_jobs_faulted(
+        &mut self,
+        spec: &TenancySpec,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultClusterReport> {
+        let composed = spec.compose()?;
+        let arb = spec.arbitration(&composed.job_of);
+        let clean = self.execute_dag_jobs(&composed.dag, &arb)?;
+        let faulted = self.execute_dag_jobs_faulted(&composed.dag, &arb, script, policy)?;
+        Ok(fault_cluster_report(
+            spec, &composed, &clean.dag, &faulted, policy,
+        ))
+    }
 }
 
 /// The WDM optical ring as an execution substrate.
@@ -240,6 +292,44 @@ impl OpticalSubstrate {
     #[must_use]
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    fn run_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        arb: Option<&JobArbitration>,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        let transfers: Vec<DagTransfer> = dag
+            .transfers()
+            .iter()
+            .map(|t| DagTransfer {
+                transfer: t.transfer.clone(),
+                release_s: t.release_s,
+                deps: t.deps.clone(),
+            })
+            .collect();
+        let report = self
+            .sim
+            .run_dag_faulted(&transfers, self.strategy, arb, script, policy)?;
+        Ok(FaultRunReport {
+            substrate: "optical".into(),
+            makespan_s: report.makespan_s,
+            transfers: report
+                .outcomes
+                .iter()
+                .map(|o| FaultTiming {
+                    start_s: o.start_s,
+                    finish_s: o.finish_s,
+                    aborts: o.aborts,
+                    completed: o.completed,
+                })
+                .collect(),
+            peak_wavelength: report.peak_wavelength,
+            events: report.events,
+            first_impact_s: report.first_impact_s,
+        })
     }
 
     /// Convert a stepped optical report into the common shape.
@@ -347,6 +437,25 @@ impl Substrate for OpticalSubstrate {
             job_peak_rate_bps: vec![0.0; jobs],
         })
     }
+
+    fn execute_dag_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        self.run_faulted(dag, None, script, policy)
+    }
+
+    fn execute_dag_jobs_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        arb: &JobArbitration,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        self.run_faulted(dag, Some(arb), script, policy)
+    }
 }
 
 /// The electrical switched cluster (fluid model) as an execution substrate.
@@ -376,6 +485,57 @@ impl ElectricalSubstrate {
     #[must_use]
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    fn run_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        job_of: &[usize],
+        jobs: usize,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        let flows: Vec<DagFlow> = dag
+            .transfers()
+            .iter()
+            .map(|t| DagFlow {
+                src: t.transfer.src.0,
+                dst: t.transfer.dst.0,
+                bytes: t.transfer.bytes,
+                release_s: t.release_s,
+                deps: t.deps.clone(),
+                stage: t.stage,
+            })
+            .collect();
+        let report = run_dag_jobs_faulted(
+            &self.net,
+            &flows,
+            job_of,
+            jobs,
+            self.step_overhead_s,
+            script,
+            policy,
+        )?;
+        Ok(FaultRunReport {
+            substrate: "electrical".into(),
+            makespan_s: report.tenant.report.makespan_s,
+            transfers: report
+                .tenant
+                .report
+                .windows
+                .iter()
+                .zip(report.failed.iter().zip(&report.aborted))
+                .map(|(&(start_s, finish_s), (&failed, &aborts))| FaultTiming {
+                    start_s,
+                    finish_s,
+                    aborts,
+                    completed: !failed,
+                })
+                .collect(),
+            peak_wavelength: 0,
+            events: report.tenant.report.events,
+            first_impact_s: report.first_impact_s,
+        })
     }
 }
 
@@ -495,6 +655,26 @@ impl Substrate for ElectricalSubstrate {
             job_service_bytes: tenant.job_service_bytes,
             job_peak_rate_bps: tenant.job_peak_rate_bps,
         })
+    }
+
+    fn execute_dag_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        let job_of = vec![0usize; dag.len()];
+        self.run_faulted(dag, &job_of, 1, script, policy)
+    }
+
+    fn execute_dag_jobs_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        arb: &JobArbitration,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        self.run_faulted(dag, &arb.job_of, arb.rank.len(), script, policy)
     }
 }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors produced while building networks or running flows.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
     /// Referenced a host outside the network.
     HostOutOfRange {
@@ -39,6 +39,8 @@ pub enum NetError {
     },
     /// Invalid construction parameter.
     BadConfig(&'static str),
+    /// A malformed fault script or recovery policy.
+    Fault(wrht_kernel::FaultError),
 }
 
 impl fmt::Display for NetError {
@@ -59,11 +61,25 @@ impl fmt::Display for NetError {
                 )
             }
             NetError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            NetError::Fault(e) => write!(f, "fault script: {e}"),
         }
     }
 }
 
-impl std::error::Error for NetError {}
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wrht_kernel::FaultError> for NetError {
+    fn from(e: wrht_kernel::FaultError) -> Self {
+        NetError::Fault(e)
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, NetError>;

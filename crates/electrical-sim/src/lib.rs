@@ -48,7 +48,8 @@ pub mod prelude {
     pub use crate::flow::FlowSpec;
     pub use crate::graph::{LinkId, Network};
     pub use crate::runner::{
-        run_dag, run_dag_jobs, run_steps, DagFlow, DagRunReport, StepTransfer, TenantDagReport,
+        run_dag, run_dag_jobs, run_dag_jobs_faulted, run_steps, DagFlow, DagRunReport,
+        FaultDagRunReport, StepTransfer, TenantDagReport,
     };
     pub use crate::sim::{FluidSimulator, RunReport};
     pub use crate::stats::{offered_load, LoadReport};

@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod fault;
 mod kernel;
 mod slab;
 
+pub use fault::{FaultError, FaultEvent, FaultKind, FaultLimits, FaultPolicy, FaultScript};
 pub use kernel::{EventId, EventKernel, KernelError, SimClock};
 pub use slab::{Slab, SlabKey};

@@ -4,6 +4,14 @@
 use proptest::prelude::*;
 use wrht_kernel::EventKernel;
 
+/// The two payload families the simulators multiplex through one kernel:
+/// transfer completions and fault-script events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Payload {
+    Completion(usize),
+    Fault(usize),
+}
+
 /// A small pool of timestamps with deliberate ulp-neighbors so random event
 /// sets exercise both exact ties and near-ties.
 fn time_pool() -> Vec<f64> {
@@ -105,5 +113,110 @@ proptest! {
             prop_assert_eq!(g.0.to_bits(), r.0.to_bits());
             prop_assert_eq!(g.1, r.1);
         }
+    }
+
+    /// Mixed-payload cancel-under-fault: completions and fault events share
+    /// one queue, and each delivered fault cancels a deterministic subset of
+    /// the completions still pending (exactly what a wavelength loss does to
+    /// in-flight transfers). The delivered sequence must match a reference
+    /// replay of the same rules, and `events_processed` must count only
+    /// delivered events.
+    #[test]
+    fn mid_drain_fault_cancels_never_deliver_and_keep_order(
+        picks in proptest::collection::vec((0usize..8, proptest::bool::ANY), 1..48),
+    ) {
+        let pool = time_pool();
+        let mut kernel = EventKernel::new();
+        let mut ids = Vec::new();
+        let mut schedule = Vec::new();
+        for (insert_idx, &(p, is_fault)) in picks.iter().enumerate() {
+            let payload = if is_fault {
+                Payload::Fault(insert_idx)
+            } else {
+                Payload::Completion(insert_idx)
+            };
+            ids.push(kernel.schedule_at(pool[p], payload).unwrap());
+            schedule.push((pool[p], payload));
+        }
+
+        // Reference replay: stable sort, then walk it applying the cancel
+        // rule — a fault with index f kills every *later-delivered*
+        // completion whose index is congruent to f modulo 5.
+        let mut order = schedule.clone();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut dead = vec![false; schedule.len()];
+        let mut expected = Vec::new();
+        for pos in 0..order.len() {
+            let (t, payload) = order[pos];
+            let idx = match payload {
+                Payload::Completion(i) | Payload::Fault(i) => i,
+            };
+            if dead[idx] {
+                continue;
+            }
+            expected.push((t, payload));
+            if let Payload::Fault(f) = payload {
+                for &(_, later) in &order[pos + 1..] {
+                    if let Payload::Completion(c) = later {
+                        if c % 5 == f % 5 {
+                            dead[c] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Kernel run: apply the same rule with O(1) lazy cancels mid-drain.
+        let mut got = Vec::new();
+        while let Some((t, payload)) = kernel.pop() {
+            got.push((t, payload));
+            if let Payload::Fault(f) = payload {
+                for (c, &(_, is_fault)) in picks.iter().enumerate() {
+                    if !is_fault && c % 5 == f % 5 {
+                        // Canceling an already-delivered or already-canceled
+                        // event is a no-op by contract.
+                        let _ = kernel.cancel(ids[c]);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, r) in got.iter().zip(expected.iter()) {
+            prop_assert_eq!(g.0.to_bits(), r.0.to_bits());
+            prop_assert_eq!(g.1, r.1);
+        }
+        prop_assert_eq!(kernel.events_processed(), expected.len() as u64);
+    }
+
+    /// Same-instant coalescing contract: completions and faults scheduled at
+    /// a bit-identical instant arrive in ONE batch, ordered by insertion
+    /// sequence. The simulators do NOT rely on that intra-batch order for
+    /// fault semantics — they two-pass each batch so completions always
+    /// apply before same-instant faults — but the order itself must be
+    /// deterministic so replays coalesce identically.
+    #[test]
+    fn same_instant_faults_and_completions_coalesce_in_seq_order(
+        kinds in proptest::collection::vec(proptest::bool::ANY, 1..32),
+        t_idx in 0usize..8,
+    ) {
+        let t = time_pool()[t_idx];
+        let mut kernel = EventKernel::new();
+        let mut inserted = Vec::new();
+        for (i, &is_fault) in kinds.iter().enumerate() {
+            let payload = if is_fault {
+                Payload::Fault(i)
+            } else {
+                Payload::Completion(i)
+            };
+            kernel.schedule_at(t, payload).unwrap();
+            inserted.push(payload);
+        }
+        let mut batch = Vec::new();
+        let now = kernel.pop_batch(&mut batch).unwrap();
+        prop_assert_eq!(now.to_bits(), t.to_bits());
+        prop_assert_eq!(batch, inserted);
+        let mut rest = Vec::new();
+        prop_assert!(kernel.pop_batch(&mut rest).is_none());
+        prop_assert!(rest.is_empty());
     }
 }

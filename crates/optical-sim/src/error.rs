@@ -37,6 +37,8 @@ pub enum OpticalError {
         /// Maximum hops the physical model allows.
         max_hops: usize,
     },
+    /// A malformed fault script or recovery policy.
+    Fault(wrht_kernel::FaultError),
 }
 
 impl fmt::Display for OpticalError {
@@ -65,11 +67,25 @@ impl fmt::Display for OpticalError {
                 f,
                 "lightpath of {hops} hops exceeds the optical power budget (max {max_hops})"
             ),
+            OpticalError::Fault(e) => write!(f, "fault script: {e}"),
         }
     }
 }
 
-impl std::error::Error for OpticalError {}
+impl std::error::Error for OpticalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpticalError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wrht_kernel::FaultError> for OpticalError {
+    fn from(e: wrht_kernel::FaultError) -> Self {
+        OpticalError::Fault(e)
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, OpticalError>;

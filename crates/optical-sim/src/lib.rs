@@ -66,7 +66,8 @@ pub mod prelude {
     pub use crate::request::{DirectionChoice, Transfer};
     pub use crate::rwa::{Occupancy, Strategy};
     pub use crate::sim::{
-        DagReport, DagTransfer, JobArbitration, RingSimulator, StepReport, StepSchedule,
+        DagReport, DagTransfer, FaultDagReport, FaultOutcome, JobArbitration, RingSimulator,
+        StepReport, StepSchedule,
     };
     pub use crate::timing::TimingModel;
     pub use crate::topology::{Direction, NodeId, RingTopology};

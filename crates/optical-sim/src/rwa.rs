@@ -44,6 +44,9 @@ pub struct Occupancy {
     used: [Vec<WavelengthSet>; 2],
     /// `load[dir][lambda]` = number of segments where lambda is busy.
     load: [Vec<usize>; 2],
+    /// `down[lambda]` = the wavelength is administratively failed and admits
+    /// no new lightpaths (fault injection; always all-false on clean runs).
+    down: Vec<bool>,
 }
 
 fn dir_index(d: Direction) -> usize {
@@ -63,6 +66,7 @@ impl Occupancy {
             wavelengths,
             used: [mk(), mk()],
             load: [vec![0; wavelengths], vec![0; wavelengths]],
+            down: vec![false; wavelengths],
         }
     }
 
@@ -75,10 +79,31 @@ impl Occupancy {
     /// Is `lambda` free on every segment of `path`?
     #[must_use]
     pub fn is_free(&self, path: &LightPath, lambda: Wavelength) -> bool {
+        if self.down[lambda.0] {
+            return false;
+        }
         let d = dir_index(path.direction);
         path.segments
             .iter()
             .all(|&s| !self.used[d][s].contains(lambda))
+    }
+
+    /// Mark `lambda` failed: it admits no new lightpaths until
+    /// [`Occupancy::set_lane_up`]. Existing occupancy is untouched — the
+    /// caller decides what happens to in-flight holders.
+    pub fn set_lane_down(&mut self, lambda: Wavelength) {
+        self.down[lambda.0] = true;
+    }
+
+    /// Repair `lambda` after a [`Occupancy::set_lane_down`].
+    pub fn set_lane_up(&mut self, lambda: Wavelength) {
+        self.down[lambda.0] = false;
+    }
+
+    /// Is `lambda` currently failed?
+    #[must_use]
+    pub fn is_lane_down(&self, lambda: Wavelength) -> bool {
+        self.down[lambda.0]
     }
 
     /// Mark `lambda` busy along `path`.
@@ -295,6 +320,24 @@ mod tests {
             occ.assign(&p, 1, Strategy::FirstFit).unwrap();
         }
         assert_eq!(occ.peak_wavelengths_used(), 3); // = floor(7/2)
+    }
+
+    #[test]
+    fn down_lanes_admit_no_new_paths_until_repaired() {
+        let t = RingTopology::new(8);
+        let mut occ = Occupancy::new(8, 2);
+        let p = path(&t, 0, 4, Direction::Clockwise);
+        occ.set_lane_down(Wavelength(0));
+        assert!(occ.is_lane_down(Wavelength(0)));
+        // First Fit skips the failed lane 0.
+        let lanes = occ.assign(&p, 1, Strategy::FirstFit).unwrap();
+        assert_eq!(lanes, vec![Wavelength(1)]);
+        // Both lanes needed, one down: exhaustion.
+        let q = path(&t, 4, 0, Direction::Clockwise);
+        assert!(occ.assign(&q, 2, Strategy::FirstFit).is_err());
+        occ.set_lane_up(Wavelength(0));
+        assert!(!occ.is_lane_down(Wavelength(0)));
+        occ.assign(&q, 2, Strategy::FirstFit).unwrap();
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!                one substrate under fifo/fair/priority scheduling, with
 //!                per-job slowdowns and Jain fairness (resumable via
 //!                results/tenants)
+//!   faults       Fault & degradation dynamics: 2 concurrent training jobs
+//!                hit mid-run by a wavelength failure / link degradation /
+//!                node failure under replan and fail-job recovery, with
+//!                per-job blast radius and recovery time (resumable via
+//!                results/faults)
 //!   bench        The fixed perf suite: wall-clock and events/sec over the
 //!                frozen tenancy / incast / pipelined workloads, written to
 //!                BENCH_v6.json (BENCH_v6.small.json with --small).
@@ -47,13 +52,14 @@ use wrht_bench::ablations::{
     group_size_sweep, overlap_study, rwa_strategy_compare, variant_study, wavelength_sweep,
 };
 use wrht_bench::campaign::{
-    fig2_from_campaign, run_campaign, run_tenancy_campaign, run_timeline_campaign, sweep_spec,
+    fig2_from_campaign, run_campaign, run_fault_campaign, run_tenancy_campaign,
+    run_timeline_campaign, sweep_spec,
 };
 use wrht_bench::contention::{run_contention, Pattern};
 use wrht_bench::perf::{run_suite, BenchSuiteResult, SuiteScale};
 use wrht_bench::report::{
-    render_contention, render_fig2, render_fit, render_group_size, render_headline, render_overlap,
-    render_tenants, render_timeline, render_variants, render_wavelengths, to_json,
+    render_contention, render_faults, render_fig2, render_fit, render_group_size, render_headline,
+    render_overlap, render_tenants, render_timeline, render_variants, render_wavelengths, to_json,
 };
 use wrht_bench::timeline::TimelineRow;
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
@@ -298,6 +304,32 @@ fn cmd_tenants(
     write_json(&sink, "tenant_rows.json", &to_json(&report.results));
 }
 
+fn cmd_faults(
+    cfg: &ExperimentConfig,
+    results: &Path,
+    threads: usize,
+    models: &[dnn_models::Model],
+) {
+    let n = *cfg.scales.first().expect("scales non-empty");
+    let spec = wrht_bench::campaign::faults_spec(cfg, models, n, 2023);
+    let sink = results.join("faults");
+    println!(
+        "== Fault campaign: {} cells over {} worker thread(s) ==",
+        spec.cells.len(),
+        threads
+    );
+    let report = run_fault_campaign(&spec, threads, Some(&sink));
+    println!(
+        "   {} cells finished; sink: {}",
+        report.results.len(),
+        sink.display()
+    );
+    println!();
+    print!("{}", render_faults(&report.results, n));
+    println!();
+    write_json(&sink, "fault_rows.json", &to_json(&report.results));
+}
+
 /// Run the fixed perf suite and write `BENCH_v6[.small].json` into
 /// `out_dir`. With `check`, compare events/sec against the committed
 /// baseline at that path; returns `false` when a case regressed below 80%.
@@ -390,6 +422,7 @@ fn run_command(
         "sweep" => cmd_sweep(cfg, results, threads, &dnn_models::paper_models()),
         "train" => cmd_train(cfg, results, threads, &dnn_models::paper_models(), modes),
         "tenants" => cmd_tenants(cfg, results, threads, &dnn_models::paper_models()),
+        "faults" => cmd_faults(cfg, results, threads, &dnn_models::paper_models()),
         "fig2" => cmd_fig2(cfg, results),
         "headline" => cmd_headline(cfg, results),
         "steps" => cmd_steps(),
@@ -636,6 +669,27 @@ mod tests {
         // Resumable: a second run reuses the sink without changing output.
         cmd_tenants(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
         let rows2 = fs::read_to_string(sink.join("tenant_rows.json")).unwrap();
+        assert_eq!(rows, rows2);
+        let _ = fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn faults_command_runs_the_fault_campaign_and_resumes() {
+        let results = temp_results("faults");
+        cmd_faults(&tiny_cfg(), &results, 2, &[dnn_models::googlenet()]);
+        let sink = results.join("faults");
+        let rows = fs::read_to_string(sink.join("fault_rows.json")).expect("fault_rows.json");
+        assert!(rows.contains("GoogLeNet"));
+        assert!(rows.contains("\"degraded_ratio\""));
+        assert!(rows.contains("\"recovery_s\""));
+        let csv = fs::read_to_string(sink.join("faults.csv")).expect("faults campaign CSV");
+        // 3 scenarios × 2 recovery policies × 2 substrates + header.
+        assert_eq!(csv.lines().count(), 13);
+        assert!(csv.contains("wavelength-down") && csv.contains("node-down"));
+        assert!(csv.contains("replan") && csv.contains("fail-job"));
+        // Resumable: a second run reuses the sink without changing output.
+        cmd_faults(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
+        let rows2 = fs::read_to_string(sink.join("fault_rows.json")).unwrap();
         assert_eq!(rows, rows2);
         let _ = fs::remove_dir_all(&results);
     }

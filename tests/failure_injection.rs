@@ -1,9 +1,14 @@
 //! Failure injection: invalid configurations and schedules must surface as
 //! typed errors, never panics, across every crate boundary.
 
+use collectives::ring::ring_allreduce;
 use collectives::{Op, Schedule, Step, TransferSpec};
 use electrical_sim::prelude::*;
 use optical_sim::prelude::*;
+use wrht_core::baselines::lower_collective_to_optical;
+use wrht_core::dag::DepSchedule;
+use wrht_core::fault::{FaultError, FaultKind, FaultPolicy, FaultScript};
+use wrht_core::substrate::{ElectricalSubstrate, OpticalSubstrate, Substrate};
 use wrht_core::{plan_and_simulate, WrhtError, WrhtParams};
 
 #[test]
@@ -73,6 +78,62 @@ fn wrht_rejects_infeasible_requests() {
         plan_and_simulate(&WrhtParams::fixed(64, 2, 1), &cfg, 1 << 20),
         Err(WrhtError::GroupSizeTooSmall(1))
     ));
+}
+
+#[test]
+fn malformed_fault_scripts_surface_typed_errors() {
+    let n = 8;
+    let dag = DepSchedule::from_steps(&lower_collective_to_optical(&ring_allreduce(n, 64), 4, 1));
+    let mut optical = OpticalSubstrate::new(OpticalConfig::new(n, 4)).expect("optical substrate");
+    let mut electrical = ElectricalSubstrate::new(star_cluster(n, 1e9, 0.0), 0.0);
+    let policy = FaultPolicy::Replan;
+
+    // NaN timestamps are rejected with the event index, on both substrates.
+    let nan = FaultScript::new().with(f64::NAN, FaultKind::NodeDown { node: 0 });
+    assert!(matches!(
+        optical.execute_dag_faulted(&dag, &nan, policy),
+        Err(WrhtError::Fault(FaultError::BadTimestamp { index: 0, .. }))
+    ));
+    assert!(matches!(
+        electrical.execute_dag_faulted(&dag, &nan, policy),
+        Err(WrhtError::Fault(FaultError::BadTimestamp { index: 0, .. }))
+    ));
+
+    // A lane beyond the waveguide is an optical validation error; the
+    // electrical substrate has no lanes to bound-check against.
+    let wide = FaultScript::new().with(0.5, FaultKind::WavelengthDown { lane: 64 });
+    assert!(matches!(
+        optical.execute_dag_faulted(&dag, &wide, policy),
+        Err(WrhtError::Fault(FaultError::LaneOutOfRange {
+            lane: 64,
+            wavelengths: 4,
+            ..
+        }))
+    ));
+
+    // Repairing a lane that never failed is malformed everywhere the
+    // script is lane-aware.
+    let phantom = FaultScript::new().with(0.5, FaultKind::WavelengthUp { lane: 1 });
+    assert!(matches!(
+        optical.execute_dag_faulted(&dag, &phantom, policy),
+        Err(WrhtError::Fault(FaultError::UpWithoutDown { lane: 1, .. }))
+    ));
+
+    // Node indices are bounded on both substrates.
+    let ghost = FaultScript::new().with(0.5, FaultKind::NodeDown { node: n + 3 });
+    assert!(matches!(
+        optical.execute_dag_faulted(&dag, &ghost, policy),
+        Err(WrhtError::Fault(FaultError::NodeOutOfRange { .. }))
+    ));
+    assert!(matches!(
+        electrical.execute_dag_faulted(&dag, &ghost, policy),
+        Err(WrhtError::Fault(FaultError::NodeOutOfRange { .. }))
+    ));
+
+    // A rejected script must not poison the substrate: a clean run after
+    // the errors is still fine.
+    assert!(optical.execute_dag(&dag).is_ok());
+    assert!(electrical.execute_dag(&dag).is_ok());
 }
 
 #[test]

@@ -2,10 +2,15 @@
 //! after node failures, end to end.
 
 use collectives::execute;
+use collectives::ring::ring_allreduce;
 use optical_sim::{OpticalConfig, RingSimulator, Strategy};
 use proptest::prelude::*;
+use wrht_core::baselines::lower_collective_to_optical;
+use wrht_core::dag::DepSchedule;
+use wrht_core::fault::{FaultKind, FaultPolicy, FaultScript};
 use wrht_core::lower::{to_logical_schedule, to_optical_schedule};
 use wrht_core::plan::build_plan_over;
+use wrht_core::substrate::{OpticalSubstrate, Substrate};
 
 /// Execute a survivor plan logically and check every survivor ends with
 /// the sum over survivors only (failed nodes neither contribute nor
@@ -63,6 +68,59 @@ fn survivor_plans_simulate_within_budget() {
     let report = sim.run_stepped(&sched, Strategy::FirstFit).unwrap();
     assert!(report.stats.peak_wavelengths() <= w);
     assert!(report.total_time_s > 0.0);
+}
+
+/// End-to-end survivor re-planning through `execute_dag_faulted`: a node
+/// dies mid-run under `Replan`, every transfer touching it is failed with
+/// its dependents released (the drain still terminates and survivors'
+/// transfers complete), and the survivor set then re-plans via
+/// `build_plan_over` into a clean run on the same substrate.
+#[test]
+fn mid_run_node_loss_replans_over_survivors() {
+    let n = 16;
+    let victim = 5;
+    let dag = DepSchedule::from_steps(&lower_collective_to_optical(&ring_allreduce(n, 4096), 4, 1));
+    let mut substrate = OpticalSubstrate::new(
+        OpticalConfig::new(n, n)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(1e-6)
+            .with_hop_propagation(0.0),
+    )
+    .expect("valid optical config");
+
+    let clean = substrate.execute_dag(&dag).expect("clean run");
+    let script =
+        FaultScript::new().with(0.4 * clean.makespan_s, FaultKind::NodeDown { node: victim });
+    let faulted = substrate
+        .execute_dag_faulted(&dag, &script, FaultPolicy::Replan)
+        .expect("faulted run terminates");
+
+    // The node loss lands mid-run, so at least one transfer on the victim
+    // must fail — and ONLY transfers with a victim endpoint may fail:
+    // Replan releases their dependents so the rest of the ring drains.
+    assert!(faulted.failed_transfers() > 0, "fault landed in a gap");
+    for (i, (timing, dep)) in faulted.transfers.iter().zip(dag.transfers()).enumerate() {
+        let touches_victim = dep.transfer.src.0 == victim || dep.transfer.dst.0 == victim;
+        if !touches_victim {
+            assert!(timing.completed, "survivor transfer {i} did not complete");
+        }
+        if !timing.completed {
+            assert!(
+                touches_victim,
+                "transfer {i} failed without a victim endpoint"
+            );
+        }
+    }
+    assert!(faulted.first_impact_s.is_some());
+
+    // Re-plan over the survivors and run the new plan cleanly end to end.
+    let survivors: Vec<usize> = (0..n).filter(|&p| p != victim).collect();
+    let plan = build_plan_over(n, &survivors, 4, 8).expect("survivor plan");
+    let replanned = DepSchedule::from_steps(&to_optical_schedule(&plan, 4096));
+    let report = substrate.execute_dag(&replanned).expect("replanned run");
+    assert!(report.makespan_s.is_finite() && report.makespan_s > 0.0);
+    // And the survivor plan is numerically a survivor-only all-reduce.
+    check_survivor_allreduce(n, &survivors, 4, 8);
 }
 
 proptest! {

@@ -71,6 +71,37 @@ fn train_timeline_json_matches_golden() {
 }
 
 #[test]
+fn fault_campaign_json_matches_golden() {
+    // The `faults` figure: per-job blast radius and recovery time for a
+    // wavelength failure, a link degradation and a node failure (each at
+    // 25% of the clean makespan) under replan and fail-job recovery, on
+    // both substrates. Pins the whole fault pipeline — script scheduling
+    // through the shared kernel, abort/re-grant on the optical ring,
+    // incremental re-solve on the electrical cluster, and the blast-radius
+    // diff — bit-exactly.
+    let spec =
+        wrht_bench::campaign::faults_spec(&golden_cfg(), &[dnn_models::googlenet()], 16, 2023);
+    let report = wrht_bench::campaign::run_fault_campaign(&spec, 1, None);
+    assert!(
+        report.results.iter().all(|r| r.error.is_none()),
+        "every golden fault cell must execute"
+    );
+    // ≥1 wavelength-failure and ≥1 link-degradation scenario per substrate.
+    for kind in ["optical", "electrical"] {
+        for scenario in ["wavelength-down", "link-degrade"] {
+            assert!(
+                report.results.iter().any(|r| {
+                    r.cell.substrate.label() == kind
+                        && r.cell.scenario.label().starts_with(scenario)
+                }),
+                "missing {scenario} cell on {kind}"
+            );
+        }
+    }
+    assert_matches_golden("faults_googlenet.json", &to_json(&report));
+}
+
+#[test]
 fn headline_json_matches_golden() {
     let cfg = golden_cfg();
     let all: Vec<_> = [dnn_models::googlenet(), dnn_models::alexnet()]
