@@ -56,7 +56,8 @@ use wrht_core::fault::{
     fault_cluster_report, FaultClusterReport, FaultKind, FaultPolicy, FaultScript,
 };
 use wrht_core::lower::to_optical_schedule;
-use wrht_core::tenancy::{Job, SchedPolicy, TenancySpec};
+use wrht_core::stream::{Admission, ArrivalProcess, StreamReport, StreamSpec, StreamTemplate};
+use wrht_core::tenancy::{Job, JobWorkload, SchedPolicy, TenancySpec};
 use wrht_core::{build_plan, choose_group_size, plan_and_simulate, WrhtParams};
 
 /// The collective algorithm a cell times.
@@ -1100,6 +1101,12 @@ pub struct TenancyCellResult {
     pub max_slowdown: f64,
     /// Jain fairness index over per-job slowdowns, `(0, 1]`.
     pub fairness_index: f64,
+    /// Median per-job slowdown (streaming P², exact for <= 5 jobs).
+    pub slowdown_p50: f64,
+    /// 99th-percentile per-job slowdown.
+    pub slowdown_p99: f64,
+    /// 99.9th-percentile per-job slowdown.
+    pub slowdown_p999: f64,
     /// Mean fraction of per-job communication hidden behind compute.
     pub mean_hidden_fraction: f64,
     /// Peak wavelength footprint (0 electrically).
@@ -1204,6 +1211,9 @@ pub fn run_tenancy_cell(
         mean_slowdown: 0.0,
         max_slowdown: 0.0,
         fairness_index: 0.0,
+        slowdown_p50: 0.0,
+        slowdown_p99: 0.0,
+        slowdown_p999: 0.0,
         mean_hidden_fraction: 0.0,
         peak_wavelengths: 0,
         transfers: 0,
@@ -1257,6 +1267,9 @@ pub fn run_tenancy_cell(
             result.mean_slowdown = report.mean_slowdown();
             result.max_slowdown = report.max_slowdown();
             result.fairness_index = report.fairness_index;
+            result.slowdown_p50 = report.slowdown.p50;
+            result.slowdown_p99 = report.slowdown.p99;
+            result.slowdown_p999 = report.slowdown.p999;
             result.mean_hidden_fraction = if report.jobs.is_empty() {
                 1.0
             } else {
@@ -1337,12 +1350,13 @@ pub fn tenancy_to_csv(report: &TenancyCampaignReport) -> String {
     let mut out = String::from(
         "substrate,policy,jobs,algorithm,model,n,wavelengths,strategy,bucket_bytes,\
          stagger_s,seed,makespan_s,mean_slowdown,max_slowdown,fairness_index,\
+         slowdown_p50,slowdown_p99,slowdown_p999,\
          mean_hidden_fraction,peak_wavelengths,transfers,error\n",
     );
     for r in &report.results {
         let c = &r.cell;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             c.substrate.label(),
             c.policy.label(),
             c.jobs,
@@ -1358,6 +1372,9 @@ pub fn tenancy_to_csv(report: &TenancyCampaignReport) -> String {
             r.mean_slowdown,
             r.max_slowdown,
             r.fairness_index,
+            r.slowdown_p50,
+            r.slowdown_p99,
+            r.slowdown_p999,
             r.mean_hidden_fraction,
             r.peak_wavelengths,
             r.transfers,
@@ -1925,6 +1942,412 @@ pub fn faults_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64
         &[SubstrateKind::Electrical, SubstrateKind::Optical],
         25 << 20,
         1e-3,
+    );
+    spec.seed = seed;
+    spec
+}
+
+/// One grid point of an open-loop stream campaign: Poisson arrivals of
+/// `model` training iterations at `rate_hz`, served through
+/// [`wrht_core::substrate::Substrate::execute_stream`] under `policy` with
+/// `admission` control layered on top.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCellConfig {
+    /// Fabric serving the stream.
+    pub substrate: SubstrateKind,
+    /// Cross-job scheduling policy.
+    pub policy: SchedPolicy,
+    /// Admission control applied before jobs reach the scheduler.
+    pub admission: Admission,
+    /// Mean Poisson arrival rate, jobs per second.
+    pub rate_hz: f64,
+    /// Total arrivals generated by the cell.
+    pub arrivals: u64,
+    /// Collective algorithm used per gradient bucket.
+    pub algorithm: Algorithm,
+    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    pub model: String,
+    /// Gradient-fusion bucket budget, bytes.
+    pub bucket_bytes: u64,
+    /// Metric window width, seconds.
+    pub window_s: f64,
+    /// Node count.
+    pub n: usize,
+    /// Wavelength budget (optical; recorded but unused electrically).
+    pub wavelengths: usize,
+    /// RWA strategy (optical; ignored electrically).
+    pub strategy: Strategy,
+}
+
+/// Result of one executed (or failed) stream cell: the scalar summary of
+/// the cell's [`wrht_core::stream::StreamReport`] (no wall-clock fields,
+/// so rows are bit-stable and can be pinned by golden tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCellResult {
+    /// The cell's configuration.
+    pub cell: StreamCellConfig,
+    /// FNV-1a hash of the configuration (the sink key).
+    pub config_hash: u64,
+    /// Deterministic per-cell seed: campaign seed ⊕ config hash (also the
+    /// cell's Poisson seed).
+    pub seed: u64,
+    /// Arrivals generated.
+    pub arrivals: u64,
+    /// Arrivals admitted into service.
+    pub admitted: u64,
+    /// Arrivals shed by [`Admission::Reject`].
+    pub rejected: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Last completion instant, seconds.
+    pub makespan_s: f64,
+    /// Kernel events processed by the run.
+    pub events: u64,
+    /// Delivered bytes over `reference_bps × makespan`.
+    pub mean_utilization: f64,
+    /// Mean slowdown over completed jobs.
+    pub mean_slowdown: f64,
+    /// Streaming slowdown median.
+    pub slowdown_p50: f64,
+    /// Streaming slowdown 99th percentile.
+    pub slowdown_p99: f64,
+    /// Streaming slowdown 99.9th percentile.
+    pub slowdown_p999: f64,
+    /// Jain fairness index over completed-job slowdowns.
+    pub fairness_index: f64,
+    /// Deepest admission queue observed.
+    pub peak_queue_depth: usize,
+    /// Most jobs simultaneously in service.
+    pub peak_in_service: usize,
+    /// Non-empty metric windows emitted.
+    pub windows: usize,
+    /// Error string for infeasible cells.
+    pub error: Option<String>,
+}
+
+/// A declarative stream campaign: shared physical constants plus cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSweep {
+    /// Campaign name (names the combined sink files).
+    pub name: String,
+    /// Physical constants shared by every cell.
+    pub base: ExperimentConfig,
+    /// Campaign-level seed, mixed into every cell seed.
+    pub seed: u64,
+    /// The cells, in grid order.
+    pub cells: Vec<StreamCellConfig>,
+}
+
+impl StreamSweep {
+    /// Expand a full cross-product grid in deterministic nested order
+    /// (model → n → rate → policy → admission → substrate), at the base
+    /// config's wavelength budget.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // one axis per campaign dimension
+    pub fn grid(
+        name: &str,
+        base: ExperimentConfig,
+        models: &[&str],
+        rates_hz: &[f64],
+        policies: &[SchedPolicy],
+        admissions: &[Admission],
+        nodes: &[usize],
+        substrates: &[SubstrateKind],
+        bucket_bytes: u64,
+        arrivals: u64,
+        window_s: f64,
+    ) -> Self {
+        let wavelengths = base.wavelengths;
+        let mut cells = Vec::new();
+        for &model in models {
+            for &n in nodes {
+                for &rate_hz in rates_hz {
+                    for &policy in policies {
+                        for &admission in admissions {
+                            for &substrate in substrates {
+                                cells.push(StreamCellConfig {
+                                    substrate,
+                                    policy,
+                                    admission,
+                                    rate_hz,
+                                    arrivals,
+                                    algorithm: Algorithm::Wrht,
+                                    model: model.to_string(),
+                                    bucket_bytes,
+                                    window_s,
+                                    n,
+                                    wavelengths,
+                                    strategy: Strategy::FirstFit,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            name: name.to_string(),
+            base,
+            seed: 0,
+            cells,
+        }
+    }
+}
+
+/// Executed stream campaign: results in the same order as `spec.cells`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// One result per cell, in grid order.
+    pub results: Vec<StreamCellResult>,
+}
+
+/// Stable FNV-1a hash of a stream cell configuration.
+#[must_use]
+pub fn stream_config_hash(cell: &StreamCellConfig) -> u64 {
+    fnv1a(&serde_json::to_string(cell).expect("cell configs serialize"))
+}
+
+/// Execute one stream cell against the campaign's physical constants.
+///
+/// The model's gradient buckets are lowered once into a training-iteration
+/// workload; the cell serves `arrivals` Poisson arrivals of that workload
+/// (alternating between a high- and a low-priority template, so the
+/// priority axis has something to bite on) through the online stream
+/// engine and keeps the scalar summary.
+#[must_use]
+pub fn run_stream_cell(
+    base: &ExperimentConfig,
+    seed: u64,
+    cell: &StreamCellConfig,
+) -> StreamCellResult {
+    let hash = stream_config_hash(cell);
+    let mut result = StreamCellResult {
+        cell: cell.clone(),
+        config_hash: hash,
+        seed: seed ^ hash,
+        arrivals: 0,
+        admitted: 0,
+        rejected: 0,
+        completed: 0,
+        makespan_s: 0.0,
+        events: 0,
+        mean_utilization: 0.0,
+        mean_slowdown: 0.0,
+        slowdown_p50: 0.0,
+        slowdown_p99: 0.0,
+        slowdown_p999: 0.0,
+        fairness_index: 0.0,
+        peak_queue_depth: 0,
+        peak_in_service: 0,
+        windows: 0,
+        error: None,
+    };
+
+    let Some(model) = dnn_models::paper_models()
+        .into_iter()
+        .find(|m| m.name == cell.model)
+    else {
+        result.error = Some(format!("unknown model '{}'", cell.model));
+        return result;
+    };
+
+    // Cell-local constants: the cell's wavelength budget overrides the base.
+    let mut local = base.clone();
+    local.wavelengths = cell.wavelengths;
+
+    let outcome: wrht_core::error::Result<StreamReport> = (|| {
+        let buckets = crate::timeline::timeline_buckets(&model, cell.bucket_bytes);
+        let mut lowered: Vec<(f64, StepSchedule)> = Vec::with_capacity(buckets.len());
+        for b in &buckets {
+            let (schedule, _) =
+                crate::timeline::lower_allreduce(&local, cell.algorithm, cell.n, b.bytes)?;
+            lowered.push((b.ready_s, schedule));
+        }
+        let spec = StreamSpec::new(
+            ArrivalProcess::Poisson {
+                rate_hz: cell.rate_hz,
+                count: cell.arrivals,
+                seed: seed ^ hash,
+            },
+            cell.policy,
+        )
+        .with_template(
+            StreamTemplate::new(
+                format!("{}-hi", model.name),
+                JobWorkload::Buckets(lowered.clone()),
+            )
+            .with_priority(2),
+        )
+        .with_template(
+            StreamTemplate::new(format!("{}-lo", model.name), JobWorkload::Buckets(lowered))
+                .with_priority(1),
+        )
+        .with_admission(cell.admission)
+        .with_window(cell.window_s)
+        .with_reference_bps(local.lambda_bandwidth_bps * cell.wavelengths as f64);
+        local
+            .try_substrate(cell.substrate, cell.n, cell.strategy)?
+            .execute_stream(&spec)
+    })();
+
+    match outcome {
+        Ok(report) => {
+            result.arrivals = report.arrivals;
+            result.admitted = report.admitted;
+            result.rejected = report.rejected;
+            result.completed = report.completed;
+            result.makespan_s = report.makespan_s;
+            result.events = report.events;
+            result.mean_utilization = report.mean_utilization;
+            result.mean_slowdown = report.mean_slowdown;
+            result.slowdown_p50 = report.slowdown.p50;
+            result.slowdown_p99 = report.slowdown.p99;
+            result.slowdown_p999 = report.slowdown.p999;
+            result.fairness_index = report.fairness_index;
+            result.peak_queue_depth = report.peak_queue_depth;
+            result.peak_in_service = report.peak_in_service;
+            result.windows = report.windows.len();
+            result.error = None;
+        }
+        Err(e) => result.error = Some(e.to_string()),
+    }
+    result
+}
+
+/// Run a stream campaign over `threads` workers — deterministic and
+/// resumable exactly like [`run_campaign`]: one `scell-<hash>.json` per
+/// finished cell, grid-ordered results, byte-identical serial/parallel
+/// output, plus combined `<name>.json` / `<name>.csv` tables.
+#[must_use]
+pub fn run_stream_campaign(
+    spec: &StreamSweep,
+    threads: usize,
+    sink: Option<&Path>,
+) -> StreamCampaignReport {
+    if let Some(dir) = sink {
+        let _ = fs::create_dir_all(dir);
+    }
+
+    let ctx = context_hash(&spec.base, spec.seed);
+    let keys: Vec<u64> = spec
+        .cells
+        .iter()
+        .map(|c| stream_config_hash(c) ^ ctx)
+        .collect();
+    let mut prefilled: Vec<Option<StreamCellResult>> = vec![None; spec.cells.len()];
+    for (i, cell) in spec.cells.iter().enumerate() {
+        let expected_seed = spec.seed ^ stream_config_hash(cell);
+        prefilled[i] = sink.and_then(|dir| {
+            load_finished(&cell_file(dir, "scell", keys[i]), |r: &StreamCellResult| {
+                r.cell == *cell
+                    && r.config_hash == stream_config_hash(cell)
+                    && r.seed == expected_seed
+            })
+        });
+    }
+
+    let results = run_slots(
+        threads,
+        prefilled,
+        |i| run_stream_cell(&spec.base, spec.seed, &spec.cells[i]),
+        |i, result| {
+            if let Some(dir) = sink {
+                let _ = fs::write(cell_file(dir, "scell", keys[i]), to_json(result));
+            }
+        },
+    );
+
+    let report = StreamCampaignReport {
+        name: spec.name.clone(),
+        results,
+    };
+    if let Some(dir) = sink {
+        let _ = fs::write(dir.join(format!("{}.json", spec.name)), to_json(&report));
+        let _ = fs::write(
+            dir.join(format!("{}.csv", spec.name)),
+            stream_to_csv(&report),
+        );
+    }
+    report
+}
+
+/// Render a stream campaign as CSV (stable column order, grid rows).
+#[must_use]
+pub fn stream_to_csv(report: &StreamCampaignReport) -> String {
+    let mut out = String::from(
+        "substrate,policy,admission,rate_hz,arrivals,algorithm,model,n,wavelengths,\
+         bucket_bytes,window_s,seed,admitted,rejected,completed,makespan_s,events,\
+         mean_utilization,mean_slowdown,slowdown_p50,slowdown_p99,slowdown_p999,\
+         fairness_index,peak_queue_depth,peak_in_service,windows,error\n",
+    );
+    for r in &report.results {
+        let c = &r.cell;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            c.substrate.label(),
+            c.policy.label(),
+            csv_field(&c.admission.label()),
+            c.rate_hz,
+            c.arrivals,
+            c.algorithm.label(),
+            csv_field(&c.model),
+            c.n,
+            c.wavelengths,
+            c.bucket_bytes,
+            c.window_s,
+            r.seed,
+            r.admitted,
+            r.rejected,
+            r.completed,
+            r.makespan_s,
+            r.events,
+            r.mean_utilization,
+            r.mean_slowdown,
+            r.slowdown_p50,
+            r.slowdown_p99,
+            r.slowdown_p999,
+            r.fairness_index,
+            r.peak_queue_depth,
+            r.peak_in_service,
+            r.windows,
+            csv_field(r.error.as_deref().unwrap_or("")),
+        ));
+    }
+    out
+}
+
+/// The `repro-figures serve` campaign: Poisson arrivals of the first
+/// model's training iteration at an underload and an overload rate, under
+/// every scheduling policy × immediate / queue-bounded / load-shedding
+/// admission, on both substrates.
+#[must_use]
+pub fn serve_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64) -> StreamSweep {
+    let first: Vec<&str> = models
+        .first()
+        .map(|m| m.name.as_str())
+        .into_iter()
+        .collect();
+    let mut spec = StreamSweep::grid(
+        "serve",
+        cfg.clone(),
+        &first,
+        // Rates bracket one GoogLeNet-iteration service time at 16 nodes:
+        // ~50/s keeps the fabric busy but stable, ~200/s overloads it so
+        // queueing (and rejection, under `Reject`) becomes visible.
+        &[50.0, 200.0],
+        &SchedPolicy::ALL,
+        &[
+            Admission::Immediate,
+            Admission::QueueDepth { limit: 2 },
+            Admission::Reject { limit: 4 },
+        ],
+        &[n],
+        &[SubstrateKind::Electrical, SubstrateKind::Optical],
+        25 << 20,
+        16,
+        20e-3,
     );
     spec.seed = seed;
     spec
@@ -2552,6 +2975,143 @@ mod tests {
             .cells
             .iter()
             .any(|c| matches!(c.scenario, FaultScenario::NodeDown { node: 8, .. })));
+        assert_eq!(spec.seed, 7);
+    }
+
+    fn tiny_stream_spec() -> StreamSweep {
+        let mut spec = StreamSweep::grid(
+            "tiny-serve",
+            tiny_cfg(),
+            &["GoogLeNet"],
+            &[2000.0],
+            &SchedPolicy::ALL,
+            &[
+                Admission::Immediate,
+                Admission::QueueDepth { limit: 2 },
+                Admission::Reject { limit: 4 },
+            ],
+            &[8],
+            &[SubstrateKind::Electrical, SubstrateKind::Optical],
+            25 << 20,
+            6,
+            20e-3,
+        );
+        spec.seed = 19;
+        spec
+    }
+
+    #[test]
+    fn stream_grid_expands_the_cross_product_with_unique_hashes() {
+        let spec = tiny_stream_spec();
+        assert_eq!(spec.cells.len(), 3 * 3 * 2);
+        assert_eq!(spec.cells[0].substrate, SubstrateKind::Electrical);
+        assert_eq!(spec.cells[0].admission, Admission::Immediate);
+        let mut hashes: Vec<u64> = spec.cells.iter().map(stream_config_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), spec.cells.len(), "hash collision");
+    }
+
+    #[test]
+    fn stream_cells_execute_and_account_for_every_arrival() {
+        let spec = tiny_stream_spec();
+        let report = run_stream_campaign(&spec, 2, None);
+        assert_eq!(report.results.len(), spec.cells.len());
+        for r in &report.results {
+            assert!(r.error.is_none(), "{:?}: {:?}", r.cell, r.error);
+            assert_eq!(r.seed, spec.seed ^ r.config_hash);
+            assert_eq!(r.arrivals, r.cell.arrivals);
+            assert_eq!(r.admitted + r.rejected, r.arrivals);
+            assert_eq!(r.completed, r.admitted);
+            assert!(r.makespan_s > 0.0);
+            assert!(r.events > 0);
+            assert!(r.windows >= 1);
+            assert!(r.fairness_index > 0.0 && r.fairness_index <= 1.0 + 1e-12);
+            assert!(r.mean_slowdown >= 1.0 - 1e-9);
+            match r.cell.admission {
+                Admission::Reject { .. } => {}
+                _ => assert_eq!(r.rejected, 0, "{:?}", r.cell),
+            }
+        }
+        // The overload rate must actually shed load somewhere under Reject.
+        assert!(
+            report
+                .results
+                .iter()
+                .any(|r| matches!(r.cell.admission, Admission::Reject { .. }) && r.rejected > 0),
+            "no Reject cell shed load at the overload rate"
+        );
+    }
+
+    #[test]
+    fn stream_parallel_run_is_byte_identical_to_serial() {
+        let spec = tiny_stream_spec();
+        let serial = run_stream_campaign(&spec, 1, None);
+        let parallel = run_stream_campaign(&spec, 8, None);
+        assert_eq!(to_json(&serial), to_json(&parallel));
+    }
+
+    #[test]
+    fn stream_sink_resumes_and_rejects_unknown_models() {
+        let dir = std::env::temp_dir().join(format!("wrht-st-campaign-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut spec = tiny_stream_spec();
+        spec.cells.truncate(4);
+        spec.cells.push(StreamCellConfig {
+            substrate: SubstrateKind::Optical,
+            policy: SchedPolicy::Fifo,
+            admission: Admission::Immediate,
+            rate_hz: 100.0,
+            arrivals: 4,
+            algorithm: Algorithm::Wrht,
+            model: "NotANet".into(),
+            bucket_bytes: 1 << 20,
+            window_s: 20e-3,
+            n: 8,
+            wavelengths: 64,
+            strategy: Strategy::FirstFit,
+        });
+        let first = run_stream_campaign(&spec, 2, Some(&dir));
+        assert!(first.results.last().unwrap().error.is_some());
+        let resumed = run_stream_campaign(&spec, 2, Some(&dir));
+        assert_eq!(to_json(&first), to_json(&resumed));
+        assert!(dir.join("tiny-serve.json").exists());
+        let csv = fs::read_to_string(dir.join("tiny-serve.csv")).unwrap();
+        assert_eq!(csv.lines().count(), spec.cells.len() + 1);
+        // Stream sink files use their own prefix, so all five campaign
+        // kinds can share a directory without key collisions.
+        let scells = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("scell-")
+            })
+            .count();
+        assert_eq!(scells, spec.cells.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_spec_covers_rates_policies_and_admissions() {
+        let models = dnn_models::paper_models();
+        let spec = serve_spec(&tiny_cfg(), &models, 16, 7);
+        // 2 rates × 3 policies × 3 admissions × 2 substrates.
+        assert_eq!(spec.cells.len(), 2 * 3 * 3 * 2);
+        assert!(spec.cells.iter().all(|c| c.n == 16));
+        for policy in SchedPolicy::ALL {
+            assert!(spec.cells.iter().any(|c| c.policy == policy));
+        }
+        assert!(spec
+            .cells
+            .iter()
+            .any(|c| matches!(c.admission, Admission::QueueDepth { .. })));
+        assert!(spec
+            .cells
+            .iter()
+            .any(|c| matches!(c.admission, Admission::Reject { .. })));
         assert_eq!(spec.seed, 7);
     }
 

@@ -15,6 +15,11 @@
 //! 3. **`pipelined-vgg16/<substrate>`** — one pipelined VGG16 training
 //!    iteration at 32 nodes: bucket all-reduces chained into a single
 //!    dependency-aware DAG (the PR-4 pipelined path).
+//! 4. **`stream-poisson/optical`** — one million Poisson arrivals of
+//!    single-transfer jobs served open-loop on a 10k-node optical ring
+//!    through `Substrate::execute_stream` (the PR-8 online path): stresses
+//!    per-arrival injection into the *running* kernel, slot reuse and the
+//!    bounded-memory windowed aggregator.
 //!
 //! Each case is run `iters` times and the **minimum** wall time is kept
 //! (the usual micro-bench convention: the minimum is the least noisy
@@ -25,10 +30,13 @@
 
 use std::time::Instant;
 
+use optical_sim::sim::StepSchedule;
+use optical_sim::{NodeId, Transfer};
 use serde::{Deserialize, Serialize};
 use wrht_core::dag::DepSchedule;
 use wrht_core::error::Result;
-use wrht_core::tenancy::{Job, SchedPolicy, TenancySpec};
+use wrht_core::stream::{ArrivalProcess, StreamSpec, StreamTemplate};
+use wrht_core::tenancy::{Job, JobWorkload, SchedPolicy, TenancySpec};
 
 use crate::campaign::Algorithm;
 use crate::contention::{generate_traffic, Pattern};
@@ -123,6 +131,10 @@ pub struct SuiteScale {
     pub incast_bytes: u64,
     /// Nodes in the pipelined-training workload.
     pub pipeline_nodes: usize,
+    /// Nodes in the open-loop stream workload.
+    pub stream_nodes: usize,
+    /// Poisson arrivals in the open-loop stream workload.
+    pub stream_arrivals: u64,
     /// Timed repetitions per case.
     pub iters: u32,
 }
@@ -136,6 +148,8 @@ impl SuiteScale {
             incast_waves: 4,
             incast_bytes: 16 << 20,
             pipeline_nodes: 32,
+            stream_nodes: 10_000,
+            stream_arrivals: 1_000_000,
             iters: 5,
         }
     }
@@ -149,6 +163,8 @@ impl SuiteScale {
             incast_waves: 1,
             incast_bytes: 4 << 20,
             pipeline_nodes: 16,
+            stream_nodes: 1_000,
+            stream_arrivals: 50_000,
             iters: 3,
         }
     }
@@ -228,6 +244,41 @@ pub fn pipelined_train_dag(n: usize) -> Result<(ExperimentConfig, DepSchedule)> 
     }
     let (dag, _) = DepSchedule::chain(&lowered);
     Ok((cfg, dag))
+}
+
+/// The frozen open-loop stream workload: `arrivals` Poisson arrivals of a
+/// single one-hop 4 KB transfer each, spread round-robin over up to 64
+/// disjoint neighbour pairs of an `nodes`-node optical ring. At 200k
+/// arrivals/s the offered load stays far below capacity, so the stream
+/// drains online and the case measures engine overhead — per-arrival
+/// injection into the running kernel, grant-slot reuse and the windowed
+/// aggregator — rather than queueing.
+#[must_use]
+pub fn stream_workload(nodes: usize, arrivals: u64) -> (ExperimentConfig, StreamSpec) {
+    let cfg = ExperimentConfig::default();
+    let mut spec = StreamSpec::new(
+        ArrivalProcess::Poisson {
+            rate_hz: 200_000.0,
+            count: arrivals,
+            seed: 2023,
+        },
+        SchedPolicy::Fifo,
+    )
+    .with_window(50e-3)
+    .with_reference_bps(cfg.lambda_bandwidth_bps);
+    let pairs = 64.min(nodes / 2);
+    for p in 0..pairs {
+        let schedule = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(2 * p),
+            NodeId(2 * p + 1),
+            4 << 10,
+        )]]);
+        spec = spec.with_template(StreamTemplate::new(
+            format!("ping-{p}"),
+            JobWorkload::Steps(schedule),
+        ));
+    }
+    (cfg, spec)
 }
 
 /// Time `run` over `iters` repetitions, returning (min wall seconds, last
@@ -321,6 +372,31 @@ pub fn run_suite(scale: SuiteScale, suite: &str, milestone: &str) -> Result<Benc
         ));
     }
 
+    // Case family 4: the open-loop Poisson stream on the optical engine
+    // (grant-slot reuse keeps memory bounded at a million arrivals).
+    {
+        let (cfg, spec) = stream_workload(scale.stream_nodes, scale.stream_arrivals);
+        let mut substrate = cfg.substrate(
+            SubstrateKind::Optical,
+            scale.stream_nodes,
+            optical_sim::Strategy::FirstFit,
+        );
+        let (wall_s, report) = time_best(scale.iters, || {
+            substrate
+                .execute_stream(&spec)
+                .expect("frozen stream workload executes")
+        });
+        cases.push(case_result(
+            "stream-poisson/optical".to_string(),
+            scale.stream_nodes,
+            report.completed as usize,
+            scale.iters,
+            wall_s,
+            report.makespan_s,
+            report.events,
+        ));
+    }
+
     Ok(BenchSuiteResult {
         format: BENCH_FORMAT.to_string(),
         suite: suite.to_string(),
@@ -363,7 +439,7 @@ mod tests {
         let mut scale = SuiteScale::small();
         scale.iters = 1;
         let suite = run_suite(scale, "small", "unit-test").expect("suite runs");
-        assert_eq!(suite.cases.len(), 5);
+        assert_eq!(suite.cases.len(), 6);
         for case in &suite.cases {
             assert!(case.wall_s > 0.0, "{}: wall time measured", case.name);
             assert!(case.makespan_s > 0.0, "{}: simulated time", case.name);

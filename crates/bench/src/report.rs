@@ -250,21 +250,74 @@ pub fn render_tenants(results: &[crate::campaign::TenancyCellResult], n: usize) 
     let mut out = format!("== Multi-job tenancy (n = {n}) ==\n");
     let _ = writeln!(
         out,
-        "{:>11} {:>9} {:>5} {:>12} {:>12} {:>10} {:>10} {:>8}",
-        "substrate", "policy", "jobs", "makespan ms", "mean slow", "max slow", "fairness", "hidden"
+        "{:>11} {:>9} {:>5} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "substrate",
+        "policy",
+        "jobs",
+        "makespan ms",
+        "mean slow",
+        "max slow",
+        "slow p50",
+        "slow p99",
+        "fairness",
+        "hidden"
     );
     for r in results.iter().filter(|r| r.error.is_none()) {
         let _ = writeln!(
             out,
-            "{:>11} {:>9} {:>5} {:>12.3} {:>11.2}x {:>9.2}x {:>10.3} {:>7.1}%",
+            "{:>11} {:>9} {:>5} {:>12.3} {:>11.2}x {:>9.2}x {:>9.2}x {:>9.2}x {:>10.3} {:>7.1}%",
             r.cell.substrate.label(),
             r.cell.policy.label(),
             r.cell.jobs,
             r.makespan_s * 1e3,
             r.mean_slowdown,
             r.max_slowdown,
+            r.slowdown_p50,
+            r.slowdown_p99,
             r.fairness_index,
             r.mean_hidden_fraction * 100.0
+        );
+    }
+    out
+}
+
+/// Render the open-loop stream campaign as an aligned table. Failed cells
+/// are skipped (their errors live in the campaign CSV/JSON).
+#[must_use]
+pub fn render_streams(results: &[crate::campaign::StreamCellResult], n: usize) -> String {
+    let mut out = format!("== Open-loop cluster service (n = {n}) ==\n");
+    let _ = writeln!(
+        out,
+        "{:>11} {:>9} {:>11} {:>8} {:>8} {:>8} {:>12} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "substrate",
+        "policy",
+        "admission",
+        "rate/s",
+        "admit",
+        "reject",
+        "makespan ms",
+        "slow p50",
+        "slow p99",
+        "slow p999",
+        "peak q",
+        "fair"
+    );
+    for r in results.iter().filter(|r| r.error.is_none()) {
+        let _ = writeln!(
+            out,
+            "{:>11} {:>9} {:>11} {:>8} {:>8} {:>8} {:>12.3} {:>9.2}x {:>9.2}x {:>9.2}x {:>8} {:>8.3}",
+            r.cell.substrate.label(),
+            r.cell.policy.label(),
+            r.cell.admission.label(),
+            r.cell.rate_hz,
+            r.admitted,
+            r.rejected,
+            r.makespan_s * 1e3,
+            r.slowdown_p50,
+            r.slowdown_p99,
+            r.slowdown_p999,
+            r.peak_queue_depth,
+            r.fairness_index
         );
     }
     out

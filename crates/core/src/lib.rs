@@ -48,7 +48,14 @@
 //!   [`fault::FaultScript`] events executed through the shared kernel
 //!   under a recovery [`fault::FaultPolicy`], with per-job blast radius
 //!   and recovery time in a [`fault::FaultClusterReport`]
-//!   ([`substrate::Substrate::execute_jobs_faulted`]).
+//!   ([`substrate::Substrate::execute_jobs_faulted`]);
+//! * [`stream`] — the open-loop cluster service: arrival streams
+//!   ([`stream::ArrivalProcess`]) admitted into the *running* engines
+//!   ([`substrate::Substrate::execute_stream`]), windowed metrics with
+//!   bounded memory, and versioned checkpoint/resume
+//!   ([`stream::StreamCheckpoint`]);
+//! * [`quantile`] — streaming P² percentile estimation shared by the
+//!   closed and open-loop reports.
 //!
 //! ```
 //! use wrht_core::prelude::*;
@@ -87,7 +94,9 @@ pub mod optimizer;
 pub mod params;
 pub mod pipeline;
 pub mod plan;
+pub mod quantile;
 pub mod steps;
+pub mod stream;
 pub mod substrate;
 pub mod tenancy;
 pub mod timeline;
@@ -113,7 +122,12 @@ pub mod prelude {
         build_plan, build_plan_over, candidate_plans, candidate_plans_over, Group, Level,
         StopPolicy, WrhtPlan,
     };
+    pub use crate::quantile::{exact_percentiles, P2Quantile, PercentileSet, Percentiles};
     pub use crate::steps::{paper_step_count, tree_wavelength_requirement};
+    pub use crate::stream::{
+        Admission, ArrivalProcess, StreamCheckpoint, StreamJobReport, StreamOutcome, StreamReport,
+        StreamSpec, StreamTemplate, WindowedReport, STREAM_CHECKPOINT_VERSION,
+    };
     pub use crate::substrate::{
         DagRunReport, DagTiming, ElectricalSubstrate, OpticalSubstrate, RunReport, StepTiming,
         Substrate,
@@ -133,6 +147,11 @@ pub use fault::{FaultClusterReport, FaultPolicy, FaultRunReport, FaultScript};
 pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
 pub use params::{GroupSize, WrhtParams};
 pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};
+pub use quantile::{PercentileSet, Percentiles};
+pub use stream::{
+    Admission, ArrivalProcess, StreamCheckpoint, StreamOutcome, StreamReport, StreamSpec,
+    StreamTemplate, WindowedReport,
+};
 pub use substrate::{DagRunReport, ElectricalSubstrate, OpticalSubstrate, RunReport, Substrate};
 pub use tenancy::{ClusterReport, Job, JobId, JobReport, SchedPolicy, TenancySpec};
 pub use timeline::{

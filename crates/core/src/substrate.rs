@@ -34,6 +34,7 @@ use crate::error::Result;
 use crate::fault::{
     fault_cluster_report, FaultClusterReport, FaultPolicy, FaultRunReport, FaultScript, FaultTiming,
 };
+use crate::stream::{StreamCheckpoint, StreamOutcome, StreamReport, StreamSpec};
 use crate::tenancy::{ClusterReport, JobArbitration, TenancySpec, TenantDagRun};
 use electrical_sim::runner::{
     run_dag, run_dag_jobs, run_dag_jobs_faulted, run_steps, DagFlow, StepTransfer,
@@ -259,6 +260,43 @@ pub trait Substrate {
             spec, &composed, &clean.dag, &faulted, policy,
         ))
     }
+
+    /// Execute an **open-loop arrival stream** ([`crate::stream`]): jobs
+    /// arrive over time per the spec's [`crate::stream::ArrivalProcess`],
+    /// pass admission control, and their transfers are injected into the
+    /// *running* engine — the same event-driven engine the closed
+    /// [`Substrate::execute_jobs`] path drives, so a stream whose arrivals
+    /// are all pre-known is bit-exact with the closed run. Metrics are
+    /// aggregated per window with bounded memory.
+    fn execute_stream(&mut self, spec: &StreamSpec) -> Result<StreamReport> {
+        match self.execute_stream_until(spec, None)? {
+            StreamOutcome::Done(report) => Ok(report),
+            StreamOutcome::Paused(_) => Err(optical_sim::OpticalError::BadConfig(
+                "stream paused without a pause request",
+            )
+            .into()),
+        }
+    }
+
+    /// Like [`Substrate::execute_stream`], but optionally pause once
+    /// `pause_after_arrivals` arrivals have been generated, returning a
+    /// [`StreamCheckpoint`] that [`Substrate::resume_stream`] continues
+    /// byte-identically.
+    fn execute_stream_until(
+        &mut self,
+        spec: &StreamSpec,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome>;
+
+    /// Resume a paused stream from a [`StreamCheckpoint`] taken on an
+    /// identically configured substrate with the identical spec. The
+    /// resumed run's report is byte-identical to the uninterrupted run's.
+    fn resume_stream(
+        &mut self,
+        spec: &StreamSpec,
+        checkpoint: &StreamCheckpoint,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome>;
 }
 
 /// The WDM optical ring as an execution substrate.
@@ -456,6 +494,23 @@ impl Substrate for OpticalSubstrate {
     ) -> Result<FaultRunReport> {
         self.run_faulted(dag, Some(arb), script, policy)
     }
+
+    fn execute_stream_until(
+        &mut self,
+        spec: &StreamSpec,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome> {
+        crate::stream::optical_stream(self, spec, None, pause_after_arrivals)
+    }
+
+    fn resume_stream(
+        &mut self,
+        spec: &StreamSpec,
+        checkpoint: &StreamCheckpoint,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome> {
+        crate::stream::optical_stream(self, spec, Some(checkpoint), pause_after_arrivals)
+    }
 }
 
 /// The electrical switched cluster (fluid model) as an execution substrate.
@@ -485,6 +540,12 @@ impl ElectricalSubstrate {
     #[must_use]
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The per-step protocol overhead charged to every transfer, seconds.
+    #[must_use]
+    pub fn step_overhead_s(&self) -> f64 {
+        self.step_overhead_s
     }
 
     fn run_faulted(
@@ -675,6 +736,23 @@ impl Substrate for ElectricalSubstrate {
         policy: FaultPolicy,
     ) -> Result<FaultRunReport> {
         self.run_faulted(dag, &arb.job_of, arb.rank.len(), script, policy)
+    }
+
+    fn execute_stream_until(
+        &mut self,
+        spec: &StreamSpec,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome> {
+        crate::stream::electrical_stream(self, spec, None, pause_after_arrivals)
+    }
+
+    fn resume_stream(
+        &mut self,
+        spec: &StreamSpec,
+        checkpoint: &StreamCheckpoint,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome> {
+        crate::stream::electrical_stream(self, spec, Some(checkpoint), pause_after_arrivals)
     }
 }
 

@@ -413,6 +413,12 @@ pub struct ClusterReport {
     /// Jain fairness index over per-job slowdowns, `(0, 1]`: 1 when every
     /// tenant is slowed equally, `1/n` when one tenant absorbs all of it.
     pub fairness_index: f64,
+    /// Per-job slowdown percentiles (streaming P², exact for <= 5 jobs),
+    /// computed by the same [`crate::quantile::PercentileSet`] the
+    /// open-loop stream reports use.
+    pub slowdown: crate::quantile::Percentiles,
+    /// Per-job makespan percentiles, seconds (same estimator).
+    pub job_makespan: crate::quantile::Percentiles,
     /// Highest wavelength index in use at any instant + 1 (0 without WDM).
     pub peak_wavelength: usize,
     /// Fluid-solver invocations (0 on the optical substrate).
@@ -519,12 +525,23 @@ pub fn cluster_report(
         });
     }
     let slowdowns: Vec<f64> = jobs.iter().map(|j| j.slowdown).collect();
+    // Percentiles via the same streaming estimator the open-loop stream
+    // reports use (crate::quantile), fed in job-index order so closed
+    // reports are deterministic. Exact for up to five tenants.
+    let mut slow_pcts = crate::quantile::PercentileSet::new();
+    let mut make_pcts = crate::quantile::PercentileSet::new();
+    for j in &jobs {
+        slow_pcts.observe(j.slowdown);
+        make_pcts.observe(j.makespan_s);
+    }
     ClusterReport {
         substrate: run.dag.substrate.clone(),
         policy: spec.policy,
         makespan_s: run.dag.makespan_s,
         jobs,
         fairness_index: jain_index(&slowdowns),
+        slowdown: slow_pcts.summary(),
+        job_makespan: make_pcts.summary(),
         peak_wavelength: run.dag.peak_wavelength,
         rate_recomputations: run.dag.rate_recomputations,
         solver_work: run.dag.solver_work,
@@ -606,6 +623,38 @@ mod tests {
         assert_eq!(arb.rank, vec![0, 1]); // high priority ranked first
         let fair = mk(SchedPolicy::FairShare);
         assert!(fair.arbitration(&[]).fair_share);
+    }
+
+    #[test]
+    fn cluster_percentiles_match_the_exact_reference() {
+        let sched = StepSchedule::from_steps(vec![vec![Transfer::shortest(
+            NodeId(0),
+            NodeId(1),
+            1 << 20,
+        )]]);
+        let mut spec = TenancySpec::new(SchedPolicy::Fifo);
+        for j in 0..4 {
+            spec = spec.with_job(Job::steps(format!("j{j}"), j as f64 * 1e-4, sched.clone()));
+        }
+        for report in [
+            optical(8, 4).execute_jobs(&spec).unwrap(),
+            electrical(8).execute_jobs(&spec).unwrap(),
+        ] {
+            let slowdowns: Vec<f64> = report.jobs.iter().map(|j| j.slowdown).collect();
+            let makespans: Vec<f64> = report.jobs.iter().map(|j| j.makespan_s).collect();
+            // Four tenants: the streaming estimator is still in its exact
+            // phase, so the percentiles equal the nearest-rank reference.
+            assert_eq!(
+                report.slowdown,
+                crate::quantile::exact_percentiles(&slowdowns),
+                "{}",
+                report.substrate
+            );
+            assert_eq!(
+                report.job_makespan,
+                crate::quantile::exact_percentiles(&makespans)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,892 @@
+//! The streaming fluid engine.
+//!
+//! [`FluidEngine`] is the single execution engine behind every dependency-
+//! aware electrical run: the closed-set entry point
+//! ([`crate::sim::run_engine`], reached through [`crate::runner::run_dag`]
+//! and friends) injects the whole flow list at time zero and pumps the
+//! engine to idle, while open-loop cluster services
+//! [`FluidEngine::inject`] each arriving job's flows into the *running*
+//! engine. The incremental per-component max-min re-solve, the lazy
+//! `remaining` bookkeeping and the one-completion-event-per-component
+//! discipline are shared, so a stream whose arrivals are all known up
+//! front is bit-exact with the closed path.
+//!
+//! # Determinism across injection times
+//!
+//! Flow indices are assigned sequentially at injection and never reused,
+//! so injecting jobs in arrival order reproduces exactly the indices a
+//! closed composition would assign — and every index-ordered scan
+//! (promotion, job rate attribution, completion-by-candidate) visits flows
+//! in the same order with the same floating-point state. Event *sequence*
+//! order within a batch can differ between the two drivers, but batches
+//! are processed as sets: liveness is an `|=` accumulation and completions
+//! are found by candidate bits in index order, not in pop order.
+//!
+//! Bookkeeping is `O(total flows injected)` in memory (per-flow scalars are
+//! kept; routes, dependency and dependent lists are dropped when a flow
+//! completes), and an event costs work proportional to the *unsettled* and
+//! *active* flow sets plus the affected contention component — not to the
+//! number of flows ever injected.
+//!
+//! The engine supports [`FluidEngine::snapshot`] /
+//! [`FluidEngine::restore`]: a versioned, serializable image of the flow
+//! table, pending kernel events and clock. Per-flow times are stored as
+//! IEEE-754 bit patterns so `INFINITY` sentinels and exact candidates
+//! survive JSON round-trips byte-identically.
+
+use crate::error::{NetError, Result};
+use crate::graph::{LinkId, Network};
+use crate::maxmin::progressive_fill;
+use crate::sim::{EngineFlow, EngineOutcome, EngineReport, Phase, EPS};
+use serde::{Deserialize, Serialize};
+use wrht_kernel::EventKernel;
+
+/// Version tag of [`FluidEngineSnapshot`]; bump on any layout change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Ev {
+    Release(usize),
+    Timer(usize),
+    Complete(usize),
+}
+
+/// Versioned, serializable image of a [`FluidEngine`] mid-run.
+///
+/// Per-flow `f64` arrays are stored as raw bit patterns (`u64`): candidate
+/// times legitimately hold `INFINITY`, which JSON cannot represent, and the
+/// resumed run must match an uninterrupted one bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FluidEngineSnapshot {
+    /// Snapshot layout version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    now: u64,
+    events: u64,
+    flows: Vec<EngineFlow>,
+    routes: Vec<Vec<LinkId>>,
+    latencies: Vec<u64>,
+    dependents: Vec<Vec<usize>>,
+    missing: Vec<usize>,
+    phase: Vec<Phase>,
+    remaining: Vec<u64>,
+    start: Vec<u64>,
+    finish: Vec<u64>,
+    rate: Vec<u64>,
+    release_scheduled: Vec<bool>,
+    last_update: Vec<u64>,
+    cand: Vec<u64>,
+    sched_cand: Vec<u64>,
+    flows_on_link: Vec<Vec<usize>>,
+    dirty: Vec<usize>,
+    unsettled: Vec<usize>,
+    active: Vec<usize>,
+    n_done: usize,
+    completed: Vec<usize>,
+    recomputations: usize,
+    solver_work: usize,
+    job_active_s: Vec<u64>,
+    job_service_bytes: Vec<u64>,
+    job_peak_rate: Vec<u64>,
+    pending: Vec<(u64, Ev)>,
+}
+
+fn to_bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn from_bits(v: &[u64]) -> Vec<f64> {
+    v.iter().map(|&x| f64::from_bits(x)).collect()
+}
+
+/// The dependency-aware streaming fluid engine (see module docs).
+#[derive(Debug)]
+pub struct FluidEngine<'a> {
+    net: &'a Network,
+    flows: Vec<EngineFlow>,
+    routes: Vec<Vec<LinkId>>,
+    latencies: Vec<f64>,
+    dependents: Vec<Vec<usize>>,
+    missing: Vec<usize>,
+    phase: Vec<Phase>,
+    remaining: Vec<f64>,
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    rate: Vec<f64>,
+    kernel: EventKernel<Ev>,
+    release_scheduled: Vec<bool>,
+    last_update: Vec<f64>,
+    cand: Vec<f64>,
+    sched_cand: Vec<f64>,
+    // Index lists bounding per-event work: flows not yet transmitting
+    // (Blocked/Pending/Latency) and flows currently transmitting, both
+    // sorted ascending so scans visit flows in closed-path index order.
+    unsettled: Vec<usize>,
+    active: Vec<usize>,
+    n_done: usize,
+    completed: Vec<usize>,
+    flows_on_link: Vec<Vec<usize>>,
+    dirty: Vec<usize>,
+    recomputations: usize,
+    solver_work: usize,
+    events_base: u64,
+    job_active_s: Vec<f64>,
+    job_service_bytes: Vec<f64>,
+    job_peak_rate: Vec<f64>,
+    // Scratch, allocated once (not part of snapshots).
+    link_seen: Vec<bool>,
+    flow_seen: Vec<bool>,
+    flow_comp: Vec<u32>,
+    comp_min: Vec<(f64, usize)>,
+    cap_scratch: Vec<f64>,
+    count_scratch: Vec<usize>,
+    old_rate_scratch: Vec<f64>,
+    batch: Vec<Ev>,
+    comp_links: Vec<usize>,
+    comp_flows: Vec<usize>,
+    comp_stack: Vec<usize>,
+    job_agg_rate: Vec<f64>,
+    job_busy: Vec<bool>,
+    busy_jobs: Vec<usize>,
+    newly_active: Vec<usize>,
+}
+
+impl<'a> FluidEngine<'a> {
+    /// Fresh engine over the given network.
+    #[must_use]
+    pub fn new(net: &'a Network) -> Self {
+        let n_links = net.links().len();
+        Self {
+            net,
+            flows: Vec::new(),
+            routes: Vec::new(),
+            latencies: Vec::new(),
+            dependents: Vec::new(),
+            missing: Vec::new(),
+            phase: Vec::new(),
+            remaining: Vec::new(),
+            start: Vec::new(),
+            finish: Vec::new(),
+            rate: Vec::new(),
+            kernel: EventKernel::new(),
+            release_scheduled: Vec::new(),
+            last_update: Vec::new(),
+            cand: Vec::new(),
+            sched_cand: Vec::new(),
+            unsettled: Vec::new(),
+            active: Vec::new(),
+            n_done: 0,
+            completed: Vec::new(),
+            flows_on_link: vec![Vec::new(); n_links],
+            dirty: Vec::new(),
+            recomputations: 0,
+            solver_work: 0,
+            events_base: 0,
+            job_active_s: Vec::new(),
+            job_service_bytes: Vec::new(),
+            job_peak_rate: Vec::new(),
+            link_seen: vec![false; n_links],
+            flow_seen: Vec::new(),
+            flow_comp: Vec::new(),
+            comp_min: Vec::new(),
+            cap_scratch: vec![0.0; n_links],
+            count_scratch: vec![0; n_links],
+            old_rate_scratch: Vec::new(),
+            batch: Vec::new(),
+            comp_links: Vec::new(),
+            comp_flows: Vec::new(),
+            comp_stack: Vec::new(),
+            job_agg_rate: Vec::new(),
+            job_busy: Vec::new(),
+            busy_jobs: Vec::new(),
+            newly_active: Vec::new(),
+        }
+    }
+
+    /// Inject a flow batch (one job's DAG) into the running engine.
+    /// Dependency indices are **batch-local** (each `<` own position within
+    /// the batch); a job's DAG is injected atomically. Returns the engine
+    /// index of the batch's first flow — batch flows get sequential indices
+    /// from there, and those indices identify completions.
+    ///
+    /// # Errors
+    /// Same validation (and error values) as the closed path: forward deps,
+    /// non-finite/negative releases and unroutable flows are rejected
+    /// before any state changes.
+    pub fn inject(&mut self, batch: &[EngineFlow]) -> Result<usize> {
+        let base = self.flows.len();
+        let mut routes: Vec<Vec<LinkId>> = Vec::with_capacity(batch.len());
+        let mut latencies: Vec<f64> = Vec::with_capacity(batch.len());
+        for (i, f) in batch.iter().enumerate() {
+            if f.deps.iter().any(|&d| d >= i) {
+                return Err(NetError::BadConfig("dependency must precede its flow"));
+            }
+            if !f.release_s.is_finite() || f.release_s < 0.0 {
+                return Err(NetError::BadConfig("release time must be finite and >= 0"));
+            }
+            routes.push(self.net.route(f.src, f.dst)?);
+            latencies.push(self.net.route_latency(f.src, f.dst)?);
+        }
+        for (bi, f) in batch.iter().enumerate() {
+            let i = base + bi;
+            self.missing.push(f.deps.len());
+            self.dependents.push(Vec::new());
+            for &d in &f.deps {
+                self.dependents[base + d].push(i);
+            }
+            self.phase.push(if f.deps.is_empty() {
+                Phase::Pending
+            } else {
+                Phase::Blocked
+            });
+            self.remaining.push(f.bytes as f64);
+            self.start.push(0.0);
+            self.finish.push(0.0);
+            self.rate.push(0.0);
+            self.release_scheduled.push(false);
+            self.last_update.push(0.0);
+            self.cand.push(f64::INFINITY);
+            self.sched_cand.push(f64::INFINITY);
+            self.flow_seen.push(false);
+            self.flow_comp.push(0);
+            // New indices are the largest yet, so pushing keeps the
+            // unsettled list sorted.
+            self.unsettled.push(i);
+            if f.job >= self.job_active_s.len() {
+                let jobs = f.job + 1;
+                self.job_active_s.resize(jobs, 0.0);
+                self.job_service_bytes.resize(jobs, 0.0);
+                self.job_peak_rate.resize(jobs, 0.0);
+                self.job_agg_rate.resize(jobs, 0.0);
+                self.job_busy.resize(jobs, false);
+            }
+            // Store deps rebased to engine indices so dependency edges stay
+            // meaningful when later batches are appended.
+            let mut flow = f.clone();
+            for d in &mut flow.deps {
+                *d += base;
+            }
+            self.flows.push(flow);
+        }
+        self.routes.append(&mut routes);
+        self.latencies.append(&mut latencies);
+        Ok(base)
+    }
+
+    /// Timestamp of the next pending event, if any. Events for freshly
+    /// injected flows are only scheduled inside [`FluidEngine::step`]'s
+    /// promotion scan, so this can overestimate right after an injection —
+    /// callers injecting arrivals in time order are unaffected (a too-late
+    /// peek only admits *extra* arrivals early, which is harmless: a
+    /// pending flow behaves identically however early it is injected).
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.kernel.peek_time()
+    }
+
+    /// Process the next event instant: promote newly eligible flows,
+    /// re-solve the dirty contention component, pop the next live batch and
+    /// apply its completions. Returns the batch instant, or `None` when the
+    /// engine is idle (every injected flow done).
+    ///
+    /// # Errors
+    /// [`NetError::StalledFlow`] when a flow is frozen at rate zero, and
+    /// the closed path's "unreachable flows" error when the queue drains
+    /// with unfinished flows.
+    pub fn step(&mut self) -> Result<Option<f64>> {
+        let now = self.kernel.now();
+
+        // Promote flows whose gates opened or timers expired. Completions
+        // of zero-byte flows can unblock dependents at the same instant,
+        // so iterate to a fixpoint (deps point backwards, so this
+        // terminates). Scanning the sorted unsettled list is equivalent to
+        // the closed path's full index scan: settled flows are no-ops there.
+        loop {
+            let mut unblocked = false;
+            let mut settled = false;
+            for k in 0..self.unsettled.len() {
+                let i = self.unsettled[k];
+                match self.phase[i] {
+                    Phase::Pending if self.flows[i].release_s <= now + EPS => {
+                        self.start[i] = now;
+                        // Zero-byte control gates skip the latency pipe.
+                        let pipe = if self.remaining[i] <= EPS {
+                            self.flows[i].delay_s
+                        } else {
+                            self.flows[i].delay_s + self.latencies[i]
+                        };
+                        if pipe > 0.0 {
+                            self.phase[i] = Phase::Latency(now + pipe);
+                            self.kernel
+                                .schedule_at(now + pipe, Ev::Timer(i))
+                                .expect("latency expiry is ahead of the clock");
+                        } else if self.remaining[i] <= EPS {
+                            settled = true;
+                            unblocked |= self.settle_zero_byte(i, now);
+                        } else {
+                            settled = true;
+                            self.activate(i);
+                        }
+                    }
+                    Phase::Latency(t) if t <= now + EPS => {
+                        if self.remaining[i] <= EPS {
+                            settled = true;
+                            unblocked |= self.settle_zero_byte(i, now.max(t));
+                        } else {
+                            settled = true;
+                            self.activate(i);
+                        }
+                    }
+                    // Release still in the future: schedule its wake-up
+                    // once (see the closed path for the stale-event
+                    // tolerance).
+                    Phase::Pending if !self.release_scheduled[i] => {
+                        self.release_scheduled[i] = true;
+                        self.kernel
+                            .schedule_at(self.flows[i].release_s, Ev::Release(i))
+                            .expect("pending release is ahead of the clock");
+                    }
+                    Phase::Blocked if self.missing[i] == 0 => {
+                        self.phase[i] = Phase::Pending;
+                        unblocked = true;
+                    }
+                    _ => {}
+                }
+            }
+            if settled {
+                let phase = &self.phase;
+                self.unsettled.retain(|&i| {
+                    matches!(
+                        phase[i],
+                        Phase::Blocked | Phase::Pending | Phase::Latency(_)
+                    )
+                });
+            }
+            if !unblocked {
+                break;
+            }
+        }
+        // Merge flows activated above into the sorted active list.
+        for k in 0..self.newly_active.len() {
+            let i = self.newly_active[k];
+            let pos = self.active.partition_point(|&a| a < i);
+            self.active.insert(pos, i);
+        }
+        self.newly_active.clear();
+
+        // Re-solve rates, but only over the contention component whose
+        // active-flow set changed (identical to the closed path).
+        self.resolve_dirty()?;
+
+        // Pop the next batch of same-instant events; purely stale batches
+        // advance only the kernel clock.
+        let batch_time = loop {
+            self.batch.clear();
+            match self.kernel.pop_batch(&mut self.batch) {
+                None => break None,
+                Some(t) => {
+                    let mut live = false;
+                    for ev in &self.batch {
+                        match *ev {
+                            Ev::Release(i) => live |= self.phase[i] == Phase::Pending,
+                            Ev::Timer(i) => live |= matches!(self.phase[i], Phase::Latency(_)),
+                            Ev::Complete(i) => {
+                                if self.sched_cand[i].to_bits() == t.to_bits() {
+                                    self.sched_cand[i] = f64::INFINITY;
+                                }
+                                live |= self.phase[i] == Phase::Active
+                                    && self.cand[i].to_bits() == t.to_bits();
+                            }
+                        }
+                    }
+                    if live {
+                        break Some(t);
+                    }
+                }
+            }
+        };
+        let Some(next) = batch_time else {
+            if self.n_done == self.flows.len() {
+                return Ok(None);
+            }
+            return Err(NetError::BadConfig("unreachable flows in dependency DAG"));
+        };
+        let dt = (next - now).max(0.0);
+
+        // Attribute the current rate allocation to jobs over [now, next]:
+        // each transmitting flow's max-min rate is constant on the
+        // interval. The active list is ascending, so the per-job float
+        // sums accumulate in closed-path index order.
+        self.busy_jobs.clear();
+        for &i in &self.active {
+            if self.rate[i].is_finite() {
+                let j = self.flows[i].job;
+                if !self.job_busy[j] {
+                    self.job_busy[j] = true;
+                    self.busy_jobs.push(j);
+                }
+                self.job_agg_rate[j] += self.rate[i];
+            }
+        }
+        for &j in &self.busy_jobs {
+            self.job_peak_rate[j] = self.job_peak_rate[j].max(self.job_agg_rate[j]);
+            if dt > 0.0 {
+                self.job_active_s[j] += dt;
+                self.job_service_bytes[j] += self.job_agg_rate[j] * dt;
+            }
+            self.job_busy[j] = false;
+            self.job_agg_rate[j] = 0.0;
+        }
+
+        // Apply the instant: completions are found by candidate bits in
+        // index order, not by event carrier (see the closed path).
+        let nb = next.to_bits();
+        let mut completed_any = false;
+        for k in 0..self.active.len() {
+            let i = self.active[k];
+            if self.cand[i].to_bits() == nb {
+                completed_any = true;
+                self.remaining[i] = 0.0;
+                self.phase[i] = Phase::Done;
+                self.finish[i] = next;
+                self.n_done += 1;
+                for &l in &self.routes[i] {
+                    self.flows_on_link[l.0].retain(|&f| f != i);
+                    self.dirty.push(l.0);
+                }
+                for d in 0..self.dependents[i].len() {
+                    let dep = self.dependents[i][d];
+                    self.missing[dep] -= 1;
+                }
+                // Done flows keep their scalars (outcomes, rates) but drop
+                // their route and edge lists — the O(total flows) residue
+                // of a long stream is a handful of scalars per flow.
+                self.routes[i] = Vec::new();
+                self.dependents[i] = Vec::new();
+                self.flows[i].deps = Vec::new();
+                self.completed.push(i);
+            }
+        }
+        if completed_any {
+            let phase = &self.phase;
+            self.active.retain(|&i| phase[i] == Phase::Active);
+        }
+        Ok(Some(next))
+    }
+
+    fn activate(&mut self, i: usize) {
+        self.phase[i] = Phase::Active;
+        for &l in &self.routes[i] {
+            self.flows_on_link[l.0].push(i);
+            self.dirty.push(l.0);
+        }
+        self.newly_active.push(i);
+    }
+
+    /// Complete a zero-byte control gate at `finish`; returns whether any
+    /// dependent lost its last missing edge.
+    fn settle_zero_byte(&mut self, i: usize, finish: f64) -> bool {
+        self.phase[i] = Phase::Done;
+        self.finish[i] = finish;
+        self.n_done += 1;
+        let mut unblocked = false;
+        for d in 0..self.dependents[i].len() {
+            let dep = self.dependents[i][d];
+            self.missing[dep] -= 1;
+            unblocked = true;
+        }
+        self.routes[i] = Vec::new();
+        self.dependents[i] = Vec::new();
+        self.flows[i].deps = Vec::new();
+        self.completed.push(i);
+        unblocked
+    }
+
+    /// Incremental per-component max-min re-solve (bit-identical to the
+    /// closed path's).
+    fn resolve_dirty(&mut self) -> Result<()> {
+        if self.dirty.is_empty() {
+            return Ok(());
+        }
+        let now = self.kernel.now();
+        self.comp_links.clear();
+        self.comp_flows.clear();
+        let mut n_comps = 0usize;
+        for s in 0..self.dirty.len() {
+            let seed = self.dirty[s];
+            if self.link_seen[seed] {
+                continue;
+            }
+            self.link_seen[seed] = true;
+            self.comp_links.push(seed);
+            self.comp_stack.push(seed);
+            let mut found_flow = false;
+            while let Some(l) = self.comp_stack.pop() {
+                for f_idx in 0..self.flows_on_link[l].len() {
+                    let f = self.flows_on_link[l][f_idx];
+                    if !self.flow_seen[f] {
+                        self.flow_seen[f] = true;
+                        self.flow_comp[f] = u32::try_from(n_comps).expect("component count");
+                        self.comp_flows.push(f);
+                        found_flow = true;
+                        for l2_idx in 0..self.routes[f].len() {
+                            let l2 = self.routes[f][l2_idx];
+                            if !self.link_seen[l2.0] {
+                                self.link_seen[l2.0] = true;
+                                self.comp_links.push(l2.0);
+                                self.comp_stack.push(l2.0);
+                            }
+                        }
+                    }
+                }
+            }
+            if found_flow {
+                n_comps += 1;
+            }
+        }
+        self.comp_links.sort_unstable();
+        self.comp_flows.sort_unstable();
+        if !self.comp_flows.is_empty() {
+            self.recomputations += 1;
+            for &l in &self.comp_links {
+                self.cap_scratch[l] = self.net.links()[l].capacity_bps;
+                self.count_scratch[l] = self.flows_on_link[l].len();
+            }
+            self.old_rate_scratch.clear();
+            self.old_rate_scratch
+                .extend(self.comp_flows.iter().map(|&f| self.rate[f]));
+            progressive_fill(
+                &self.comp_links,
+                &self.comp_flows,
+                &self.routes,
+                &mut self.cap_scratch,
+                &mut self.count_scratch,
+                &mut self.rate,
+                &mut self.solver_work,
+            );
+            for (k, &f) in self.comp_flows.iter().enumerate() {
+                if self.rate[f].is_nan() || self.rate[f] <= 0.0 {
+                    return Err(NetError::StalledFlow {
+                        src: self.flows[f].src,
+                        dst: self.flows[f].dst,
+                    });
+                }
+                if self.rate[f].to_bits() == self.old_rate_scratch[k].to_bits() {
+                    continue;
+                }
+                self.remaining[f] -= self.old_rate_scratch[k] * (now - self.last_update[f]);
+                self.last_update[f] = now;
+                self.cand[f] = if self.rate[f].is_finite() {
+                    (now + self.remaining[f] / self.rate[f]).max(now)
+                } else {
+                    now
+                };
+            }
+            self.comp_min.clear();
+            self.comp_min.resize(n_comps, (f64::INFINITY, usize::MAX));
+            for &f in &self.comp_flows {
+                let c = self.flow_comp[f] as usize;
+                if self.cand[f] < self.comp_min[c].0 {
+                    self.comp_min[c] = (self.cand[f], f);
+                }
+            }
+            for c in 0..self.comp_min.len() {
+                let (t, f) = self.comp_min[c];
+                if f != usize::MAX && self.sched_cand[f].to_bits() != t.to_bits() {
+                    self.sched_cand[f] = t;
+                    self.kernel
+                        .schedule_at(t, Ev::Complete(f))
+                        .expect("completion candidate is ahead of the clock");
+                }
+            }
+        }
+        for &l in &self.comp_links {
+            self.link_seen[l] = false;
+        }
+        for &f in &self.comp_flows {
+            self.flow_seen[f] = false;
+        }
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Current engine clock (timestamp of the last processed batch).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.kernel.now()
+    }
+
+    /// Events processed so far, including any before a snapshot/restore.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events_base + self.kernel.events_processed()
+    }
+
+    /// Total flows ever injected.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows not yet done.
+    #[must_use]
+    pub fn live_flows(&self) -> usize {
+        self.flows.len() - self.n_done
+    }
+
+    /// `(start, finish)` window of flow `i` (zeros until settled).
+    #[must_use]
+    pub fn window(&self, i: usize) -> (f64, f64) {
+        (self.start[i], self.finish[i])
+    }
+
+    /// Rate solver invocations so far.
+    #[must_use]
+    pub fn rate_recomputations(&self) -> usize {
+        self.recomputations
+    }
+
+    /// Progressive-filling work units so far.
+    #[must_use]
+    pub fn solver_work(&self) -> usize {
+        self.solver_work
+    }
+
+    /// Per-job `(active seconds, service bytes, peak rate)` attribution,
+    /// indexed by [`EngineFlow::job`].
+    #[must_use]
+    pub fn job_totals(&self) -> (&[f64], &[f64], &[f64]) {
+        (
+            &self.job_active_s,
+            &self.job_service_bytes,
+            &self.job_peak_rate,
+        )
+    }
+
+    /// Append and clear the indices of flows completed since the last call.
+    pub fn drain_completed(&mut self, out: &mut Vec<usize>) {
+        out.append(&mut self.completed);
+    }
+
+    /// Build the closed-set report (consumes the engine).
+    pub(crate) fn into_report(self) -> EngineReport {
+        let makespan = self.finish.iter().copied().fold(0.0f64, f64::max);
+        EngineReport {
+            makespan_s: makespan,
+            outcomes: self
+                .start
+                .iter()
+                .zip(&self.finish)
+                .map(|(&start_s, &finish_s)| EngineOutcome { start_s, finish_s })
+                .collect(),
+            rate_recomputations: self.recomputations,
+            solver_work: self.solver_work,
+            events: self.events_base + self.kernel.events_processed(),
+            job_active_s: self.job_active_s,
+            job_service_bytes: self.job_service_bytes,
+            job_peak_rate_bps: self.job_peak_rate,
+        }
+    }
+
+    /// Capture the full mutable state as a versioned snapshot. Completions
+    /// not yet drained are included and survive the round-trip.
+    #[must_use]
+    pub fn snapshot(&self) -> FluidEngineSnapshot {
+        FluidEngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            now: self.kernel.now().to_bits(),
+            events: self.events(),
+            flows: self.flows.clone(),
+            routes: self.routes.clone(),
+            latencies: to_bits(&self.latencies),
+            dependents: self.dependents.clone(),
+            missing: self.missing.clone(),
+            phase: self.phase.clone(),
+            remaining: to_bits(&self.remaining),
+            start: to_bits(&self.start),
+            finish: to_bits(&self.finish),
+            rate: to_bits(&self.rate),
+            release_scheduled: self.release_scheduled.clone(),
+            last_update: to_bits(&self.last_update),
+            cand: to_bits(&self.cand),
+            sched_cand: to_bits(&self.sched_cand),
+            flows_on_link: self.flows_on_link.clone(),
+            dirty: self.dirty.clone(),
+            unsettled: self.unsettled.clone(),
+            active: self.active.clone(),
+            n_done: self.n_done,
+            completed: self.completed.clone(),
+            recomputations: self.recomputations,
+            solver_work: self.solver_work,
+            job_active_s: to_bits(&self.job_active_s),
+            job_service_bytes: to_bits(&self.job_service_bytes),
+            job_peak_rate: to_bits(&self.job_peak_rate),
+            pending: self
+                .kernel
+                .pending()
+                .into_iter()
+                .map(|(t, ev)| (t.to_bits(), *ev))
+                .collect(),
+        }
+    }
+
+    /// Rebuild an engine from a snapshot taken over an identical network.
+    /// The resumed run is byte-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    /// Rejects unknown snapshot versions and corrupt clocks/events.
+    pub fn restore(net: &'a Network, snap: &FluidEngineSnapshot) -> Result<Self> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(NetError::BadConfig(
+                "unsupported fluid-engine snapshot version",
+            ));
+        }
+        let mut eng = Self::new(net);
+        eng.kernel
+            .fast_forward(f64::from_bits(snap.now))
+            .map_err(|_| NetError::BadConfig("snapshot clock must be finite and >= 0"))?;
+        for &(t, ev) in &snap.pending {
+            eng.kernel
+                .schedule_at(f64::from_bits(t), ev)
+                .map_err(|_| NetError::BadConfig("snapshot event precedes its clock"))?;
+        }
+        eng.flows = snap.flows.clone();
+        eng.routes = snap.routes.clone();
+        eng.latencies = from_bits(&snap.latencies);
+        eng.dependents = snap.dependents.clone();
+        eng.missing = snap.missing.clone();
+        eng.phase = snap.phase.clone();
+        eng.remaining = from_bits(&snap.remaining);
+        eng.start = from_bits(&snap.start);
+        eng.finish = from_bits(&snap.finish);
+        eng.rate = from_bits(&snap.rate);
+        eng.release_scheduled = snap.release_scheduled.clone();
+        eng.last_update = from_bits(&snap.last_update);
+        eng.cand = from_bits(&snap.cand);
+        eng.sched_cand = from_bits(&snap.sched_cand);
+        eng.flows_on_link = snap.flows_on_link.clone();
+        eng.dirty = snap.dirty.clone();
+        eng.unsettled = snap.unsettled.clone();
+        eng.active = snap.active.clone();
+        eng.n_done = snap.n_done;
+        eng.completed = snap.completed.clone();
+        eng.recomputations = snap.recomputations;
+        eng.solver_work = snap.solver_work;
+        eng.events_base = snap.events;
+        eng.job_active_s = from_bits(&snap.job_active_s);
+        eng.job_service_bytes = from_bits(&snap.job_service_bytes);
+        eng.job_peak_rate = from_bits(&snap.job_peak_rate);
+        let n = eng.flows.len();
+        eng.flow_seen = vec![false; n];
+        eng.flow_comp = vec![0; n];
+        let jobs = eng.job_active_s.len();
+        eng.job_agg_rate = vec![0.0; jobs];
+        eng.job_busy = vec![false; jobs];
+        Ok(eng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::star_cluster;
+
+    fn flow(src: usize, dst: usize, bytes: u64, release_s: f64, deps: Vec<usize>) -> EngineFlow {
+        EngineFlow {
+            src,
+            dst,
+            bytes,
+            release_s,
+            delay_s: 0.0,
+            deps,
+            job: 0,
+        }
+    }
+
+    #[test]
+    fn incremental_injection_matches_upfront_injection() {
+        let net = star_cluster(8, 1e9, 500e-9);
+        let all = vec![
+            flow(0, 1, 1_000_000, 0.0, vec![]),
+            flow(1, 2, 700_000, 0.0, vec![0]),
+            flow(3, 4, 900_000, 5e-4, vec![]),
+        ];
+        let mut up = FluidEngine::new(&net);
+        up.inject(&all).unwrap();
+        while up.step().unwrap().is_some() {}
+
+        let mut inc = FluidEngine::new(&net);
+        inc.inject(&all[..2]).unwrap();
+        let mut injected = false;
+        loop {
+            if !injected && inc.peek_time().is_none_or(|p| p >= 5e-4) {
+                inc.inject(&all[2..]).unwrap();
+                injected = true;
+            }
+            if inc.step().unwrap().is_none() && injected {
+                break;
+            }
+        }
+        assert_eq!(up.events(), inc.events());
+        for i in 0..all.len() {
+            assert_eq!(up.window(i).1.to_bits(), inc.window(i).1.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        let net = star_cluster(8, 1e9, 500e-9);
+        let all = vec![
+            flow(0, 1, 1_000_000, 0.0, vec![]),
+            flow(0, 2, 700_000, 0.0, vec![]),
+            flow(1, 2, 900_000, 0.0, vec![0]),
+            flow(5, 6, 400_000, 3e-4, vec![]),
+        ];
+        let mut full = FluidEngine::new(&net);
+        full.inject(&all).unwrap();
+        while full.step().unwrap().is_some() {}
+
+        let mut eng = FluidEngine::new(&net);
+        eng.inject(&all).unwrap();
+        eng.step().unwrap();
+        eng.step().unwrap();
+        let json = serde_json::to_string(&eng.snapshot()).unwrap();
+        let snap: FluidEngineSnapshot = serde_json::from_str(&json).unwrap();
+        let mut resumed = FluidEngine::restore(&net, &snap).unwrap();
+        while resumed.step().unwrap().is_some() {}
+
+        assert_eq!(full.events(), resumed.events());
+        assert_eq!(full.solver_work(), resumed.solver_work());
+        for i in 0..all.len() {
+            assert_eq!(full.window(i).1.to_bits(), resumed.window(i).1.to_bits());
+        }
+    }
+
+    #[test]
+    fn unknown_snapshot_version_is_rejected() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let eng = FluidEngine::new(&net);
+        let mut snap = eng.snapshot();
+        snap.version = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            FluidEngine::restore(&net, &snap),
+            Err(NetError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn completed_flows_drop_their_edge_lists() {
+        let net = star_cluster(4, 1e9, 0.0);
+        let mut eng = FluidEngine::new(&net);
+        eng.inject(&[
+            flow(0, 1, 1_000_000, 0.0, vec![]),
+            flow(1, 2, 1_000_000, 0.0, vec![0]),
+        ])
+        .unwrap();
+        while eng.step().unwrap().is_some() {}
+        assert_eq!(eng.live_flows(), 0);
+        assert!(eng.routes.iter().all(Vec::is_empty));
+        assert!(eng.dependents.iter().all(Vec::is_empty));
+        let mut done = Vec::new();
+        eng.drain_completed(&mut done);
+        assert_eq!(done.len(), 2);
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod engine;
 pub mod error;
 pub mod flow;
 pub mod graph;
@@ -44,6 +45,7 @@ pub mod topology;
 
 /// Common re-exports.
 pub mod prelude {
+    pub use crate::engine::{FluidEngine, FluidEngineSnapshot};
     pub use crate::error::NetError;
     pub use crate::flow::FlowSpec;
     pub use crate::graph::{LinkId, Network};
@@ -51,12 +53,13 @@ pub mod prelude {
         run_dag, run_dag_jobs, run_dag_jobs_faulted, run_steps, DagFlow, DagRunReport,
         FaultDagRunReport, StepTransfer, TenantDagReport,
     };
-    pub use crate::sim::{FluidSimulator, RunReport};
+    pub use crate::sim::{EngineFlow, FluidSimulator, RunReport};
     pub use crate::stats::{offered_load, LoadReport};
     pub use crate::topology::{fat_tree_two_level, full_mesh, ring, star_cluster, torus_2d};
 }
 
+pub use engine::{FluidEngine, FluidEngineSnapshot};
 pub use error::NetError;
 pub use flow::FlowSpec;
 pub use graph::{LinkId, Network};
-pub use sim::{FluidSimulator, RunReport};
+pub use sim::{EngineFlow, FluidSimulator, RunReport};

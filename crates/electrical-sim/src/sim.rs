@@ -132,14 +132,14 @@ impl FluidSimulator {
 /// Absolute tolerance used for time comparisons (seconds) and residual
 /// payload (bytes): events within `EPS` coincide and residues below `EPS`
 /// complete.
-const EPS: f64 = 1e-9;
+pub const EPS: f64 = 1e-9;
 
-/// One flow of the dependency-aware engine ([`run_engine`]): a point-to-
-/// point transfer gated on its predecessors, an absolute release time and
-/// a per-flow launch delay (protocol/launch overhead paid after the gates
-/// open, before the latency pipe).
-#[derive(Debug, Clone)]
-pub(crate) struct EngineFlow {
+/// One flow of the dependency-aware engine ([`crate::engine::FluidEngine`]):
+/// a point-to-point transfer gated on its predecessors, an absolute release
+/// time and a per-flow launch delay (protocol/launch overhead paid after the
+/// gates open, before the latency pipe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineFlow {
     /// Source host.
     pub src: usize,
     /// Destination host.
@@ -191,8 +191,8 @@ pub(crate) struct EngineReport {
     pub job_peak_rate_bps: Vec<f64>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum Phase {
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) enum Phase {
     /// Waiting for predecessors to complete.
     Blocked,
     /// Predecessors done; waiting for its release time.
@@ -215,401 +215,15 @@ enum Phase {
 /// bit-identical to [`run_flows_full_resolve`] on the same specs — the
 /// incremental component solve yields the same rates as a full solve, and
 /// the event arithmetic is unchanged.
+///
+/// Since the streaming refactor this is a thin closed-set driver over
+/// [`crate::engine::FluidEngine`]: the whole flow list is injected as one
+/// batch at time zero and the engine is pumped to idle.
 pub(crate) fn run_engine(net: &Network, flows: &[EngineFlow]) -> Result<EngineReport> {
-    let n = flows.len();
-    if n == 0 {
-        return Ok(EngineReport {
-            makespan_s: 0.0,
-            outcomes: Vec::new(),
-            rate_recomputations: 0,
-            solver_work: 0,
-            events: 0,
-            job_active_s: Vec::new(),
-            job_service_bytes: Vec::new(),
-            job_peak_rate_bps: Vec::new(),
-        });
-    }
-
-    // Validate and pre-route everything up front.
-    let mut routes: Vec<Vec<LinkId>> = Vec::with_capacity(n);
-    let mut latencies: Vec<f64> = Vec::with_capacity(n);
-    for (i, f) in flows.iter().enumerate() {
-        if f.deps.iter().any(|&d| d >= i) {
-            return Err(NetError::BadConfig("dependency must precede its flow"));
-        }
-        if !f.release_s.is_finite() || f.release_s < 0.0 {
-            return Err(NetError::BadConfig("release time must be finite and >= 0"));
-        }
-        routes.push(net.route(f.src, f.dst)?);
-        latencies.push(net.route_latency(f.src, f.dst)?);
-    }
-    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut missing: Vec<usize> = vec![0; n];
-    for (i, f) in flows.iter().enumerate() {
-        missing[i] = f.deps.len();
-        for &d in &f.deps {
-            dependents[d].push(i);
-        }
-    }
-
-    let n_links = net.links().len();
-    let mut phase: Vec<Phase> = (0..n)
-        .map(|i| {
-            if missing[i] == 0 {
-                Phase::Pending
-            } else {
-                Phase::Blocked
-            }
-        })
-        .collect();
-    let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes as f64).collect();
-    let mut start = vec![0.0f64; n];
-    let mut finish = vec![0.0f64; n];
-    let mut rate = vec![0.0f64; n];
-    let mut now = 0.0f64;
-
-    // Discrete-event state. `remaining` is *lazy*: it is only brought up to
-    // date (at the flow's previous rate, from `last_update`) when the
-    // flow's max-min rate actually changes bits, at which point the flow's
-    // completion candidate `cand` is recomputed. Only each contention
-    // component's earliest candidate gets a kernel event (see [`Ev`]);
-    // `sched_cand` remembers, per flow, the instant of the pending heap
-    // entry riding on it (`INFINITY` when none), which both deduplicates
-    // pushes and lets the pop loop tell a live candidate from a stale one.
-    let mut kernel: EventKernel<Ev> = EventKernel::with_capacity(n);
-    let mut release_scheduled = vec![false; n];
-    let mut last_update = vec![0.0f64; n];
-    let mut cand = vec![f64::INFINITY; n];
-    let mut sched_cand = vec![f64::INFINITY; n];
-    let mut old_rate_scratch: Vec<f64> = Vec::new();
-    let mut batch: Vec<Ev> = Vec::new();
-
-    // Incremental-solver state: which active flows cross each link, links
-    // whose active set changed since the last solve, and solver scratch.
-    let mut flows_on_link: Vec<Vec<usize>> = vec![Vec::new(); n_links];
-    let mut dirty: Vec<usize> = Vec::new();
-    let mut link_seen = vec![false; n_links];
-    let mut flow_seen = vec![false; n];
-    let mut flow_comp = vec![0u32; n];
-    let mut comp_min: Vec<(f64, usize)> = Vec::new();
-    let mut cap_scratch = vec![0.0f64; n_links];
-    let mut count_scratch = vec![0usize; n_links];
-    let mut recomputations = 0usize;
-    let mut solver_work = 0usize;
-
-    // Per-job rate attribution (see `EngineReport`).
-    let n_jobs = flows.iter().map(|f| f.job + 1).max().unwrap_or(0);
-    let mut job_active_s = vec![0.0f64; n_jobs];
-    let mut job_service_bytes = vec![0.0f64; n_jobs];
-    let mut job_peak_rate = vec![0.0f64; n_jobs];
-    let mut job_agg_rate = vec![0.0f64; n_jobs];
-    let mut job_busy = vec![false; n_jobs];
-
-    loop {
-        // Promote flows whose gates opened or timers expired. Completions
-        // of zero-byte flows can unblock dependents at the same instant,
-        // so iterate to a fixpoint (deps point backwards, so this
-        // terminates).
-        loop {
-            let mut unblocked = false;
-            for i in 0..n {
-                match phase[i] {
-                    Phase::Pending if flows[i].release_s <= now + EPS => {
-                        start[i] = now;
-                        // Zero-byte control gates skip the latency pipe.
-                        let pipe = if remaining[i] <= EPS {
-                            flows[i].delay_s
-                        } else {
-                            flows[i].delay_s + latencies[i]
-                        };
-                        if pipe > 0.0 {
-                            phase[i] = Phase::Latency(now + pipe);
-                            kernel
-                                .schedule_at(now + pipe, Ev::Timer(i))
-                                .expect("latency expiry is ahead of the clock");
-                        } else if remaining[i] <= EPS {
-                            phase[i] = Phase::Done;
-                            finish[i] = now;
-                            for &dep in &dependents[i] {
-                                missing[dep] -= 1;
-                                unblocked = true;
-                            }
-                        } else {
-                            phase[i] = Phase::Active;
-                            for &l in &routes[i] {
-                                flows_on_link[l.0].push(i);
-                                dirty.push(l.0);
-                            }
-                        }
-                    }
-                    Phase::Latency(t) if t <= now + EPS => {
-                        if remaining[i] <= EPS {
-                            phase[i] = Phase::Done;
-                            finish[i] = now.max(t);
-                            for &dep in &dependents[i] {
-                                missing[dep] -= 1;
-                                unblocked = true;
-                            }
-                        } else {
-                            phase[i] = Phase::Active;
-                            for &l in &routes[i] {
-                                flows_on_link[l.0].push(i);
-                                dirty.push(l.0);
-                            }
-                        }
-                    }
-                    // Release still in the future: schedule its wake-up
-                    // once. (A release within EPS of `now` was promoted
-                    // above and never needs an event; one promoted
-                    // early leaves its event to arrive stale, which
-                    // only advances the kernel clock.) Flows unblocked
-                    // this very pass are caught by the fixpoint's next
-                    // iteration.
-                    Phase::Pending if !release_scheduled[i] => {
-                        release_scheduled[i] = true;
-                        kernel
-                            .schedule_at(flows[i].release_s, Ev::Release(i))
-                            .expect("pending release is ahead of the clock");
-                    }
-                    Phase::Blocked if missing[i] == 0 => {
-                        phase[i] = Phase::Pending;
-                        unblocked = true;
-                    }
-                    _ => {}
-                }
-            }
-            if !unblocked {
-                break;
-            }
-        }
-
-        // Re-solve rates, but only over the contention component whose
-        // active-flow set changed. Flows outside it keep their rates.
-        if !dirty.is_empty() {
-            // Each dirty link seeds its own traversal, so `flow_comp`
-            // partitions the touched flows into true connected contention
-            // components (a component is either fully traversed by one seed
-            // or untouched). The solve still runs once over the union —
-            // max-min components are independent, so that changes nothing —
-            // but the completion events below must be scheduled per true
-            // component: one component's earliest candidate says nothing
-            // about another's.
-            let mut comp_links: Vec<usize> = Vec::new();
-            let mut comp_flows: Vec<usize> = Vec::new();
-            let mut stack: Vec<usize> = Vec::new();
-            let mut n_comps = 0usize;
-            for &seed in &dirty {
-                if link_seen[seed] {
-                    continue;
-                }
-                link_seen[seed] = true;
-                comp_links.push(seed);
-                stack.push(seed);
-                let mut found_flow = false;
-                while let Some(l) = stack.pop() {
-                    for &f in &flows_on_link[l] {
-                        if !flow_seen[f] {
-                            flow_seen[f] = true;
-                            flow_comp[f] = u32::try_from(n_comps).expect("component count");
-                            comp_flows.push(f);
-                            found_flow = true;
-                            for &l2 in &routes[f] {
-                                if !link_seen[l2.0] {
-                                    link_seen[l2.0] = true;
-                                    comp_links.push(l2.0);
-                                    stack.push(l2.0);
-                                }
-                            }
-                        }
-                    }
-                }
-                if found_flow {
-                    n_comps += 1;
-                }
-            }
-            comp_links.sort_unstable();
-            comp_flows.sort_unstable();
-            if !comp_flows.is_empty() {
-                recomputations += 1;
-                for &l in &comp_links {
-                    cap_scratch[l] = net.links()[l].capacity_bps;
-                    count_scratch[l] = flows_on_link[l].len();
-                }
-                old_rate_scratch.clear();
-                old_rate_scratch.extend(comp_flows.iter().map(|&f| rate[f]));
-                progressive_fill(
-                    &comp_links,
-                    &comp_flows,
-                    &routes,
-                    &mut cap_scratch,
-                    &mut count_scratch,
-                    &mut rate,
-                    &mut solver_work,
-                );
-                // A zero rate can only come from a degenerate (zero/
-                // negative/NaN capacity) link and is therefore permanent:
-                // fail typed instead of reporting a bogus makespan. Rates
-                // only change inside a solve, so checking the component
-                // covers every active flow that could have stalled.
-                for (k, &f) in comp_flows.iter().enumerate() {
-                    if rate[f].is_nan() || rate[f] <= 0.0 {
-                        return Err(NetError::StalledFlow {
-                            src: flows[f].src,
-                            dst: flows[f].dst,
-                        });
-                    }
-                    if rate[f].to_bits() == old_rate_scratch[k].to_bits() {
-                        continue;
-                    }
-                    // Lazy advance at the old rate, then recompute the
-                    // completion candidate at the new one. For a freshly
-                    // activated flow `old_rate` is 0.0 and this is a no-op.
-                    // The `.max(now)` only bites when rounding leaves a
-                    // sub-ulp negative residue right before completion.
-                    remaining[f] -= old_rate_scratch[k] * (now - last_update[f]);
-                    last_update[f] = now;
-                    cand[f] = if rate[f].is_finite() {
-                        (now + remaining[f] / rate[f]).max(now)
-                    } else {
-                        now
-                    };
-                }
-                // One event per component, at its earliest candidate
-                // (unchanged-rate flows keep candidates from earlier
-                // solves, so the minimum runs over the whole component).
-                // Skip the push when a pending entry already sits at
-                // exactly those bits on the same carrier flow.
-                comp_min.clear();
-                comp_min.resize(n_comps, (f64::INFINITY, usize::MAX));
-                for &f in &comp_flows {
-                    let c = flow_comp[f] as usize;
-                    if cand[f] < comp_min[c].0 {
-                        comp_min[c] = (cand[f], f);
-                    }
-                }
-                for &(t, f) in &comp_min {
-                    if f != usize::MAX && sched_cand[f].to_bits() != t.to_bits() {
-                        sched_cand[f] = t;
-                        kernel
-                            .schedule_at(t, Ev::Complete(f))
-                            .expect("completion candidate is ahead of the clock");
-                    }
-                }
-            }
-            for &l in &comp_links {
-                link_seen[l] = false;
-            }
-            for &f in &comp_flows {
-                flow_seen[f] = false;
-            }
-            dirty.clear();
-        }
-
-        // Pop the next batch of same-instant events. Batches made up purely
-        // of stale wake-ups (flows promoted EPS-early above) or superseded
-        // completion candidates advance only the kernel clock, exactly as
-        // the pre-kernel engine never produced an event at those instants.
-        // A `Complete` is live iff its carrier still completes at exactly
-        // this instant; popping one at its remembered instant frees
-        // `sched_cand` whether or not it is still live.
-        let batch_time = loop {
-            batch.clear();
-            match kernel.pop_batch(&mut batch) {
-                None => break None,
-                Some(t) => {
-                    let mut live = false;
-                    for ev in &batch {
-                        match *ev {
-                            Ev::Release(i) => live |= phase[i] == Phase::Pending,
-                            Ev::Timer(i) => live |= matches!(phase[i], Phase::Latency(_)),
-                            Ev::Complete(i) => {
-                                if sched_cand[i].to_bits() == t.to_bits() {
-                                    sched_cand[i] = f64::INFINITY;
-                                }
-                                live |=
-                                    phase[i] == Phase::Active && cand[i].to_bits() == t.to_bits();
-                            }
-                        }
-                    }
-                    if live {
-                        break Some(t);
-                    }
-                }
-            }
-        };
-        let Some(next) = batch_time else {
-            if phase.iter().all(|&p| p == Phase::Done) {
-                break;
-            }
-            return Err(NetError::BadConfig("unreachable flows in dependency DAG"));
-        };
-        let dt = (next - now).max(0.0);
-
-        // Attribute the current rate allocation to jobs over [now, next]:
-        // each transmitting flow's max-min rate is constant on the interval.
-        job_agg_rate.fill(0.0);
-        job_busy.fill(false);
-        for i in 0..n {
-            if phase[i] == Phase::Active && rate[i].is_finite() {
-                job_agg_rate[flows[i].job] += rate[i];
-                job_busy[flows[i].job] = true;
-            }
-        }
-        for j in 0..n_jobs {
-            if job_busy[j] {
-                job_peak_rate[j] = job_peak_rate[j].max(job_agg_rate[j]);
-                if dt > 0.0 {
-                    job_active_s[j] += dt;
-                    job_service_bytes[j] += job_agg_rate[j] * dt;
-                }
-            }
-        }
-
-        // Apply the instant. Wake-up payloads carry no state of their own —
-        // the promotion scan at the top of the loop does the work once
-        // `now` has advanced — and completions are found by candidate, not
-        // by carrier: every active flow whose candidate bit-equals the
-        // batch instant finishes here, which reproduces the pre-kernel
-        // engine's tie grouping (several flows, even in different
-        // components, completing at one shared instant) without needing an
-        // event per flow.
-        batch.clear();
-        for i in 0..n {
-            if phase[i] == Phase::Active && cand[i].to_bits() == next.to_bits() {
-                remaining[i] = 0.0;
-                phase[i] = Phase::Done;
-                finish[i] = next;
-                for &l in &routes[i] {
-                    flows_on_link[l.0].retain(|&f| f != i);
-                    dirty.push(l.0);
-                }
-                for &dep in &dependents[i] {
-                    missing[dep] -= 1;
-                }
-            }
-        }
-        now = next;
-
-        if phase.iter().all(|&p| p == Phase::Done) {
-            break;
-        }
-    }
-
-    let makespan = finish.iter().copied().fold(0.0f64, f64::max);
-    Ok(EngineReport {
-        makespan_s: makespan,
-        outcomes: start
-            .iter()
-            .zip(&finish)
-            .map(|(&start_s, &finish_s)| EngineOutcome { start_s, finish_s })
-            .collect(),
-        rate_recomputations: recomputations,
-        solver_work,
-        events: kernel.events_processed(),
-        job_active_s,
-        job_service_bytes,
-        job_peak_rate_bps: job_peak_rate,
-    })
+    let mut eng = crate::engine::FluidEngine::new(net);
+    eng.inject(flows)?;
+    while eng.step()?.is_some() {}
+    Ok(eng.into_report())
 }
 
 /// One substrate-lowered fault of the faulted engine ([`run_engine_faulted`]).

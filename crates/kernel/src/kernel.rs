@@ -144,7 +144,12 @@ pub struct EventKernel<T> {
     clock: SimClock,
     next_seq: u64,
     processed: u64,
+    cancelled: u64,
+    compactions: u64,
 }
+
+/// Below this many heap entries, compaction is never worth the rebuild.
+const COMPACT_MIN_HEAP: usize = 256;
 
 impl<T> Default for EventKernel<T> {
     fn default() -> Self {
@@ -162,6 +167,8 @@ impl<T> EventKernel<T> {
             clock: SimClock::new(),
             next_seq: 0,
             processed: 0,
+            cancelled: 0,
+            compactions: 0,
         }
     }
 
@@ -174,6 +181,8 @@ impl<T> EventKernel<T> {
             clock: SimClock::new(),
             next_seq: 0,
             processed: 0,
+            cancelled: 0,
+            compactions: 0,
         }
     }
 
@@ -194,6 +203,26 @@ impl<T> EventKernel<T> {
     #[must_use]
     pub fn len(&self) -> usize {
         self.payloads.len()
+    }
+
+    /// Total number of events canceled so far.
+    #[must_use]
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Number of heap entries, **including** stale entries left behind by
+    /// lazy cancellation. `heap_len() - len()` is the current stale count;
+    /// long-running streams can watch it to observe compaction behavior.
+    #[must_use]
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of times the heap was compacted to shed stale entries.
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Whether no live events are pending.
@@ -233,10 +262,20 @@ impl<T> EventKernel<T> {
     /// Cancel a pending event, returning its payload.
     ///
     /// Returns `None` if the event already fired or was already canceled.
-    /// Cancellation is O(1): the payload leaves the slab immediately and the
-    /// heap entry is discarded lazily when it reaches the top.
+    /// Cancellation is amortized O(1): the payload leaves the slab
+    /// immediately and the heap entry is discarded lazily when it reaches
+    /// the top. When stale entries outnumber live ones on a large heap the
+    /// heap is compacted in place, so cancel-heavy streams stay bounded by
+    /// the live event count instead of the total schedule count.
     pub fn cancel(&mut self, id: EventId) -> Option<T> {
-        self.payloads.remove(id.0)
+        let payload = self.payloads.remove(id.0)?;
+        self.cancelled += 1;
+        if self.heap.len() >= COMPACT_MIN_HEAP && self.heap.len() > 2 * self.payloads.len() {
+            let payloads = &self.payloads;
+            self.heap.retain(|e| payloads.contains(e.key));
+            self.compactions += 1;
+        }
+        Some(payload)
     }
 
     /// Timestamp of the earliest pending live event, without popping it.
@@ -293,6 +332,53 @@ impl<T> EventKernel<T> {
             out.push(payload);
         }
         Some(time)
+    }
+
+    /// Snapshot every pending live event as `(time, payload)`, ordered by
+    /// `(time, insertion order)` — the exact order they would pop in.
+    ///
+    /// This is the checkpoint contract: re-scheduling the returned pairs in
+    /// order into a fresh kernel (after [`EventKernel::fast_forward`] to the
+    /// saved clock) reproduces pop and batch order exactly, because relative
+    /// sequence order is all that tie-breaking observes.
+    #[must_use]
+    pub fn pending(&self) -> Vec<(f64, &T)>
+    where
+        T: Sized,
+    {
+        let mut live: Vec<&HeapEntry> = self
+            .heap
+            .iter()
+            .filter(|e| self.payloads.contains(e.key))
+            .collect();
+        live.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        live.iter()
+            .map(|e| {
+                (
+                    e.time,
+                    self.payloads.get(e.key).expect("filtered to live keys"),
+                )
+            })
+            .collect()
+    }
+
+    /// Advance the clock to `time` without popping any event.
+    ///
+    /// Used when restoring a checkpoint: a fresh kernel starts at zero, the
+    /// saved pending events are re-scheduled (all at times `>= time`), and
+    /// the clock is fast-forwarded to the saved instant so subsequent
+    /// schedule calls see the same past/future boundary as the original run.
+    ///
+    /// # Errors
+    /// Same contract as [`SimClock::advance_to`]: non-finite targets and
+    /// targets earlier than the current clock are typed errors.
+    pub fn fast_forward(&mut self, time: f64) -> Result<(), KernelError> {
+        self.clock.advance_to(time)
     }
 }
 
@@ -546,6 +632,79 @@ mod tests {
         let t = k.pop_batch(&mut out).unwrap();
         assert_eq!(t.to_bits(), 0.0_f64.to_bits(), "-0.0 normalized to +0.0");
         assert_eq!(out, vec!["neg", "pos"]);
+    }
+
+    #[test]
+    fn cancel_heavy_streams_compact_the_heap() {
+        // Satellite regression (PR 8): before compaction, every canceled
+        // event left a stale heap entry until it happened to reach the top,
+        // so a long stream that schedules-and-supersedes grew without bound.
+        let mut k = EventKernel::new();
+        let mut live = Vec::new();
+        for round in 0..64u64 {
+            // Schedule a wave, cancel most of it, keep a few.
+            let base = k.now() + 1.0;
+            let ids: Vec<_> = (0..64)
+                .map(|i| k.schedule_at(base + f64::from(i), round).unwrap())
+                .collect();
+            for (i, id) in ids.iter().enumerate() {
+                if i % 16 == 0 {
+                    live.push(*id);
+                } else {
+                    assert!(k.cancel(*id).is_some());
+                }
+            }
+            k.pop();
+        }
+        assert!(k.cancelled() >= 60 * 64);
+        assert!(k.compactions() > 0, "stale-dominated heap must compact");
+        assert!(
+            k.heap_len() <= 2 * k.len() + COMPACT_MIN_HEAP,
+            "heap stays bounded by live events: {} vs {}",
+            k.heap_len(),
+            k.len()
+        );
+        // Compaction must not disturb ordering: remaining events still pop
+        // in (time, insertion) order.
+        let mut prev = k.now();
+        while let Some((t, _)) = k.pop() {
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn pending_snapshot_matches_pop_order_and_restores() {
+        let mut k = EventKernel::new();
+        k.schedule_at(2.0, "b1").unwrap();
+        k.schedule_at(1.0, "a").unwrap();
+        let c = k.schedule_at(2.0, "cancelled").unwrap();
+        k.schedule_at(2.0, "b2").unwrap();
+        k.cancel(c);
+        k.pop(); // fire "a", clock at 1.0
+
+        let snap: Vec<(f64, &str)> = k.pending().into_iter().map(|(t, p)| (t, *p)).collect();
+        assert_eq!(snap, vec![(2.0, "b1"), (2.0, "b2")]);
+
+        // Restore into a fresh kernel: fast-forward, re-schedule in order.
+        let mut r = EventKernel::new();
+        r.fast_forward(1.0).unwrap();
+        assert_eq!(
+            r.fast_forward(0.5),
+            Err(KernelError::PastEvent {
+                time: 0.5,
+                now: 1.0
+            })
+        );
+        for &(t, p) in &snap {
+            r.schedule_at(t, p).unwrap();
+        }
+        let mut orig = Vec::new();
+        let mut rest = Vec::new();
+        let t1 = k.pop_batch(&mut orig);
+        let t2 = r.pop_batch(&mut rest);
+        assert_eq!(t1, t2);
+        assert_eq!(orig, rest, "restored kernel must replay batch order");
     }
 
     #[test]

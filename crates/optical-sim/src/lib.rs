@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod conflict;
+pub mod engine;
 pub mod error;
 pub mod path;
 pub mod physical;
@@ -60,6 +61,7 @@ pub mod wavelength;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::config::OpticalConfig;
+    pub use crate::engine::{GrantCompletion, GrantEngine, GrantEngineSnapshot, GrantTransfer};
     pub use crate::error::OpticalError;
     pub use crate::path::LightPath;
     pub use crate::physical::PhysicalModel;
@@ -76,6 +78,7 @@ pub mod prelude {
 }
 
 pub use config::OpticalConfig;
+pub use engine::{GrantCompletion, GrantEngine, GrantEngineSnapshot, GrantTransfer};
 pub use error::OpticalError;
 pub use path::LightPath;
 pub use request::{DirectionChoice, Transfer};

@@ -37,7 +37,10 @@ impl std::fmt::Display for Strategy {
 }
 
 /// Per-direction, per-segment wavelength occupancy for one scheduling round.
-#[derive(Debug, Clone)]
+///
+/// Serializable so long-running grant engines can checkpoint lane state
+/// mid-run (see `engine::GrantEngine::snapshot`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Occupancy {
     wavelengths: usize,
     /// `used[dir][segment]` = set of wavelengths busy on that segment.

@@ -1,6 +1,7 @@
 //! The ring simulator: stepped and event-driven execution of schedules.
 
 use crate::config::OpticalConfig;
+use crate::engine::{GrantEngine, GrantTransfer};
 use crate::error::{OpticalError, Result};
 use crate::path::LightPath;
 use crate::request::Transfer;
@@ -444,217 +445,64 @@ impl RingSimulator {
     }
 
     /// Shared body of [`RingSimulator::run_dag`] (no arbitration: waiters
-    /// served in DAG order) and [`RingSimulator::run_dag_jobs`].
+    /// served in DAG order) and [`RingSimulator::run_dag_jobs`]: a thin
+    /// closed-set driver over the streaming [`GrantEngine`] — the whole DAG
+    /// is injected as one batch at time zero (so order keys equal transfer
+    /// indices and arbitration tie-breaks match the historical DAG order)
+    /// and the engine is pumped to idle.
     fn run_dag_arbitrated(
         &mut self,
         transfers: &[DagTransfer],
         strategy: Strategy,
         arb: Option<&JobArbitration>,
     ) -> Result<DagReport> {
-        #[derive(Debug)]
-        enum Ev {
-            Gate(usize),
-            Complete(usize),
-        }
-
-        let timing = self.config.timing();
-        let mut occ = Occupancy::new(self.topo.nodes(), self.config.wavelengths);
-
-        // Pre-resolve paths and validate feasibility in isolation.
-        let mut paths: Vec<LightPath> = Vec::with_capacity(transfers.len());
-        for (i, t) in transfers.iter().enumerate() {
-            if t.deps.iter().any(|&d| d >= i) {
-                return Err(OpticalError::BadConfig(
-                    "dependency must precede its transfer",
-                ));
-            }
-            if !t.release_s.is_finite() || t.release_s < 0.0 {
-                return Err(OpticalError::BadConfig(
-                    "release time must be finite and >= 0",
-                ));
-            }
-            let path = t.transfer.resolve(&self.topo)?;
-            if t.transfer.lanes > self.config.wavelengths {
-                return Err(OpticalError::WavelengthsExhausted {
-                    available: self.config.wavelengths,
-                    requested: t.transfer.lanes,
-                    step: 0,
-                });
-            }
-            paths.push(path);
-        }
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); transfers.len()];
-        let mut missing: Vec<usize> = vec![0; transfers.len()];
-        for (i, t) in transfers.iter().enumerate() {
-            missing[i] = t.deps.len();
-            for &d in &t.deps {
-                dependents[d].push(i);
+        let mut eng = GrantEngine::new(
+            &self.config,
+            strategy,
+            arb.is_some(),
+            arb.is_some_and(|a| a.fair_share),
+        )?;
+        if let Some(a) = arb {
+            for &r in &a.rank {
+                eng.add_job(r);
             }
         }
+        let items: Vec<GrantTransfer> = transfers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| GrantTransfer {
+                transfer: t.transfer.clone(),
+                release_s: t.release_s,
+                deps: t.deps.clone(),
+                job: arb.map_or(0, |a| a.job_of[i]),
+            })
+            .collect();
+        eng.inject(&items)?;
+        while eng.step().is_some() {}
 
-        let mut queue: EventKernel<Ev> = EventKernel::with_capacity(transfers.len());
-        for (i, t) in transfers.iter().enumerate() {
-            if t.deps.is_empty() {
-                // Release times were validated finite and >= 0 above, and
-                // the clock is still at zero.
-                queue
-                    .schedule_at(t.release_s, Ev::Gate(i))
-                    .expect("validated release time");
-            }
-        }
-
-        let mut waiting: Vec<usize> = Vec::new();
-        let mut assigned: Vec<Vec<crate::wavelength::Wavelength>> =
-            vec![Vec::new(); transfers.len()];
-        let mut times = vec![(f64::NAN, f64::NAN); transfers.len()];
-        let mut active = 0usize;
-        let mut peak = 0usize;
-        let mut peak_wavelength = 0usize;
-        let mut makespan = 0.0f64;
-
-        // Keep `waiting` sorted by transfer index (= DAG order).
-        fn enqueue(waiting: &mut Vec<usize>, id: usize) {
-            let pos = waiting.partition_point(|&w| w < id);
-            waiting.insert(pos, id);
-        }
-
-        // Per-event claimed-segment scratch, allocated once and reset via
-        // the list of entries actually set.
-        let mut claimed = [
-            vec![false; self.topo.nodes()],
-            vec![false; self.topo.nodes()],
-        ];
-        let mut claimed_set: Vec<(usize, usize)> = Vec::new();
-
-        // Accumulated service (granted lane-seconds) per job, driving the
-        // fair-share arbitration order.
-        let mut service = vec![0.0f64; arb.map_or(0, |a| a.rank.len())];
-
-        // Per-event scratch, allocated once: the coalesced event batch, the
-        // grant-scan order and the granted-this-scan flags.
-        let mut batch: Vec<Ev> = Vec::new();
-        let mut order: Vec<usize> = Vec::new();
-        let mut granted = vec![false; transfers.len()];
-
-        while let Some(now) = queue.pop_batch(&mut batch) {
-            // The kernel coalesces every event at this exact instant (bit-
-            // identical times — see the `wrht_kernel` coalescing contract)
-            // before granting: cross-job arbitration must see all
-            // simultaneous waiters (and all simultaneously freed
-            // wavelengths) together, not in event insertion order.
-            // (Completes scheduled *by* the grants below land in a later
-            // batch at the same clock, which is fine.)
-            for ev in batch.drain(..) {
-                match ev {
-                    Ev::Gate(id) => {
-                        enqueue(&mut waiting, id);
-                    }
-                    Ev::Complete(id) => {
-                        for &lambda in &assigned[id] {
-                            occ.release(&paths[id], lambda);
-                        }
-                        times[id].1 = now;
-                        makespan = makespan.max(now);
-                        active -= 1;
-                        for &dep in &dependents[id] {
-                            missing[dep] -= 1;
-                            if missing[dep] == 0 {
-                                if transfers[dep].release_s <= now {
-                                    enqueue(&mut waiting, dep);
-                                } else {
-                                    queue
-                                        .schedule_at(transfers[dep].release_s, Ev::Gate(dep))
-                                        .expect("validated release time after now");
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            // Start every waiter that now fits. The scan order is DAG order
-            // for single-tenant runs; under arbitration, waiters of the
-            // least-served / lowest-ranked job go first (ties fall back to
-            // DAG order, so one job degenerates to the plain scan).
-            // Segments of waiters that do NOT fit are claimed so later
-            // waiters cannot overtake them on a shared span.
-            order.clear();
-            order.extend_from_slice(&waiting);
-            if let Some(a) = arb {
-                order.sort_by(|&x, &y| {
-                    let (jx, jy) = (a.job_of[x], a.job_of[y]);
-                    let (sx, sy) = if a.fair_share {
-                        (service[jx], service[jy])
-                    } else {
-                        (0.0, 0.0)
-                    };
-                    sx.partial_cmp(&sy)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.rank[jx].cmp(&a.rank[jy]))
-                        .then(x.cmp(&y))
-                });
-            }
-            let mut any_granted = false;
-            for &id in &order {
-                let tr = &transfers[id].transfer;
-                let d = usize::from(paths[id].direction == Direction::CounterClockwise);
-                let overtakes = paths[id].segments.iter().any(|&s| claimed[d][s]);
-                if !overtakes {
-                    if let Ok(lanes) = occ.assign(&paths[id], tr.lanes, strategy) {
-                        assigned[id] = lanes;
-                        let dur = timing.transfer_time(tr.bytes, tr.lanes, paths[id].hops());
-                        times[id].0 = queue.now();
-                        queue
-                            .schedule_in(dur, Ev::Complete(id))
-                            .expect("transfer duration is a finite forward delay");
-                        active += 1;
-                        peak = peak.max(active);
-                        peak_wavelength = peak_wavelength.max(occ.peak_wavelengths_used());
-                        if let Some(a) = arb {
-                            service[a.job_of[id]] += dur * tr.lanes as f64;
-                        }
-                        granted[id] = true;
-                        any_granted = true;
-                        continue;
-                    }
-                }
-                for &s in &paths[id].segments {
-                    if !claimed[d][s] {
-                        claimed[d][s] = true;
-                        claimed_set.push((d, s));
-                    }
-                }
-            }
-            if any_granted {
-                waiting.retain(|&id| {
-                    let g = granted[id];
-                    if g {
-                        granted[id] = false;
-                    }
-                    !g
-                });
-            }
-            for &(d, s) in &claimed_set {
-                claimed[d][s] = false;
-            }
-            claimed_set.clear();
-        }
-
-        if let Some(&stuck) = waiting.first() {
+        if let Some(lanes) = eng.stuck_lanes() {
             // Can only happen if a transfer's lane demand can never be met
             // concurrently with an earlier waiter — surface it rather than
             // silently dropping the transfer.
             return Err(OpticalError::WavelengthsExhausted {
                 available: self.config.wavelengths,
-                requested: transfers[stuck].transfer.lanes,
+                requested: lanes,
                 step: 0,
             });
         }
+        let mut times = vec![(f64::NAN, f64::NAN); transfers.len()];
+        let mut completions = Vec::with_capacity(transfers.len());
+        eng.drain_completions(&mut completions);
+        for c in &completions {
+            // One batch injected at time zero: order keys are indices.
+            times[usize::try_from(c.order).expect("order fits usize")] = (c.start_s, c.finish_s);
+        }
         Ok(DagReport {
-            makespan_s: makespan,
+            makespan_s: eng.makespan(),
             transfer_times: times,
-            peak_concurrency: peak,
-            peak_wavelength,
-            events: queue.events_processed(),
+            peak_concurrency: eng.peak_concurrency(),
+            peak_wavelength: eng.peak_wavelength(),
+            events: eng.events(),
         })
     }
 

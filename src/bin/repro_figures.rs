@@ -28,13 +28,19 @@
 //!                node failure under replan and fail-job recovery, with
 //!                per-job blast radius and recovery time (resumable via
 //!                results/faults)
+//!   serve        Online cluster service: open-loop Poisson arrivals of
+//!                training jobs at an underload and an overload rate,
+//!                under every scheduling policy and immediate /
+//!                queue-bounded / load-shedding admission on both
+//!                substrates, with windowed slowdown percentiles and queue
+//!                depths (resumable via results/serve)
 //!   bench        The fixed perf suite: wall-clock and events/sec over the
 //!                frozen tenancy / incast / pipelined workloads, written to
 //!                BENCH_v6.json (BENCH_v6.small.json with --small).
 //!                `--check=<path>` compares against a committed baseline and
 //!                fails if any case drops below 80% of its events/sec.
-//!   all          Everything above except sweep, train, tenants and bench
-//!                (default)
+//!   all          Everything above except sweep, train, tenants, faults,
+//!                serve and bench (default)
 //!
 //! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
 //! caps the campaign worker count (default: available parallelism).
@@ -52,14 +58,15 @@ use wrht_bench::ablations::{
     group_size_sweep, overlap_study, rwa_strategy_compare, variant_study, wavelength_sweep,
 };
 use wrht_bench::campaign::{
-    fig2_from_campaign, run_campaign, run_fault_campaign, run_tenancy_campaign,
-    run_timeline_campaign, sweep_spec,
+    fig2_from_campaign, run_campaign, run_fault_campaign, run_stream_campaign,
+    run_tenancy_campaign, run_timeline_campaign, sweep_spec,
 };
 use wrht_bench::contention::{run_contention, Pattern};
 use wrht_bench::perf::{run_suite, BenchSuiteResult, SuiteScale};
 use wrht_bench::report::{
     render_contention, render_faults, render_fig2, render_fit, render_group_size, render_headline,
-    render_overlap, render_tenants, render_timeline, render_variants, render_wavelengths, to_json,
+    render_overlap, render_streams, render_tenants, render_timeline, render_variants,
+    render_wavelengths, to_json,
 };
 use wrht_bench::timeline::TimelineRow;
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
@@ -330,6 +337,28 @@ fn cmd_faults(
     write_json(&sink, "fault_rows.json", &to_json(&report.results));
 }
 
+fn cmd_serve(cfg: &ExperimentConfig, results: &Path, threads: usize, models: &[dnn_models::Model]) {
+    let n = *cfg.scales.first().expect("scales non-empty");
+    let spec = wrht_bench::campaign::serve_spec(cfg, models, n, 2023);
+    let sink = results.join("serve");
+    println!(
+        "== Open-loop service campaign: {} cells over {} worker thread(s) ==",
+        spec.cells.len(),
+        threads
+    );
+    let report = run_stream_campaign(&spec, threads, Some(&sink));
+    let infeasible = report.results.iter().filter(|r| r.error.is_some()).count();
+    println!(
+        "{} cells finished ({infeasible} infeasible); sink: {}",
+        report.results.len(),
+        sink.display()
+    );
+    println!();
+    print!("{}", render_streams(&report.results, n));
+    println!();
+    write_json(&sink, "stream_rows.json", &to_json(&report.results));
+}
+
 /// Run the fixed perf suite and write `BENCH_v6[.small].json` into
 /// `out_dir`. With `check`, compare events/sec against the committed
 /// baseline at that path; returns `false` when a case regressed below 80%.
@@ -354,7 +383,7 @@ fn cmd_bench(small: bool, check: Option<&Path>, out_dir: &Path) -> bool {
             }
         },
     };
-    let milestone = "kernel-unified substrates (shared wrht-kernel event queue)";
+    let milestone = "open-loop stream engine (online arrivals through the running kernel)";
     let result = run_suite(scale, suite, milestone).expect("the frozen perf suite executes");
     println!("== Fixed perf suite ({suite}) ==");
     println!(
@@ -423,6 +452,7 @@ fn run_command(
         "train" => cmd_train(cfg, results, threads, &dnn_models::paper_models(), modes),
         "tenants" => cmd_tenants(cfg, results, threads, &dnn_models::paper_models()),
         "faults" => cmd_faults(cfg, results, threads, &dnn_models::paper_models()),
+        "serve" => cmd_serve(cfg, results, threads, &dnn_models::paper_models()),
         "fig2" => cmd_fig2(cfg, results),
         "headline" => cmd_headline(cfg, results),
         "steps" => cmd_steps(),
@@ -690,6 +720,26 @@ mod tests {
         // Resumable: a second run reuses the sink without changing output.
         cmd_faults(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
         let rows2 = fs::read_to_string(sink.join("fault_rows.json")).unwrap();
+        assert_eq!(rows, rows2);
+        let _ = fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn serve_command_runs_the_stream_campaign_and_resumes() {
+        let results = temp_results("serve");
+        cmd_serve(&tiny_cfg(), &results, 2, &[dnn_models::googlenet()]);
+        let sink = results.join("serve");
+        let rows = fs::read_to_string(sink.join("stream_rows.json")).expect("stream_rows.json");
+        assert!(rows.contains("GoogLeNet"));
+        assert!(rows.contains("\"peak_queue_depth\""));
+        assert!(rows.contains("\"slowdown_p99\""));
+        let csv = fs::read_to_string(sink.join("serve.csv")).expect("serve campaign CSV");
+        // 2 rates × 3 policies × 3 admissions × 2 substrates + header.
+        assert_eq!(csv.lines().count(), 37);
+        assert!(csv.contains("immediate") && csv.contains("queue:2") && csv.contains("reject:4"));
+        // Resumable: a second run reuses the sink without changing output.
+        cmd_serve(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
+        let rows2 = fs::read_to_string(sink.join("stream_rows.json")).unwrap();
         assert_eq!(rows, rows2);
         let _ = fs::remove_dir_all(&results);
     }

@@ -102,6 +102,36 @@ fn fault_campaign_json_matches_golden() {
 }
 
 #[test]
+fn stream_campaign_json_matches_golden() {
+    // The `serve` figure at reduced scale: a Poisson arrival stream of
+    // GoogLeNet jobs through the running kernel under every scheduling
+    // policy and admission rule, on both substrates. Pins the open-loop
+    // engine end to end — arrival generation, admission queueing and
+    // shedding, windowed metrics, streaming percentiles and Jain fairness
+    // — bit-exactly. Trimmed to the overload rate so the queue-depth and
+    // reject admission paths actually differentiate.
+    let mut spec =
+        wrht_bench::campaign::serve_spec(&golden_cfg(), &[dnn_models::googlenet()], 16, 2023);
+    spec.cells.retain(|c| c.rate_hz > 100.0);
+    for c in &mut spec.cells {
+        c.arrivals = 6;
+    }
+    let report = wrht_bench::campaign::run_stream_campaign(&spec, 1, None);
+    assert!(
+        report.results.iter().all(|r| r.error.is_none()),
+        "every golden stream cell must execute"
+    );
+    assert!(
+        report
+            .results
+            .iter()
+            .any(|r| r.rejected > 0 && r.admitted + r.rejected == r.arrivals),
+        "the overload grid must shed load somewhere"
+    );
+    assert_matches_golden("serve_googlenet.json", &to_json(&report));
+}
+
+#[test]
 fn headline_json_matches_golden() {
     let cfg = golden_cfg();
     let all: Vec<_> = [dnn_models::googlenet(), dnn_models::alexnet()]

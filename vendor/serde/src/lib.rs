@@ -294,6 +294,13 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        <[T; N]>::try_from(items).map_err(|_| DeError::custom("array of unexpected length"))
+    }
+}
+
 impl<T: Serialize> Serialize for Range<T> {
     fn to_value(&self) -> Value {
         Value::Map(vec![
