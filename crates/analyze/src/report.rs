@@ -1,0 +1,169 @@
+//! Rendering: the human-readable finding table and the machine-readable
+//! JSON document (hand-rolled — the analyzer is dependency-free).
+
+use crate::rules::{rule_table, Finding};
+use crate::Analysis;
+use std::fmt::Write as _;
+
+/// Render the analysis as a human-readable report.
+#[must_use]
+pub fn render_table(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "wrht-analyze: {} file(s) scanned, {} finding(s), {} audited suppression(s)",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.suppressions
+    );
+    if analysis.findings.is_empty() {
+        let _ = writeln!(out, "determinism invariants hold: no findings");
+        return out;
+    }
+    let _ = writeln!(out);
+    for f in &analysis.findings {
+        let _ = writeln!(
+            out,
+            "{:<3} {:<16} {}:{}:{}",
+            f.rule.id(),
+            f.rule.name(),
+            f.file,
+            f.line,
+            f.column
+        );
+        let _ = writeln!(out, "    {}", f.message);
+        if !f.snippet.is_empty() {
+            let _ = writeln!(out, "    > {}", f.snippet);
+        }
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "suppress an audited exception with: // wrht-analyze: allow(<rule>, reason = \"...\")"
+    );
+    out
+}
+
+/// Render the analysis as a JSON document.
+#[must_use]
+pub fn render_json(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", analysis.files_scanned);
+    let _ = writeln!(out, "  \"suppressions\": {},", analysis.suppressions);
+    out.push_str("  \"rules\": [\n");
+    let rules = rule_table();
+    for (i, r) in rules.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"id\": {}, \"name\": {}, \"summary\": {}}}{}",
+            json_string(r.id),
+            json_string(r.name),
+            json_string(r.summary),
+            if i + 1 < rules.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": {}, \"name\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \
+             \"message\": {}, \"snippet\": {}}}{}",
+            json_string(f.rule.id()),
+            json_string(f.rule.name()),
+            json_string(&f.file),
+            f.line,
+            f.column,
+            json_string(&f.message),
+            json_string(&f.snippet),
+            if i + 1 < analysis.findings.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Sort findings into the canonical (file, line, column, rule) order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.column.cmp(&b.column))
+            .then(a.rule.cmp(&b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![Finding {
+                file: "crates/x/src/a.rs".to_string(),
+                line: 3,
+                column: 7,
+                rule: RuleId::HashCollections,
+                message: "no \"hash\" maps".to_string(),
+                snippet: "let m = HashMap::new();".to_string(),
+            }],
+            files_scanned: 2,
+            suppressions: 1,
+        }
+    }
+
+    #[test]
+    fn table_lists_findings_and_counts() {
+        let t = render_table(&sample());
+        assert!(t.contains("2 file(s) scanned, 1 finding(s), 1 audited suppression(s)"));
+        assert!(t.contains("R1  hash-collections crates/x/src/a.rs:3:7"));
+    }
+
+    #[test]
+    fn clean_table_says_so() {
+        let a = Analysis {
+            findings: vec![],
+            files_scanned: 5,
+            suppressions: 0,
+        };
+        assert!(render_table(&a).contains("no findings"));
+    }
+
+    #[test]
+    fn json_escapes_and_includes_rule_table() {
+        let j = render_json(&sample());
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("no \\\"hash\\\" maps"));
+        assert!(j.contains("\"id\": \"R6\""));
+        // Well-formed enough for the vendored parser used by CI consumers.
+        assert!(j.trim_end().ends_with('}'));
+    }
+}

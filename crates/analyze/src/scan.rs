@@ -1,0 +1,586 @@
+//! The token scanner: masks comments, string literals and char literals out
+//! of a Rust source file, extracts `wrht-analyze` suppression pragmas from
+//! the comments, and maps which lines belong to test code.
+//!
+//! The scanner is deliberately not a full lexer: it only needs to answer
+//! "is this byte part of executable, non-test code?" reliably. It handles
+//! nested block comments, escape sequences, raw strings with arbitrary hash
+//! fences (`r#".."#`), byte strings, raw identifiers (`r#type`), and the
+//! char-literal-vs-lifetime ambiguity (`'a'` vs `&'a str`).
+
+/// The canonical lowercase rule keys a pragma may name (ids and names).
+pub const RULE_KEYS: [(&str, &str); 6] = [
+    ("r1", "hash-collections"),
+    ("r2", "ambient-time"),
+    ("r3", "raw-thread-spawn"),
+    ("r4", "float-order"),
+    ("r5", "no-panic"),
+    ("r6", "float-eq"),
+];
+
+/// A parsed, well-formed suppression pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Canonical rule id (`"r1"`..`"r6"`) the pragma suppresses.
+    pub rule: String,
+    /// The audit reason given for the suppression (always non-empty).
+    pub reason: String,
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// 1-based line the pragma suppresses: its own line for a trailing
+    /// comment, the next line carrying code for a standalone comment.
+    pub applies_to: usize,
+}
+
+/// A malformed pragma: still a finding, never a suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// The source with comments, strings and char literals blanked out
+    /// (newlines preserved, so line/column structure is unchanged).
+    pub masked: String,
+    /// `test_lines[i]` is true when 1-based line `i + 1` is inside a
+    /// `#[cfg(test)]` item, a `#[test]` item or a `mod tests { .. }` block.
+    pub test_lines: Vec<bool>,
+    /// Well-formed suppression pragmas, in source order.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas, in source order.
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank a byte range of the mask, preserving line breaks.
+fn blank(masked: &mut [u8], range: std::ops::Range<usize>) {
+    for b in &mut masked[range] {
+        if *b != b'\n' && *b != b'\r' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Scan `source`, producing the masked text, pragma list and test-line map.
+#[must_use]
+pub fn scan(source: &str) -> Scan {
+    let bytes = source.as_bytes();
+    let len = bytes.len();
+    let mut masked = bytes.to_vec();
+    // (byte offset of the `//`, comment text without the `//`).
+    let mut comments: Vec<(usize, String)> = Vec::new();
+
+    let mut i = 0;
+    while i < len {
+        match bytes[i] {
+            b'/' if i + 1 < len && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < len && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push((start, source[start + 2..i].to_string()));
+                blank(&mut masked, start..i);
+            }
+            b'/' if i + 1 < len && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                let mut depth = 1usize;
+                while i < len && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < len && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < len && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut masked, start..i);
+            }
+            b'"' => {
+                i = mask_plain_string(source, &mut masked, i);
+            }
+            b'r' | b'b' if i == 0 || !is_ident_byte(bytes[i - 1]) => {
+                i = mask_prefixed(source, &mut masked, i);
+            }
+            b'\'' => {
+                i = mask_char_or_lifetime(source, &mut masked, i);
+            }
+            _ => i += 1,
+        }
+    }
+
+    let line_starts = compute_line_starts(source);
+    let masked_str = String::from_utf8(masked).unwrap_or_default();
+    let test_lines = mark_test_lines(&masked_str, &line_starts);
+    let (pragmas, pragma_errors) = collect_pragmas(&masked_str, &line_starts, &comments);
+
+    Scan {
+        masked: masked_str,
+        test_lines,
+        pragmas,
+        pragma_errors,
+    }
+}
+
+/// Mask a `"…"` string starting at the opening quote; returns the index
+/// just past the closing quote.
+fn mask_plain_string(source: &str, masked: &mut [u8], start: usize) -> usize {
+    let bytes = source.as_bytes();
+    let len = bytes.len();
+    let mut i = start + 1;
+    while i < len {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let end = i.min(len);
+    blank(masked, start..end);
+    end
+}
+
+/// Handle a token starting with `r` or `b`: raw strings (`r".."`,
+/// `r#".."#`), byte strings (`b".."`, `br#".."#`) and raw identifiers
+/// (`r#type`, left unmasked). Returns the index to resume scanning from.
+fn mask_prefixed(source: &str, masked: &mut [u8], start: usize) -> usize {
+    let bytes = source.as_bytes();
+    let len = bytes.len();
+    let mut i = start;
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+        if i < len && bytes[i] == b'r' {
+            raw = true;
+            i += 1;
+        }
+    } else {
+        // bytes[start] == b'r'
+        raw = true;
+        i += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while i < len && bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i < len && bytes[i] == b'"' {
+            // Raw (byte) string: runs until `"` followed by `hashes` hashes.
+            i += 1;
+            while i < len {
+                if bytes[i] == b'"' && source.as_bytes()[i + 1..].starts_with(&vec![b'#'; hashes]) {
+                    i += 1 + hashes;
+                    break;
+                }
+                i += 1;
+            }
+            blank(masked, start..i.min(len));
+            return i.min(len);
+        }
+        // `r#ident` raw identifier or a bare `r`/`br` identifier: not a
+        // string, leave unmasked and resume right after the prefix char so
+        // the identifier is scanned as ordinary code.
+        return start + 1;
+    }
+    // `b'..'` byte char or `b".."` byte string.
+    if i < len && bytes[i] == b'"' {
+        return mask_plain_string(source, masked, i);
+    }
+    if i < len && bytes[i] == b'\'' {
+        return mask_char_or_lifetime(source, masked, i);
+    }
+    start + 1
+}
+
+/// Distinguish a char literal from a lifetime at a `'`; masks char
+/// literals, leaves lifetimes intact.
+fn mask_char_or_lifetime(source: &str, masked: &mut [u8], start: usize) -> usize {
+    let bytes = source.as_bytes();
+    let len = bytes.len();
+    if start + 1 >= len {
+        return start + 1;
+    }
+    if bytes[start + 1] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut i = start + 2;
+        while i < len && bytes[i] != b'\'' {
+            // `'\\'` — the escape consumes the next byte.
+            if bytes[i] == b'\\' {
+                i += 1;
+            }
+            i += 1;
+        }
+        let end = (i + 1).min(len);
+        blank(masked, start..end);
+        return end;
+    }
+    // One (possibly multi-byte) char followed by a closing quote?
+    if let Some(c) = source[start + 1..].chars().next() {
+        let close = start + 1 + c.len_utf8();
+        if c != '\'' && close < len && bytes[close] == b'\'' {
+            blank(masked, start..close + 1);
+            return close + 1;
+        }
+    }
+    // A lifetime (or label): leave it alone.
+    start + 1
+}
+
+/// Byte offsets at which each line starts (index 0 → line 1).
+fn compute_line_starts(source: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in source.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Map a byte offset to a 1-based line number.
+fn line_of(line_starts: &[usize], offset: usize) -> usize {
+    match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Mark the lines covered by `#[cfg(test)]` items, `#[test]` items and
+/// `mod tests { .. }` blocks in the masked source.
+fn mark_test_lines(masked: &str, line_starts: &[usize]) -> Vec<bool> {
+    let mut test = vec![false; line_starts.len()];
+    let bytes = masked.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let region = if bytes[i] == b'#' {
+            test_attribute_end(masked, i).map(|attr_end| (i, item_end(masked, attr_end)))
+        } else if masked[i..].starts_with("mod")
+            && (i == 0 || !is_ident_byte(bytes[i - 1]))
+            && is_mod_tests(masked, i)
+        {
+            Some((i, item_end(masked, i + 3)))
+        } else {
+            None
+        };
+        if let Some((start, end)) = region {
+            let first = line_of(line_starts, start);
+            let last = line_of(line_starts, end.saturating_sub(1).max(start));
+            for line in first..=last {
+                if line - 1 < test.len() {
+                    test[line - 1] = true;
+                }
+            }
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    test
+}
+
+/// If a `#[cfg(test)]` or `#[test]` attribute begins at `at`, return the
+/// offset just past its closing `]`.
+fn test_attribute_end(masked: &str, at: usize) -> Option<usize> {
+    let mut i = at + 1;
+    i = skip_ws(masked, i);
+    if !masked[i..].starts_with('[') {
+        return None;
+    }
+    i = skip_ws(masked, i + 1);
+    if masked[i..].starts_with("cfg") {
+        i = skip_ws(masked, i + 3);
+        if !masked[i..].starts_with('(') {
+            return None;
+        }
+        i = skip_ws(masked, i + 1);
+        if !masked[i..].starts_with("test") {
+            return None;
+        }
+        i = skip_ws(masked, i + 4);
+        if !masked[i..].starts_with(')') {
+            return None;
+        }
+        i = skip_ws(masked, i + 1);
+    } else if masked[i..].starts_with("test") {
+        i = skip_ws(masked, i + 4);
+    } else {
+        return None;
+    }
+    masked[i..].starts_with(']').then_some(i + 1)
+}
+
+/// Does `mod` at `at` introduce a module literally named `tests`?
+fn is_mod_tests(masked: &str, at: usize) -> bool {
+    let i = skip_ws(masked, at + 3);
+    let rest = &masked[i..];
+    rest.starts_with("tests")
+        && !rest[5..]
+            .bytes()
+            .next()
+            .is_some_and(|b| is_ident_byte(b) || b == b':')
+}
+
+fn skip_ws(s: &str, mut i: usize) -> usize {
+    let b = s.as_bytes();
+    while i < b.len() && (b[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// From the end of an attribute (or a `mod` keyword), find the end of the
+/// item it applies to: the matching `}` of its first top-level brace block,
+/// or the first top-level `;` for brace-less items.
+fn item_end(masked: &str, from: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let len = bytes.len();
+    let mut depth = 0i64;
+    let mut i = from;
+    while i < len {
+        match bytes[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' if depth == 0 => return i + 1,
+            b'{' => {
+                // Brace-match the item body.
+                let mut braces = 1i64;
+                i += 1;
+                while i < len && braces > 0 {
+                    match bytes[i] {
+                        b'{' => braces += 1,
+                        b'}' => braces -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    len
+}
+
+/// Parse every comment for the `wrht-analyze:` pragma grammar:
+/// `// wrht-analyze: allow(<rule>, reason = "<why>")`.
+fn collect_pragmas(
+    masked: &str,
+    line_starts: &[usize],
+    comments: &[(usize, String)],
+) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    let masked_lines: Vec<&str> = masked.split('\n').collect();
+    for (offset, text) in comments {
+        // Doc comments: strip the third `/` or the `!` before matching.
+        let body = text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = body.strip_prefix("wrht-analyze:") else {
+            continue;
+        };
+        let line = line_of(line_starts, *offset);
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                let applies_to = pragma_target(&masked_lines, line_starts, *offset, line);
+                pragmas.push(Pragma {
+                    rule,
+                    reason,
+                    line,
+                    applies_to,
+                });
+            }
+            Err(message) => errors.push(PragmaError { line, message }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parse `allow(<rule>, reason = "<why>")`; returns (canonical id, reason).
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let inner = s
+        .strip_prefix("allow(")
+        .and_then(|r| r.trim_end().strip_suffix(')'))
+        .ok_or_else(|| {
+            "expected `allow(<rule>, reason = \"...\")` after `wrht-analyze:`".to_string()
+        })?;
+    let (rule_part, reason_part) = inner
+        .split_once(',')
+        .ok_or_else(|| "missing `, reason = \"...\"` — every suppression is audited".to_string())?;
+    let key = rule_part.trim().to_ascii_lowercase();
+    let rule = RULE_KEYS
+        .iter()
+        .find(|(id, name)| *id == key || *name == key)
+        .map(|(id, _)| (*id).to_string())
+        .ok_or_else(|| format!("unknown rule `{}`", rule_part.trim()))?;
+    let reason_rhs = reason_part
+        .trim()
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| "expected `reason = \"...\"`".to_string())?;
+    let quoted = reason_rhs.trim();
+    let reason = quoted
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty — say why the exception is sound".to_string());
+    }
+    Ok((rule, reason.trim().to_string()))
+}
+
+/// The line a pragma suppresses: its own line when code precedes the
+/// comment, otherwise the next line with any masked (code) content.
+fn pragma_target(
+    masked_lines: &[&str],
+    line_starts: &[usize],
+    comment_offset: usize,
+    line: usize,
+) -> usize {
+    let col = comment_offset - line_starts[line - 1];
+    let before = masked_lines
+        .get(line - 1)
+        .map_or("", |l| &l[..col.min(l.len())]);
+    if !before.trim().is_empty() {
+        return line;
+    }
+    for (idx, content) in masked_lines.iter().enumerate().skip(line) {
+        if !content.trim().is_empty() {
+            return idx + 1;
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let s = scan("let a = 1; // HashMap here\n/* Instant\nSystemTime */ let b = 2;\n");
+        assert!(!s.masked.contains("HashMap"));
+        assert!(!s.masked.contains("Instant"));
+        assert!(s.masked.contains("let a = 1;"));
+        assert!(s.masked.contains("let b = 2;"));
+        assert_eq!(s.masked.lines().count(), 3);
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let s = scan("/* outer /* HashMap */ still */ code()\n");
+        assert!(!s.masked.contains("HashMap"));
+        assert!(!s.masked.contains("still"));
+        assert!(s.masked.contains("code()"));
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings() {
+        let s = scan(r##"let x = "HashMap"; let y = r#"thread::spawn "quoted""#; f();"##);
+        assert!(!s.masked.contains("HashMap"));
+        assert!(!s.masked.contains("spawn"));
+        assert!(s.masked.contains("f();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = scan(r#"let x = "a\"HashMap\"b"; g();"#);
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains("g();"));
+    }
+
+    #[test]
+    fn char_literals_mask_but_lifetimes_survive() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { let q = '\"'; let h = 'H'; q }");
+        assert!(s.masked.contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.masked.contains("'H'"));
+        // The quote char literal must not open a string.
+        assert!(s.masked.contains("q }"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let s = scan("let r#type = 1; let b = r#type + 1; HashMap::new();");
+        assert!(s.masked.contains("HashMap::new()"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_test_lines() {
+        let src =
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\npub fn after() {}\n";
+        let s = scan(src);
+        assert!(!s.test_lines[0]);
+        assert!(s.test_lines[1] && s.test_lines[2] && s.test_lines[3] && s.test_lines[4]);
+        assert!(!s.test_lines[5]);
+    }
+
+    #[test]
+    fn bare_mod_tests_is_test_code() {
+        let s = scan("mod tests {\n    fn t() {}\n}\nfn live() {}\n");
+        assert!(s.test_lines[0] && s.test_lines[1] && s.test_lines[2]);
+        assert!(!s.test_lines[3]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let s = scan("#[cfg(not(test))]\nfn live() {}\n");
+        assert!(!s.test_lines[0]);
+        assert!(!s.test_lines[1]);
+    }
+
+    #[test]
+    fn modest_identifier_is_not_mod_tests() {
+        let s = scan("fn modest() {}\nlet mod_tests = 1;\nmod testsuite {}\nfn live() {}\n");
+        assert!(s.test_lines.iter().all(|t| !t));
+    }
+
+    #[test]
+    fn pragma_parses_with_rule_id_or_name() {
+        let src = "// wrht-analyze: allow(r1, reason = \"seed map\")\nuse x;\n\
+                   let a = 1; // wrht-analyze: allow(float-eq, reason = \"bit contract\")\n";
+        let s = scan(src);
+        assert_eq!(s.pragmas.len(), 2);
+        assert_eq!(s.pragmas[0].rule, "r1");
+        assert_eq!(s.pragmas[0].applies_to, 2);
+        assert_eq!(s.pragmas[1].rule, "r6");
+        assert_eq!(s.pragmas[1].applies_to, 3);
+        assert!(s.pragma_errors.is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_an_error() {
+        let s = scan("// wrht-analyze: allow(r1)\nuse x;\n");
+        assert!(s.pragmas.is_empty());
+        assert_eq!(s.pragma_errors.len(), 1);
+        assert!(s.pragma_errors[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_or_empty_reason_is_an_error() {
+        let s = scan(
+            "// wrht-analyze: allow(r9, reason = \"x\")\n// wrht-analyze: allow(r1, reason = \"\")\nuse x;\n",
+        );
+        assert!(s.pragmas.is_empty());
+        assert_eq!(s.pragma_errors.len(), 2);
+    }
+
+    #[test]
+    fn standalone_pragma_skips_blank_lines_to_its_target() {
+        let s = scan("// wrht-analyze: allow(r2, reason = \"timing\")\n\n\nuse std::x;\n");
+        assert_eq!(s.pragmas[0].applies_to, 4);
+    }
+}

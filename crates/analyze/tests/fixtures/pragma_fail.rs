@@ -1,0 +1,17 @@
+//! Malformed pragmas are findings themselves (P0) and suppress nothing:
+//! a reason is mandatory, must be non-empty, and the rule must exist.
+
+pub fn missing_reason(time: f64, other: f64) -> bool {
+    // wrht-analyze: allow(r6)
+    time == other
+}
+
+pub fn empty_reason(release_s: f64) -> bool {
+    // wrht-analyze: allow(r6, reason = "")
+    release_s != 0.0
+}
+
+pub fn unknown_rule(now_s: f64) -> bool {
+    // wrht-analyze: allow(r9, reason = "no such rule")
+    now_s == 0.0
+}

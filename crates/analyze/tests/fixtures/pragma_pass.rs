@@ -1,0 +1,11 @@
+//! Well-formed, reasoned pragmas must suppress findings — standalone on
+//! the line above, and trailing on the offending line itself.
+
+pub fn coalesce(time: f64, other: f64) -> bool {
+    // wrht-analyze: allow(r6, reason = "bit-equality contract: both operands are normalized at schedule time")
+    time == other
+}
+
+pub fn sentinel(release_s: f64) -> bool {
+    release_s != 0.0 // wrht-analyze: allow(float-eq, reason = "exact-zero sentinel written as a literal")
+}

@@ -1,0 +1,11 @@
+//! R1 must fire on hash collections in live code.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(keys: &[usize]) -> usize {
+    let mut seen: HashSet<usize> = HashSet::new();
+    for &k in keys {
+        seen.insert(k);
+    }
+    seen.len()
+}

@@ -1,0 +1,26 @@
+//! R1 must stay silent: ordered collections in live code, and HashMap
+//! mentioned only in comments, strings, and test code.
+use std::collections::BTreeMap;
+
+// A comment saying HashMap is fine.
+pub fn tally(keys: &[usize]) -> BTreeMap<usize, usize> {
+    let mut counts = BTreeMap::new();
+    let _doc = "prefer BTreeMap over HashMap";
+    let _raw = r#"even raw "HashMap" strings"#;
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,10 @@
+//! R2 must fire on ambient clocks and entropy in live code.
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    let _state = std::hash::RandomState::new();
+    t0.elapsed().as_secs_f64()
+}

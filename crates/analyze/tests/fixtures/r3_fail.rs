@@ -1,0 +1,8 @@
+//! R3 must fire on raw thread spawns in live code.
+
+pub fn fan_out(n: usize) {
+    for _ in 0..n {
+        let h = std::thread::spawn(|| {});
+        h.join().ok();
+    }
+}

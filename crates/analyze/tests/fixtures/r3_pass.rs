@@ -1,0 +1,27 @@
+//! R3 must stay silent: scoped threads in live code, spawn only in
+//! comments, strings and test code.
+
+// std::thread::spawn is banned; scope joins deterministically.
+pub fn fan_out(chunks: &[&[usize]]) -> usize {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| scope.spawn(move || c.len()))
+            .collect();
+        for h in handles {
+            total += h.join().unwrap_or(0);
+        }
+    });
+    let _doc = r"raw thread::spawn in a string";
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        let h = std::thread::spawn(|| 1);
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

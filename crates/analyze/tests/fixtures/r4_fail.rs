@@ -1,0 +1,12 @@
+//! R4 must fire on partial_cmp call chains and f32 simulation state.
+
+pub fn pick(costs: &[(usize, f64)]) -> Option<usize> {
+    costs
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .map(|c| c.0)
+}
+
+pub struct State {
+    pub time: f32,
+}

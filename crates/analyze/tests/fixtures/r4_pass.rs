@@ -1,0 +1,32 @@
+//! R4 must stay silent: total_cmp in live code, a PartialOrd impl's
+//! required method definition, and partial_cmp mentioned in comments,
+//! strings and test code.
+use std::cmp::Ordering;
+
+// partial_cmp in a comment is fine.
+pub fn pick(costs: &[(usize, f64)]) -> Option<usize> {
+    let _doc = "never .partial_cmp( in live code";
+    costs
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|c| c.0)
+}
+
+pub struct Entry {
+    time: f64,
+    seq: u64,
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_partial_cmp() {
+        assert_eq!(1.0f64.partial_cmp(&2.0), Some(std::cmp::Ordering::Less));
+    }
+}

@@ -1,0 +1,23 @@
+//! R5 fires on panic paths only under the kernel/core scope: this same
+//! file is analyzed twice, once under a kernel path (findings expected)
+//! and once under a bench path (silence expected).
+
+pub fn head(values: &[u64]) -> u64 {
+    let first = values.first().unwrap();
+    let second = values.get(1).expect("two values");
+    if *first == 0 {
+        panic!("zero head");
+    }
+    if *second == 0 {
+        unreachable!("checked above");
+    }
+    *first + *second
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_anywhere() {
+        assert_eq!(super::head(&[1, 2]).checked_add(0).unwrap(), 3);
+    }
+}

@@ -1,0 +1,13 @@
+//! R6 must fire on bare f64 equality over float-typed operands.
+
+pub fn same_instant(time: f64, other_s: f64) -> bool {
+    time == other_s
+}
+
+pub fn is_sentinel(release_s: f64) -> bool {
+    release_s != 0.0
+}
+
+pub fn literal_check(x: f64) -> bool {
+    x == 1.5e3
+}

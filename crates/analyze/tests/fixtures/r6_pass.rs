@@ -1,0 +1,28 @@
+//! R6 must stay silent: bit-equality via to_bits, integer comparisons,
+//! ordering operators, and float equality confined to test code.
+
+pub fn same_instant(time: f64, other_s: f64) -> bool {
+    time.to_bits() == other_s.to_bits()
+}
+
+pub fn count_ready(steps: &[usize], now_s: f64, deadline_s: f64) -> usize {
+    let mut ready = 0;
+    for &s in steps {
+        if s == 0 || s % 2 == 1 {
+            ready += 1;
+        }
+    }
+    if now_s <= deadline_s && ready >= 1 {
+        ready
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_compare_exactly() {
+        assert!(super::count_ready(&[0], 1.0, 2.0) == 1 && 0.5 + 0.25 == 0.75);
+    }
+}

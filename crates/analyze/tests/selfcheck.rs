@@ -1,0 +1,30 @@
+//! Self-hosting gate: the analyzer runs over the live workspace it ships
+//! in, and the workspace must be finding-free. This is the same check CI's
+//! `analyze` job runs through `repro-figures analyze`; keeping it in the
+//! test suite means a plain `cargo test` refuses regressions too.
+
+use std::path::Path;
+use wrht_analyze::analyze_workspace;
+
+#[test]
+fn the_live_workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let analysis = analyze_workspace(&root).expect("workspace is readable");
+    assert!(analysis.files_scanned > 50, "walker lost the workspace");
+    assert!(
+        analysis.is_clean(),
+        "determinism findings in the live workspace:\n{}",
+        wrht_analyze::render_table(&analysis)
+    );
+    // Every suppression in the tree carries an audited reason (malformed
+    // pragmas would have surfaced as P0 findings above); there are a known
+    // handful, not a creeping blanket.
+    assert!(
+        analysis.suppressions >= 2,
+        "the sanctioned perf-harness clock sites must be pragma'd"
+    );
+    assert!(
+        analysis.suppressions < 40,
+        "suppression creep: audit before adding more pragmas"
+    );
+}

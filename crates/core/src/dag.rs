@@ -318,6 +318,7 @@ impl DepSchedule {
     /// Substrates pin `execute_dag == execute` bit-exactly on such DAGs.
     #[must_use]
     pub fn is_barrier_shaped(&self) -> bool {
+        // wrht-analyze: allow(r6, reason = "exact-zero sentinel: from_steps writes the literal 0.0, never a computed value")
         if self.transfers.iter().any(|t| t.release_s != 0.0) {
             return false;
         }

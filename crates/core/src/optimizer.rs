@@ -91,11 +91,17 @@ pub fn choose_group_size(
                 .collect();
             handles
                 .into_iter()
-                .filter_map(|h| h.join().expect("optimizer worker panicked"))
+                .filter_map(|h| match h.join() {
+                    Ok(found) => found,
+                    // Re-raise the worker's panic payload on the caller
+                    // thread instead of wrapping it in a second panic.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .min_by(|a, b| {
+                    // total_cmp: bit-identical to partial_cmp on the finite
+                    // costs predict_time_s produces, and totally ordered.
                     a.2.total_s()
-                        .partial_cmp(&b.2.total_s())
-                        .expect("finite costs")
+                        .total_cmp(&b.2.total_s())
                         // Deterministic tie-break on smaller m.
                         .then(a.0.cmp(&b.0))
                 })
@@ -123,20 +129,21 @@ pub fn plan_and_simulate(
     );
     let (m, plan, predicted) = match params.group_size {
         GroupSize::Fixed(m) => {
-            let candidates = plans_for_m(m, params);
-            if candidates.is_empty() {
-                // Surface the underlying construction error.
+            let best = plans_for_m(m, params).into_iter().min_by(|a, b| {
+                let ca = predict_time_s(a, config, bytes).total_s();
+                let cb = predict_time_s(b, config, bytes).total_s();
+                ca.total_cmp(&cb)
+            });
+            let Some(plan) = best else {
+                // Surface the underlying construction error; if `m` is
+                // buildable after all, report infeasibility typed rather
+                // than panicking.
                 build_plan(params.n, m, params.wavelengths)?;
-                unreachable!("build_plan must have failed above");
-            }
-            let plan = candidates
-                .into_iter()
-                .min_by(|a, b| {
-                    let ca = predict_time_s(a, config, bytes).total_s();
-                    let cb = predict_time_s(b, config, bytes).total_s();
-                    ca.partial_cmp(&cb).expect("finite costs")
-                })
-                .expect("non-empty candidates");
+                return Err(WrhtError::NoFeasiblePlan {
+                    n: params.n,
+                    wavelengths: params.wavelengths,
+                });
+            };
             let cost = predict_time_s(&plan, config, bytes);
             (m, plan, cost)
         }

@@ -156,7 +156,7 @@ pub fn optimal_segments(
     sweep
         .into_iter()
         .filter(|p| p.feasible)
-        .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite"))
+        .min_by(|a, b| a.time_s.total_cmp(&b.time_s))
         .unwrap_or(fallback)
 }
 

@@ -249,7 +249,7 @@ pub fn exact_percentiles(values: &[f64]) -> Percentiles {
         return Percentiles::zero();
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let pick = |q: f64| {
         let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
         sorted[rank.min(sorted.len()) - 1]

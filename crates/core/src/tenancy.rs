@@ -332,8 +332,7 @@ impl TenancySpec {
         let by_arrival = |a: usize, b: usize| {
             self.jobs[a]
                 .arrival_s
-                .partial_cmp(&self.jobs[b].arrival_s)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&self.jobs[b].arrival_s)
                 .then(a.cmp(&b))
         };
         match self.policy {

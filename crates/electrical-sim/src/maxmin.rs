@@ -129,7 +129,7 @@ pub(crate) fn progressive_fill(
                 }
             }
         }
-        if best_share == f64::INFINITY {
+        if best_share.is_infinite() {
             // Either the remaining flows cross no active link (empty
             // routes, which legitimately keep an infinite rate) or every
             // active link produced a NaN share (corrupt capacities). The

@@ -123,6 +123,7 @@ pub struct DagRunReport {
 /// release at 0, and every transfer depending on exactly the previous
 /// non-empty stage — return the per-stage index lists.
 fn barrier_stages(flows: &[DagFlow]) -> Option<Vec<Vec<usize>>> {
+    // wrht-analyze: allow(r6, reason = "exact-zero sentinel: barrier DAGs carry the literal 0.0 release, never a computed value")
     if flows.iter().any(|f| f.release_s != 0.0) {
         return None;
     }

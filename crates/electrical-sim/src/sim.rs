@@ -525,8 +525,11 @@ pub(crate) fn run_engine_faulted(
                         // progress freezes until the restoring fault dirties
                         // the link again. Any other zero rate is the clean
                         // engine's permanent stall.
-                        let suspended =
-                            rate[f] == 0.0 && routes[f].iter().any(|&l| link_factor[l.0] == 0.0);
+                        // wrht-analyze: allow(r6, reason = "exact-zero sentinel: suspension assigns the literal 0.0 rate, never a computed value")
+                        let zero_rate = rate[f] == 0.0;
+                        // wrht-analyze: allow(r6, reason = "exact-zero sentinel: a dark link's factor is the literal 0.0, never a computed value")
+                        let on_dark_link = routes[f].iter().any(|&l| link_factor[l.0] == 0.0);
+                        let suspended = zero_rate && on_dark_link;
                         if !suspended {
                             return Err(NetError::StalledFlow {
                                 src: flows[f].src,
@@ -539,6 +542,7 @@ pub(crate) fn run_engine_faulted(
                     }
                     remaining[f] -= old_rate_scratch[k] * (now - last_update[f]);
                     last_update[f] = now;
+                    // wrht-analyze: allow(r6, reason = "exact-zero sentinel: suspension writes the literal 0.0 rate, never a computed value")
                     cand[f] = if rate[f] == 0.0 {
                         // Suspended: no completion candidate until restored.
                         f64::INFINITY

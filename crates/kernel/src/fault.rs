@@ -392,8 +392,7 @@ impl FaultScript {
             order.sort_by(|&a, &b| {
                 self.events[a]
                     .at_s
-                    .partial_cmp(&self.events[b].at_s)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&self.events[b].at_s)
                     .then(a.cmp(&b))
             });
             let mut down = vec![false; w];

@@ -87,6 +87,7 @@ fn check_time(time: f64, now: f64) -> Result<f64, KernelError> {
     if time < now {
         return Err(KernelError::PastEvent { time, now });
     }
+    // wrht-analyze: allow(r6, reason = "the -0.0 normalization site of the bit-equality coalescing contract; == is the one comparison that unifies the two zeros")
     Ok(if time == 0.0 { 0.0 } else { time })
 }
 
@@ -107,6 +108,7 @@ struct HeapEntry {
 
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
+        // wrht-analyze: allow(r6, reason = "bit-equality coalescing contract: times are finite with -0.0 normalized at schedule time, so == coincides with to_bits equality")
         self.time == other.time && self.seq == other.seq
     }
 }
@@ -114,14 +116,14 @@ impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed for a min-heap on (time, seq). Times are finite by
-        // construction, so `partial_cmp` never observes NaN; the sequence
-        // tie-break makes simultaneous events pop in insertion order
-        // regardless of heap-internal churn.
+        // Reversed for a min-heap on (time, seq). Times are finite with
+        // -0.0 normalized at schedule time, so `total_cmp` coincides with
+        // the IEEE order `partial_cmp` gave here while being total by
+        // construction; the sequence tie-break makes simultaneous events
+        // pop in insertion order regardless of heap-internal churn.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -328,6 +330,7 @@ impl<T> EventKernel<T> {
             if head.to_bits() != time.to_bits() {
                 break;
             }
+            // wrht-analyze: allow(r5, reason = "peek_time just proved the heap non-empty; a None here is kernel-internal corruption, not caller error")
             let (_, payload) = self.pop().expect("peeked event must pop");
             out.push(payload);
         }
@@ -346,25 +349,13 @@ impl<T> EventKernel<T> {
     where
         T: Sized,
     {
-        let mut live: Vec<&HeapEntry> = self
+        let mut live: Vec<(&HeapEntry, &T)> = self
             .heap
             .iter()
-            .filter(|e| self.payloads.contains(e.key))
+            .filter_map(|e| self.payloads.get(e.key).map(|p| (e, p)))
             .collect();
-        live.sort_by(|a, b| {
-            a.time
-                .partial_cmp(&b.time)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.seq.cmp(&b.seq))
-        });
-        live.iter()
-            .map(|e| {
-                (
-                    e.time,
-                    self.payloads.get(e.key).expect("filtered to live keys"),
-                )
-            })
-            .collect()
+        live.sort_by(|(a, _), (b, _)| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        live.into_iter().map(|(e, p)| (e.time, p)).collect()
     }
 
     /// Advance the clock to `time` without popping any event.

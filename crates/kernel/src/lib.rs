@@ -44,7 +44,7 @@
 //! exact-time semantics.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod fault;
 mod kernel;

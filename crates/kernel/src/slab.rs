@@ -93,6 +93,7 @@ impl<T> Slab<T> {
                 generation: slot.generation,
             }
         } else {
+            // wrht-analyze: allow(r5, reason = "4 billion live events exceeds any feasible simulation; a typed error here would poison every schedule call site for an impossible case")
             let index = u32::try_from(self.slots.len()).expect("slab capacity exceeds u32::MAX");
             self.slots.push(Slot {
                 generation: 0,

@@ -77,8 +77,12 @@ pub fn greedy_wavelength_bound(paths: &[(LightPath, usize)]) -> usize {
 /// segment — a lower bound on the wavelengths any assignment needs.
 #[must_use]
 pub fn congestion_lower_bound(paths: &[(LightPath, usize)]) -> usize {
-    use std::collections::HashMap;
-    let mut seg_load: HashMap<(u8, usize), usize> = HashMap::new();
+    // Keyed by (direction, segment) in a BTreeMap: the integer max below is
+    // order-independent, but hash iteration order must never be load-bearing
+    // anywhere results flow from (wrht-analyze R1), and the sorted walk keeps
+    // any future argmax extension deterministic for free.
+    use std::collections::BTreeMap;
+    let mut seg_load: BTreeMap<(u8, usize), usize> = BTreeMap::new();
     for (p, lanes) in paths {
         let d = match p.direction {
             crate::topology::Direction::Clockwise => 0u8,
@@ -152,6 +156,29 @@ mod tests {
         ];
         assert_eq!(congestion_lower_bound(&batch), 4);
         assert_eq!(greedy_wavelength_bound(&batch), 4);
+    }
+
+    #[test]
+    fn congestion_bound_is_insertion_order_independent() {
+        let t = RingTopology::new(16);
+        // Overlapping clockwise paths with distinct lane weights, plus a
+        // counter-clockwise path over the same nodes (separate key space).
+        let base = vec![
+            (p(&t, 0, 4, Direction::Clockwise), 2),
+            (p(&t, 1, 3, Direction::Clockwise), 1),
+            (p(&t, 2, 6, Direction::Clockwise), 3),
+            (p(&t, 4, 2, Direction::CounterClockwise), 5),
+        ];
+        let reference = congestion_lower_bound(&base);
+        assert_eq!(reference, 6); // segment 2→3 carries 2 + 1 + 3 lanes
+        for rot in 0..base.len() {
+            let mut perm = base.clone();
+            perm.rotate_left(rot);
+            assert_eq!(congestion_lower_bound(&perm), reference);
+        }
+        let mut rev = base;
+        rev.reverse();
+        assert_eq!(congestion_lower_bound(&rev), reference);
     }
 
     #[test]

@@ -436,8 +436,7 @@ impl GrantEngine {
                 } else {
                     (0.0, 0.0)
                 };
-                vx.partial_cmp(&vy)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                vx.total_cmp(&vy)
                     .then(jobs[sx.job].rank.cmp(&jobs[sy.job].rank))
                     .then(sx.order.cmp(&sy.order))
             });

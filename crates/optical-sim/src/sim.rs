@@ -846,8 +846,7 @@ impl RingSimulator {
                     } else {
                         (0.0, 0.0)
                     };
-                    sx.partial_cmp(&sy)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    sx.total_cmp(&sy)
                         .then(a.rank[jx].cmp(&a.rank[jy]))
                         .then(x.cmp(&y))
                 });

@@ -53,17 +53,23 @@ impl RunTrace {
     }
 
     /// Busiest wavelength (most transfer-seconds) and its load.
+    ///
+    /// Deterministic: candidates are compared in ascending wavelength-index
+    /// order (a `BTreeMap`, not a hash map, so no `RandomState` order leaks
+    /// into the answer), and on a tied load the *highest* wavelength index
+    /// wins — the same answer on every run for the same trace.
     #[must_use]
     pub fn busiest_wavelength(&self) -> Option<(usize, f64)> {
-        use std::collections::HashMap;
-        let mut load: HashMap<usize, f64> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut load: BTreeMap<usize, f64> = BTreeMap::new();
         for e in &self.entries {
             for &l in &e.lambdas {
                 *load.entry(l).or_insert(0.0) += e.finish_s - e.start_s;
             }
         }
-        load.into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        // max_by keeps the LAST maximum; ascending key order makes that the
+        // highest tied wavelength index.
+        load.into_iter().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -192,6 +198,51 @@ mod tests {
         let (lambda, load) = trace.busiest_wavelength().unwrap();
         assert_eq!(lambda, 0);
         assert!((load - 1.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busiest_wavelength_is_order_independent_and_tie_deterministic() {
+        // Dyadic durations: every partial sum is exact, so any insertion
+        // order must produce bit-identical loads.
+        let entry = |lambda: usize, dur: f64| TraceEntry {
+            step: 0,
+            src: 0,
+            dst: 1,
+            bytes: 1,
+            direction: Direction::Clockwise,
+            hops: 1,
+            lambdas: vec![lambda],
+            start_s: 0.0,
+            finish_s: dur,
+        };
+        // λ1 and λ3 tie at 0.75; λ0 trails at 0.5.
+        let base = vec![
+            entry(1, 0.5),
+            entry(1, 0.25),
+            entry(3, 0.25),
+            entry(3, 0.5),
+            entry(0, 0.5),
+        ];
+        let reference = RunTrace {
+            entries: base.clone(),
+        }
+        .busiest_wavelength()
+        .unwrap();
+        // Ties break to the highest wavelength index.
+        assert_eq!(reference.0, 3);
+        assert_eq!(reference.1.to_bits(), 0.75f64.to_bits());
+        // Every rotation (and the full reverse) of the entry order gives a
+        // bit-identical answer.
+        for rot in 0..base.len() {
+            let mut perm = base.clone();
+            perm.rotate_left(rot);
+            let (l, s) = RunTrace { entries: perm }.busiest_wavelength().unwrap();
+            assert_eq!((l, s.to_bits()), (reference.0, reference.1.to_bits()));
+        }
+        let mut rev = base;
+        rev.reverse();
+        let (l, s) = RunTrace { entries: rev }.busiest_wavelength().unwrap();
+        assert_eq!((l, s.to_bits()), (reference.0, reference.1.to_bits()));
     }
 
     #[test]

@@ -39,8 +39,13 @@
 //!                BENCH_v6.json (BENCH_v6.small.json with --small).
 //!                `--check=<path>` compares against a committed baseline and
 //!                fails if any case drops below 80% of its events/sec.
+//!   analyze      Run the wrht-analyze determinism-invariant static analyzer
+//!                over the workspace sources (src/, crates/*/src/,
+//!                examples/). Exits nonzero on any finding. `--json` emits
+//!                the machine-readable report on stdout instead of the
+//!                table.
 //!   all          Everything above except sweep, train, tenants, faults,
-//!                serve and bench (default)
+//!                serve, bench and analyze (default)
 //!
 //! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
 //! caps the campaign worker count (default: available parallelism).
@@ -419,6 +424,31 @@ fn cmd_bench(small: bool, check: Option<&Path>, out_dir: &Path) -> bool {
     }
 }
 
+/// Run the determinism-invariant static analyzer over the workspace rooted
+/// at `root`; returns `false` when any finding (or an I/O error) surfaces.
+fn cmd_analyze(root: &Path, json: bool) -> bool {
+    let analysis = match wrht_analyze::analyze_workspace(root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analyze: cannot scan workspace at {}: {e}", root.display());
+            return false;
+        }
+    };
+    if analysis.files_scanned == 0 {
+        eprintln!(
+            "analyze: no source files under {} (run from the workspace root)",
+            root.display()
+        );
+        return false;
+    }
+    if json {
+        print!("{}", wrht_analyze::render_json(&analysis));
+    } else {
+        print!("{}", wrht_analyze::render_table(&analysis));
+    }
+    analysis.is_clean()
+}
+
 fn cmd_contention(cfg: &ExperimentConfig, results: &Path) {
     let n = *cfg.scales.first().expect("scales non-empty");
     // A narrow budget makes the contention the stepped model hides visible.
@@ -522,6 +552,13 @@ fn main() {
             "warning: --mode only affects the `train` command; `{cmd}` ignores it \
              (the sweep's barrier-vs-pipelined ablation cells are built in)"
         );
+    }
+    if cmd == "analyze" {
+        let json = args.iter().any(|a| a == "--json");
+        if !cmd_analyze(Path::new("."), json) {
+            std::process::exit(1);
+        }
+        return;
     }
     if cmd == "bench" {
         if !cmd_bench(small, check, Path::new(".")) {
@@ -636,6 +673,18 @@ mod tests {
         fs::write(&path, to_json(&hard)).unwrap();
         assert!(!cmd_bench(true, Some(&path), &out));
         let _ = fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn analyze_command_gates_on_findings() {
+        let root = temp_results("analyze");
+        let src = root.join("crates").join("demo").join("src");
+        fs::create_dir_all(&src).unwrap();
+        fs::write(src.join("lib.rs"), "pub fn id(x: u64) -> u64 {\n    x\n}\n").unwrap();
+        assert!(cmd_analyze(&root, false), "clean tree must pass");
+        fs::write(src.join("lib.rs"), "use std::collections::HashMap;\n").unwrap();
+        assert!(!cmd_analyze(&root, true), "R1 violation must gate");
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use collectives;
 pub use dnn_models as models;

@@ -2,6 +2,11 @@
 //! across link-disjoint groups, which is exactly what lets a step finish
 //! with `⌊m/2⌋` channels regardless of how many groups transmit.
 
+// Test-only code: assertions compare sets, never iterate them into results,
+// so hash ordering cannot leak. wrht-analyze exempts test code for the same
+// reason.
+#![allow(clippy::disallowed_types)]
+
 use optical_sim::trace::run_stepped_traced;
 use optical_sim::{OpticalConfig, RingSimulator, Strategy};
 use std::collections::HashSet;

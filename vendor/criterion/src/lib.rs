@@ -6,6 +6,11 @@
 //! `bench_function`, `Bencher::iter`) with a simple mean-of-samples
 //! wall-clock timer instead of criterion's statistical machinery.
 
+// Vendored stand-in: exempt from the workspace's determinism lint
+// posture (clippy.toml disallowed-types/methods mirror wrht-analyze,
+// which never scans vendor/).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 /// Entry point handed to benchmark functions.

@@ -12,6 +12,11 @@
 //! are printed verbatim), and `prop_assume!` counts the case as passed
 //! rather than resampling.
 
+// Vendored stand-in: exempt from the workspace's determinism lint
+// posture (clippy.toml disallowed-types/methods mirror wrht-analyze,
+// which never scans vendor/).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 pub mod strategy;
 
 pub use strategy::{Just, Strategy, Union};
