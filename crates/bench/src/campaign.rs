@@ -55,8 +55,11 @@ use wrht_core::dag::{DepSchedule, ExecMode};
 use wrht_core::fault::{
     fault_cluster_report, FaultClusterReport, FaultKind, FaultPolicy, FaultScript,
 };
+use wrht_core::hierarchy::Domain;
 use wrht_core::lower::to_optical_schedule;
+use wrht_core::parallelism::{lower_parallelism, ParallelismSpec, StageModel};
 use wrht_core::stream::{Admission, ArrivalProcess, StreamReport, StreamSpec, StreamTemplate};
+use wrht_core::substrate::Substrate as _;
 use wrht_core::tenancy::{Job, JobWorkload, SchedPolicy, TenancySpec};
 use wrht_core::{build_plan, choose_group_size, plan_and_simulate, WrhtParams};
 
@@ -729,7 +732,8 @@ pub struct TimelineCellConfig {
     pub substrate: SubstrateKind,
     /// Collective algorithm used per bucket.
     pub algorithm: Algorithm,
-    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    /// Zoo model name (resolved via [`dnn_models::model_by_name`], so
+    /// transformer tables are selectable alongside the paper's CNNs).
     pub model: String,
     /// Gradient-fusion bucket budget, bytes.
     pub bucket_bytes: u64,
@@ -873,10 +877,7 @@ pub fn run_timeline_cell(
         error: None,
     };
 
-    let Some(model) = dnn_models::paper_models()
-        .into_iter()
-        .find(|m| m.name == cell.model)
-    else {
+    let Some(model) = dnn_models::model_by_name(&cell.model) else {
         result.error = Some(format!("unknown model '{}'", cell.model));
         return result;
     };
@@ -1070,7 +1071,8 @@ pub struct TenancyCellConfig {
     pub jobs: usize,
     /// Collective algorithm used per gradient bucket.
     pub algorithm: Algorithm,
-    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    /// Zoo model name (resolved via [`dnn_models::model_by_name`], so
+    /// transformer tables are selectable alongside the paper's CNNs).
     pub model: String,
     /// Gradient-fusion bucket budget, bytes.
     pub bucket_bytes: u64,
@@ -1220,10 +1222,7 @@ pub fn run_tenancy_cell(
         error: None,
     };
 
-    let Some(model) = dnn_models::paper_models()
-        .into_iter()
-        .find(|m| m.name == cell.model)
-    else {
+    let Some(model) = dnn_models::model_by_name(&cell.model) else {
         result.error = Some(format!("unknown model '{}'", cell.model));
         return result;
     };
@@ -1568,7 +1567,8 @@ pub struct FaultCellConfig {
     pub jobs: usize,
     /// Collective algorithm used per gradient bucket.
     pub algorithm: Algorithm,
-    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    /// Zoo model name (resolved via [`dnn_models::model_by_name`], so
+    /// transformer tables are selectable alongside the paper's CNNs).
     pub model: String,
     /// Gradient-fusion bucket budget, bytes.
     pub bucket_bytes: u64,
@@ -1733,10 +1733,7 @@ pub fn run_fault_cell(
         error: None,
     };
 
-    let Some(model) = dnn_models::paper_models()
-        .into_iter()
-        .find(|m| m.name == cell.model)
-    else {
+    let Some(model) = dnn_models::model_by_name(&cell.model) else {
         result.error = Some(format!("unknown model '{}'", cell.model));
         return result;
     };
@@ -1965,7 +1962,8 @@ pub struct StreamCellConfig {
     pub arrivals: u64,
     /// Collective algorithm used per gradient bucket.
     pub algorithm: Algorithm,
-    /// Zoo model name (resolved via [`dnn_models::paper_models`]).
+    /// Zoo model name (resolved via [`dnn_models::model_by_name`], so
+    /// transformer tables are selectable alongside the paper's CNNs).
     pub model: String,
     /// Gradient-fusion bucket budget, bytes.
     pub bucket_bytes: u64,
@@ -2145,10 +2143,7 @@ pub fn run_stream_cell(
         error: None,
     };
 
-    let Some(model) = dnn_models::paper_models()
-        .into_iter()
-        .find(|m| m.name == cell.model)
-    else {
+    let Some(model) = dnn_models::model_by_name(&cell.model) else {
         result.error = Some(format!("unknown model '{}'", cell.model));
         return result;
     };
@@ -2348,6 +2343,341 @@ pub fn serve_spec(cfg: &ExperimentConfig, models: &[Model], n: usize, seed: u64)
         25 << 20,
         16,
         20e-3,
+    );
+    spec.seed = seed;
+    spec
+}
+
+/// One grid point of a mixed-parallelism campaign: a transformer trained
+/// with `tp × pp × dp` (+ optional MoE) on the composed hierarchical
+/// substrate — optical rings inside every group, the electrical cluster
+/// between groups ([`ExperimentConfig::try_composed`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParCellConfig {
+    /// Zoo model name (resolved via [`dnn_models::model_by_name`]; the
+    /// transformer tables are the intended workloads).
+    pub model: String,
+    /// Tensor-parallel degree (hosts per group).
+    pub tp: usize,
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Data-parallel replicas per stage.
+    pub dp: usize,
+    /// MoE expert hosts (0 disables the all-to-all phase).
+    pub moe_experts: usize,
+    /// Microbatches per iteration.
+    pub microbatches: usize,
+    /// Activation bytes per microbatch at block/stage boundaries.
+    pub activation_bytes: u64,
+    /// Wavelength budget of each group's intra ring.
+    pub wavelengths: usize,
+    /// RWA strategy of the intra rings.
+    pub strategy: Strategy,
+}
+
+/// Result of one executed (or failed) parallelism cell: the composed
+/// run's scalar summary plus the per-domain traffic split (no wall-clock
+/// fields, so rows are bit-stable and can be pinned by golden tests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParCellResult {
+    /// The cell's configuration.
+    pub cell: ParCellConfig,
+    /// FNV-1a hash of the configuration (the sink key).
+    pub config_hash: u64,
+    /// Deterministic per-cell seed: campaign seed ⊕ config hash.
+    pub seed: u64,
+    /// Hosts the job occupies (`tp * pp * dp`).
+    pub nodes: usize,
+    /// Groups of the hierarchy (`pp * dp`).
+    pub groups: usize,
+    /// Transfers in the lowered iteration DAG.
+    pub transfers: usize,
+    /// Transfers tagged intra-group.
+    pub intra_transfers: usize,
+    /// Transfers tagged inter-group.
+    pub inter_transfers: usize,
+    /// Payload bytes on the intra fabrics.
+    pub intra_bytes: u64,
+    /// Payload bytes on the inter fabric.
+    pub inter_bytes: u64,
+    /// Iteration makespan on the composed substrate, seconds.
+    pub makespan_s: f64,
+    /// Highest wavelength index any group's ring used.
+    pub peak_wavelength: usize,
+    /// Max-min rate recomputations of the inter fabric.
+    pub rate_recomputations: usize,
+    /// Solver work units of the inter fabric.
+    pub solver_work: usize,
+    /// Kernel events across all engines.
+    pub events: u64,
+    /// Error string for infeasible cells.
+    pub error: Option<String>,
+}
+
+/// A declarative mixed-parallelism campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismSweep {
+    /// Campaign name (names the combined sink files).
+    pub name: String,
+    /// Physical constants shared by every cell.
+    pub base: ExperimentConfig,
+    /// Campaign-level seed, mixed into every cell seed.
+    pub seed: u64,
+    /// The cells, in grid order.
+    pub cells: Vec<ParCellConfig>,
+}
+
+impl ParallelismSweep {
+    /// Expand a grid in deterministic nested order (model → shape), at
+    /// the base config's wavelength budget. Shapes are
+    /// `(tp, pp, dp, moe_experts)` tuples.
+    #[must_use]
+    pub fn grid(
+        name: &str,
+        base: ExperimentConfig,
+        models: &[&str],
+        shapes: &[(usize, usize, usize, usize)],
+        microbatches: usize,
+        activation_bytes: u64,
+    ) -> Self {
+        let wavelengths = base.wavelengths;
+        let mut cells = Vec::new();
+        for &model in models {
+            for &(tp, pp, dp, moe_experts) in shapes {
+                cells.push(ParCellConfig {
+                    model: model.to_string(),
+                    tp,
+                    pp,
+                    dp,
+                    moe_experts,
+                    microbatches,
+                    activation_bytes,
+                    wavelengths,
+                    strategy: Strategy::FirstFit,
+                });
+            }
+        }
+        Self {
+            name: name.to_string(),
+            base,
+            seed: 0,
+            cells,
+        }
+    }
+}
+
+/// Executed parallelism campaign: results in the same order as
+/// `spec.cells`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismCampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// One result per cell, in grid order.
+    pub results: Vec<ParCellResult>,
+}
+
+/// Stable FNV-1a hash of a parallelism cell configuration.
+#[must_use]
+pub fn parallelism_config_hash(cell: &ParCellConfig) -> u64 {
+    fnv1a(&serde_json::to_string(cell).expect("cell configs serialize"))
+}
+
+/// Execute one parallelism cell against the campaign's physical constants.
+///
+/// The model's gradients are split evenly over the pipeline stages
+/// ([`wrht_core::parallelism::StageModel::split`]), the iteration is
+/// lowered to one dependency DAG
+/// ([`wrht_core::parallelism::lower_parallelism`]) and executed on the
+/// composed substrate; the result keeps the makespan plus the per-domain
+/// traffic split the hierarchy derived.
+#[must_use]
+pub fn run_parallelism_cell(
+    base: &ExperimentConfig,
+    seed: u64,
+    cell: &ParCellConfig,
+) -> ParCellResult {
+    let hash = parallelism_config_hash(cell);
+    let mut result = ParCellResult {
+        cell: cell.clone(),
+        config_hash: hash,
+        seed: seed ^ hash,
+        nodes: 0,
+        groups: 0,
+        transfers: 0,
+        intra_transfers: 0,
+        inter_transfers: 0,
+        intra_bytes: 0,
+        inter_bytes: 0,
+        makespan_s: 0.0,
+        peak_wavelength: 0,
+        rate_recomputations: 0,
+        solver_work: 0,
+        events: 0,
+        error: None,
+    };
+
+    let Some(model) = dnn_models::model_by_name(&cell.model) else {
+        result.error = Some(format!("unknown model '{}'", cell.model));
+        return result;
+    };
+
+    // Cell-local constants: the cell's wavelength budget overrides the base.
+    let mut local = base.clone();
+    local.wavelengths = cell.wavelengths;
+
+    let outcome: wrht_core::error::Result<()> = (|| {
+        let spec = ParallelismSpec::new(
+            cell.tp,
+            cell.pp,
+            cell.dp,
+            cell.moe_experts,
+            cell.microbatches,
+        )?;
+        let stages = StageModel::split(model.gradient_bytes(), cell.pp, cell.activation_bytes);
+        let dag = lower_parallelism(&spec, &stages)?;
+        let hier = spec.hier()?;
+        let domains = hier.domains(&dag)?;
+        for (t, d) in dag.transfers().iter().zip(&domains) {
+            match d {
+                Domain::Intra { .. } => {
+                    result.intra_transfers += 1;
+                    result.intra_bytes += t.transfer.bytes;
+                }
+                Domain::Inter => {
+                    result.inter_transfers += 1;
+                    result.inter_bytes += t.transfer.bytes;
+                }
+            }
+        }
+        let mut sub = local.try_composed(hier, cell.strategy)?;
+        let report = sub.execute_dag(&dag)?;
+        result.nodes = spec.nodes();
+        result.groups = spec.groups();
+        result.transfers = dag.len();
+        result.makespan_s = report.makespan_s;
+        result.peak_wavelength = report.peak_wavelength;
+        result.rate_recomputations = report.rate_recomputations;
+        result.solver_work = report.solver_work;
+        result.events = report.events;
+        Ok(())
+    })();
+
+    if let Err(e) = outcome {
+        result.error = Some(e.to_string());
+    }
+    result
+}
+
+/// Run a parallelism campaign over `threads` workers — deterministic and
+/// resumable exactly like [`run_campaign`]: one `pcell-<hash>.json` per
+/// finished cell, grid-ordered results, byte-identical serial/parallel
+/// output, plus combined `<name>.json` / `<name>.csv` tables.
+#[must_use]
+pub fn run_parallelism_campaign(
+    spec: &ParallelismSweep,
+    threads: usize,
+    sink: Option<&Path>,
+) -> ParallelismCampaignReport {
+    if let Some(dir) = sink {
+        let _ = fs::create_dir_all(dir);
+    }
+
+    let ctx = context_hash(&spec.base, spec.seed);
+    let keys: Vec<u64> = spec
+        .cells
+        .iter()
+        .map(|c| parallelism_config_hash(c) ^ ctx)
+        .collect();
+    let mut prefilled: Vec<Option<ParCellResult>> = vec![None; spec.cells.len()];
+    for (i, cell) in spec.cells.iter().enumerate() {
+        let expected_seed = spec.seed ^ parallelism_config_hash(cell);
+        prefilled[i] = sink.and_then(|dir| {
+            load_finished(&cell_file(dir, "pcell", keys[i]), |r: &ParCellResult| {
+                r.cell == *cell
+                    && r.config_hash == parallelism_config_hash(cell)
+                    && r.seed == expected_seed
+            })
+        });
+    }
+
+    let results = run_slots(
+        threads,
+        prefilled,
+        |i| run_parallelism_cell(&spec.base, spec.seed, &spec.cells[i]),
+        |i, result| {
+            if let Some(dir) = sink {
+                let _ = fs::write(cell_file(dir, "pcell", keys[i]), to_json(result));
+            }
+        },
+    );
+
+    let report = ParallelismCampaignReport {
+        name: spec.name.clone(),
+        results,
+    };
+    if let Some(dir) = sink {
+        let _ = fs::write(dir.join(format!("{}.json", spec.name)), to_json(&report));
+        let _ = fs::write(
+            dir.join(format!("{}.csv", spec.name)),
+            parallelism_to_csv(&report),
+        );
+    }
+    report
+}
+
+/// Render a parallelism campaign as CSV (stable column order, grid rows).
+#[must_use]
+pub fn parallelism_to_csv(report: &ParallelismCampaignReport) -> String {
+    let mut out = String::from(
+        "model,tp,pp,dp,moe_experts,microbatches,activation_bytes,wavelengths,seed,\
+         nodes,groups,transfers,intra_transfers,inter_transfers,intra_bytes,inter_bytes,\
+         makespan_s,peak_wavelength,rate_recomputations,solver_work,events,error\n",
+    );
+    for r in &report.results {
+        let c = &r.cell;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            csv_field(&c.model),
+            c.tp,
+            c.pp,
+            c.dp,
+            c.moe_experts,
+            c.microbatches,
+            c.activation_bytes,
+            c.wavelengths,
+            r.seed,
+            r.nodes,
+            r.groups,
+            r.transfers,
+            r.intra_transfers,
+            r.inter_transfers,
+            r.intra_bytes,
+            r.inter_bytes,
+            r.makespan_s,
+            r.peak_wavelength,
+            r.rate_recomputations,
+            r.solver_work,
+            r.events,
+            csv_field(r.error.as_deref().unwrap_or("")),
+        ));
+    }
+    out
+}
+
+/// The `repro-figures parallelism` campaign: both transformer tables over
+/// mixed TP/PP/DP shapes with and without MoE — TP-only (flat collapse),
+/// TP+DP, TP+PP+DP, and the full TP+PP+DP+MoE mix.
+#[must_use]
+pub fn parallelism_spec(cfg: &ExperimentConfig, seed: u64) -> ParallelismSweep {
+    let mut spec = ParallelismSweep::grid(
+        "parallelism",
+        cfg.clone(),
+        &["GPT2-small", "BERT-large"],
+        // (tp, pp, dp, moe): one group (bit-exact flat collapse), DP rings
+        // across groups, a pipeline mix, and the full MoE all-to-all mix.
+        &[(4, 1, 1, 0), (2, 1, 4, 0), (2, 2, 2, 0), (2, 2, 2, 4)],
+        2,
+        8 << 20,
     );
     spec.seed = seed;
     spec
@@ -3112,6 +3442,93 @@ mod tests {
             .cells
             .iter()
             .any(|c| matches!(c.admission, Admission::Reject { .. })));
+        assert_eq!(spec.seed, 7);
+    }
+
+    fn tiny_parallelism_spec() -> ParallelismSweep {
+        let mut spec = ParallelismSweep::grid(
+            "tiny-par",
+            tiny_cfg(),
+            &["GPT2-small"],
+            &[(2, 1, 1, 0), (2, 1, 2, 0), (2, 2, 2, 4)],
+            1,
+            1 << 20,
+        );
+        spec.seed = 7;
+        spec
+    }
+
+    #[test]
+    fn parallelism_cells_execute_on_the_composed_substrate() {
+        let spec = tiny_parallelism_spec();
+        let report = run_parallelism_campaign(&spec, 1, None);
+        assert_eq!(report.results.len(), 3);
+        for r in &report.results {
+            assert!(r.error.is_none(), "{:?}: {:?}", r.cell, r.error);
+            assert!(r.makespan_s > 0.0);
+            assert_eq!(r.nodes, r.cell.tp * r.cell.pp * r.cell.dp);
+            assert_eq!(r.transfers, r.intra_transfers + r.inter_transfers);
+            assert_eq!(r.seed, spec.seed ^ r.config_hash);
+        }
+        // One group: every transfer is intra and runs on the flat ring.
+        assert_eq!(report.results[0].inter_transfers, 0);
+        // DP across groups: inter traffic appears.
+        assert!(report.results[1].inter_transfers > 0);
+        // The MoE mix exercises both fabrics and both solver counters.
+        let moe = &report.results[2];
+        assert!(moe.intra_transfers > 0 && moe.inter_transfers > 0);
+        assert!(moe.peak_wavelength >= 1);
+        assert!(moe.rate_recomputations > 0);
+    }
+
+    #[test]
+    fn parallelism_campaign_is_parallel_deterministic_and_resumable() {
+        let spec = tiny_parallelism_spec();
+        let serial = run_parallelism_campaign(&spec, 1, None);
+        let parallel = run_parallelism_campaign(&spec, 8, None);
+        assert_eq!(to_json(&serial), to_json(&parallel));
+
+        let dir = std::env::temp_dir().join(format!("wrht-par-campaign-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let first = run_parallelism_campaign(&spec, 2, Some(&dir));
+        let resumed = run_parallelism_campaign(&spec, 2, Some(&dir));
+        assert_eq!(to_json(&first), to_json(&resumed));
+        assert!(dir.join("tiny-par.json").exists());
+        let csv = fs::read_to_string(dir.join("tiny-par.csv")).unwrap();
+        assert_eq!(csv.lines().count(), spec.cells.len() + 1);
+        let pcells = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("pcell-")
+            })
+            .count();
+        assert_eq!(pcells, spec.cells.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallelism_rejects_unknown_models_and_bad_shapes() {
+        let mut cell = tiny_parallelism_spec().cells[0].clone();
+        cell.model = "NotANet".into();
+        let r = run_parallelism_cell(&tiny_cfg(), 7, &cell);
+        assert!(r.error.as_deref().unwrap().contains("unknown model"));
+        let mut bad = tiny_parallelism_spec().cells[0].clone();
+        bad.tp = 1;
+        let r = run_parallelism_cell(&tiny_cfg(), 7, &bad);
+        assert!(r.error.is_some());
+    }
+
+    #[test]
+    fn parallelism_spec_covers_transformers_and_the_moe_mix() {
+        let spec = parallelism_spec(&tiny_cfg(), 7);
+        assert_eq!(spec.cells.len(), 2 * 4);
+        assert!(spec.cells.iter().any(|c| c.model == "BERT-large"));
+        assert!(spec.cells.iter().any(|c| c.moe_experts > 0));
+        assert!(spec.cells.iter().any(|c| c.pp == 1 && c.dp == 1));
         assert_eq!(spec.seed, 7);
     }
 

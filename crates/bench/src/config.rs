@@ -11,6 +11,7 @@
 
 use optical_sim::{OpticalConfig, Strategy};
 use serde::{Deserialize, Serialize};
+use wrht_core::hierarchy::{ComposedSubstrate, FabricSpec, HierSpec};
 use wrht_core::substrate::{ElectricalSubstrate, OpticalSubstrate, Substrate};
 
 /// Which simulated fabric executes a workload.
@@ -123,6 +124,29 @@ impl ExperimentConfig {
         })
     }
 
+    /// Build the canonical hierarchical substrate for `spec`: one optical
+    /// ring per group (this campaign's optical constants at
+    /// [`HierSpec::group_size`] nodes, RWA `strategy`) stitched by the
+    /// electrical switched cluster over all [`HierSpec::nodes`] hosts.
+    ///
+    /// # Errors
+    /// Propagates invalid hierarchy shapes and optical configurations so
+    /// campaign cells can record the failure.
+    pub fn try_composed(
+        &self,
+        spec: HierSpec,
+        strategy: Strategy,
+    ) -> wrht_core::error::Result<ComposedSubstrate> {
+        ComposedSubstrate::new(
+            spec,
+            FabricSpec::optical_with(self.optical(spec.group_size), strategy),
+            FabricSpec::electrical(
+                self.electrical(spec.nodes()),
+                self.electrical_step_overhead_s,
+            ),
+        )
+    }
+
     /// Infallible [`ExperimentConfig::try_substrate`] for the known-valid
     /// experiment grids (panics on invalid parameters).
     #[must_use]
@@ -158,6 +182,16 @@ mod tests {
         let c = ExperimentConfig::small();
         assert_eq!(c.wavelengths, ExperimentConfig::default().wavelengths);
         assert!(c.scales.iter().all(|&n| n <= 64));
+    }
+
+    #[test]
+    fn composed_factory_spans_the_hierarchy() {
+        let c = ExperimentConfig::small();
+        let spec = HierSpec::new(4, 4).unwrap();
+        let sub = c.try_composed(spec, Strategy::FirstFit).unwrap();
+        assert_eq!(wrht_core::substrate::Substrate::nodes(&sub), 16);
+        assert_eq!(sub.intra().nodes(), 4);
+        assert_eq!(sub.inter().nodes(), 16);
     }
 
     #[test]

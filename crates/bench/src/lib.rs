@@ -40,8 +40,9 @@ pub mod report;
 pub mod timeline;
 
 pub use campaign::{
-    run_campaign, run_tenancy_campaign, run_timeline_campaign, sweep_spec, tenants_spec,
-    train_spec, Algorithm, CampaignReport, CampaignSpec, TenancyCampaignReport, TenancySweep,
+    parallelism_spec, run_campaign, run_parallelism_campaign, run_tenancy_campaign,
+    run_timeline_campaign, sweep_spec, tenants_spec, train_spec, Algorithm, CampaignReport,
+    CampaignSpec, ParallelismCampaignReport, ParallelismSweep, TenancyCampaignReport, TenancySweep,
     TimelineReport, TimelineSpec,
 };
 pub use config::{ExperimentConfig, SubstrateKind};

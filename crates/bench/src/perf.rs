@@ -20,6 +20,11 @@
 //!    through `Substrate::execute_stream` (the PR-8 online path): stresses
 //!    per-arrival injection into the *running* kernel, slot reuse and the
 //!    bounded-memory windowed aggregator.
+//! 5. **`hier-gpt2/composed`** — one GPT-2 small TP+PP+DP+MoE iteration
+//!    lowered to a single mixed-domain DAG and executed on the composed
+//!    hierarchical substrate (per-group optical rings + the electrical
+//!    inter-group cluster co-simulated in one event loop — the PR-10
+//!    hierarchy path).
 //!
 //! Each case is run `iters` times and the **minimum** wall time is kept
 //! (the usual micro-bench convention: the minimum is the least noisy
@@ -37,6 +42,10 @@ use wrht_core::dag::DepSchedule;
 use wrht_core::error::Result;
 use wrht_core::stream::{ArrivalProcess, StreamSpec, StreamTemplate};
 use wrht_core::tenancy::{Job, JobWorkload, SchedPolicy, TenancySpec};
+
+use wrht_core::hierarchy::HierSpec;
+use wrht_core::parallelism::{lower_parallelism, ParallelismSpec, StageModel};
+use wrht_core::substrate::Substrate as _;
 
 use crate::campaign::Algorithm;
 use crate::contention::{generate_traffic, Pattern};
@@ -135,6 +144,10 @@ pub struct SuiteScale {
     pub stream_nodes: usize,
     /// Poisson arrivals in the open-loop stream workload.
     pub stream_arrivals: u64,
+    /// Tensor-parallel degree of the hierarchical GPT-2 workload.
+    pub hier_tp: usize,
+    /// Microbatches per iteration of the hierarchical GPT-2 workload.
+    pub hier_microbatches: usize,
     /// Timed repetitions per case.
     pub iters: u32,
 }
@@ -150,6 +163,8 @@ impl SuiteScale {
             pipeline_nodes: 32,
             stream_nodes: 10_000,
             stream_arrivals: 1_000_000,
+            hier_tp: 4,
+            hier_microbatches: 4,
             iters: 5,
         }
     }
@@ -165,6 +180,8 @@ impl SuiteScale {
             pipeline_nodes: 16,
             stream_nodes: 1_000,
             stream_arrivals: 50_000,
+            hier_tp: 2,
+            hier_microbatches: 2,
             iters: 3,
         }
     }
@@ -279,6 +296,21 @@ pub fn stream_workload(nodes: usize, arrivals: u64) -> (ExperimentConfig, Stream
         ));
     }
     (cfg, spec)
+}
+
+/// The frozen hierarchical workload: one GPT-2 small iteration under
+/// `tp × 2 stages × 2 replicas` with a 4-expert MoE phase, lowered to one
+/// mixed-domain DAG for the composed substrate.
+pub fn hier_gpt2_workload(
+    tp: usize,
+    microbatches: usize,
+) -> Result<(ExperimentConfig, HierSpec, DepSchedule)> {
+    let cfg = ExperimentConfig::default();
+    let model = dnn_models::gpt2_small();
+    let spec = ParallelismSpec::new(tp, 2, 2, 4, microbatches)?;
+    let stages = StageModel::split(model.gradient_bytes(), spec.pp, 8 << 20);
+    let dag = lower_parallelism(&spec, &stages)?;
+    Ok((cfg, spec.hier()?, dag))
 }
 
 /// Time `run` over `iters` repetitions, returning (min wall seconds, last
@@ -399,6 +431,27 @@ pub fn run_suite(scale: SuiteScale, suite: &str, milestone: &str) -> Result<Benc
         ));
     }
 
+    // Case family 5: the mixed-parallelism GPT-2 iteration on the
+    // composed hierarchical substrate (both engine families in one loop).
+    {
+        let (cfg, hier, dag) = hier_gpt2_workload(scale.hier_tp, scale.hier_microbatches)?;
+        let mut substrate = cfg.try_composed(hier, optical_sim::Strategy::FirstFit)?;
+        let (wall_s, report) = time_best(scale.iters, || {
+            substrate
+                .execute_dag(&dag)
+                .expect("frozen hierarchical workload executes")
+        });
+        cases.push(case_result(
+            "hier-gpt2/composed".to_string(),
+            hier.nodes(),
+            dag.transfers().len(),
+            scale.iters,
+            wall_s,
+            report.makespan_s,
+            report.events,
+        ));
+    }
+
     Ok(BenchSuiteResult {
         format: BENCH_FORMAT.to_string(),
         suite: suite.to_string(),
@@ -441,7 +494,8 @@ mod tests {
         let mut scale = SuiteScale::small();
         scale.iters = 1;
         let suite = run_suite(scale, "small", "unit-test").expect("suite runs");
-        assert_eq!(suite.cases.len(), 6);
+        assert_eq!(suite.cases.len(), 7);
+        assert!(suite.cases.iter().any(|c| c.name == "hier-gpt2/composed"));
         for case in &suite.cases {
             assert!(case.wall_s > 0.0, "{}: wall time measured", case.name);
             assert!(case.makespan_s > 0.0, "{}: simulated time", case.name);

@@ -360,6 +360,54 @@ pub fn render_faults(results: &[crate::campaign::FaultCellResult], n: usize) -> 
     out
 }
 
+/// Render the mixed-parallelism campaign as an aligned table: one row per
+/// cell with the parallelism shape, the intra/inter traffic split and the
+/// composed-run makespan. Failed cells are skipped (their errors live in
+/// the campaign CSV/JSON).
+#[must_use]
+pub fn render_parallelism(results: &[crate::campaign::ParCellResult]) -> String {
+    let mut out = String::from("== Mixed-parallelism lowering on the composed hierarchy ==\n");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>3} {:>3} {:>3} {:>4} {:>3} {:>6} {:>7} {:>9} {:>9} {:>10} {:>10} {:>12} {:>6}",
+        "model",
+        "tp",
+        "pp",
+        "dp",
+        "moe",
+        "mb",
+        "nodes",
+        "xfers",
+        "intra",
+        "inter",
+        "intra MB",
+        "inter MB",
+        "makespan ms",
+        "peak λ"
+    );
+    for r in results.iter().filter(|r| r.error.is_none()) {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>3} {:>3} {:>3} {:>4} {:>3} {:>6} {:>7} {:>9} {:>9} {:>10.1} {:>10.1} {:>12.3} {:>6}",
+            r.cell.model,
+            r.cell.tp,
+            r.cell.pp,
+            r.cell.dp,
+            r.cell.moe_experts,
+            r.cell.microbatches,
+            r.nodes,
+            r.transfers,
+            r.intra_transfers,
+            r.inter_transfers,
+            r.intra_bytes as f64 / 1e6,
+            r.inter_bytes as f64 / 1e6,
+            r.makespan_s * 1e3,
+            r.peak_wavelength
+        );
+    }
+    out
+}
+
 /// Serialize any experiment payload as pretty JSON.
 pub fn to_json<T: serde::Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("experiment types serialize")

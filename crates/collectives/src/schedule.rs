@@ -195,6 +195,49 @@ impl Schedule {
             .collect()
     }
 
+    /// The same schedule re-addressed onto `members`: rank `r` of this
+    /// schedule becomes node `members[r]`. Used to embed a collective over
+    /// a subgroup (a tensor-parallel group, a data-parallel slice) into a
+    /// larger deployment's node space. `members.len()` must equal
+    /// [`Schedule::n`]; member ids need not be contiguous but must be
+    /// distinct for the result to validate against the wider node count.
+    ///
+    /// # Panics
+    /// Panics if `members.len() != self.n`.
+    #[must_use]
+    pub fn over_members(&self, members: &[usize]) -> Schedule {
+        assert_eq!(
+            members.len(),
+            self.n,
+            "member table must cover every rank of the schedule"
+        );
+        let max = members.iter().copied().max().map_or(0, |m| m + 1);
+        Schedule {
+            n: max,
+            elems: self.elems,
+            steps: self
+                .steps
+                .iter()
+                .map(|s| {
+                    Step::new(
+                        s.transfers
+                            .iter()
+                            .map(|t| {
+                                TransferSpec::new(
+                                    members[t.src],
+                                    members[t.dst],
+                                    t.range.clone(),
+                                    t.op,
+                                )
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            name: self.name.clone(),
+        }
+    }
+
     /// Structural validation: node indices, ranges, self-sends and
     /// intra-step write conflicts.
     pub fn validate(&self) -> Result<(), ScheduleError> {
@@ -340,6 +383,25 @@ mod tests {
             TransferSpec::new(0, 2, 4..10, Op::Copy),
         ]));
         assert_eq!(s.max_send_per_node_per_step(), 10);
+    }
+
+    #[test]
+    fn over_members_remaps_every_endpoint() {
+        let remapped = tiny().over_members(&[7, 3]);
+        assert_eq!(remapped.n, 8);
+        assert_eq!(remapped.elems, 4);
+        assert_eq!(remapped.steps[0].transfers[0].src, 7);
+        assert_eq!(remapped.steps[0].transfers[0].dst, 3);
+        assert_eq!(remapped.steps[1].transfers[0].src, 3);
+        assert_eq!(remapped.steps[1].transfers[0].dst, 7);
+        assert_eq!(remapped.steps[0].transfers[0].range, 0..4);
+        remapped.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "member table must cover every rank")]
+    fn over_members_rejects_short_tables() {
+        let _ = tiny().over_members(&[0]);
     }
 
     #[test]

@@ -12,7 +12,20 @@ use optical_sim::path::LightPath;
 use optical_sim::rwa::{Occupancy, Strategy};
 use optical_sim::topology::{NodeId, RingTopology};
 
-/// All ordered pairs among `reps`.
+/// All ordered `(src, dst)` pairs among `reps` — the transfer set of one
+/// all-to-all step.
+///
+/// Contract (pinned by unit tests and proptests below):
+///
+/// * exactly `k * (k - 1)` pairs for `k` distinct representatives — every
+///   ordered pair appears **exactly once**;
+/// * no self-sends: `src != dst` for every pair (duplicate entries in
+///   `reps` would break this, so callers pass distinct ids);
+/// * deterministic order: pairs are emitted grouped by source in `reps`
+///   order, destinations in `reps` order — the same slice always yields
+///   the identical vector, which downstream lowerings
+///   ([`crate::parallelism::lower_parallelism`]'s MoE phase) rely on for
+///   bit-reproducible DAGs.
 #[must_use]
 pub fn alltoall_pairs(reps: &[usize]) -> Vec<(usize, usize)> {
     let mut pairs = Vec::with_capacity(reps.len().saturating_mul(reps.len().saturating_sub(1)));
@@ -29,9 +42,25 @@ pub fn alltoall_pairs(reps: &[usize]) -> Vec<(usize, usize)> {
 /// Measure how many wavelengths a unit-lane shortest-path First-Fit
 /// assignment of `pairs` needs on `topo`.
 ///
-/// The trial occupancy is sized generously (beyond `w`) so the measurement
-/// is exact even when the requirement exceeds the budget; the caller
-/// compares the result against `w`.
+/// Contract:
+///
+/// * the result is the **exact** peak wavelength index First-Fit reaches
+///   when the pairs are assigned in slice order, each as one unit-lane
+///   lightpath on its shortest arc — not the Liang–Shen `⌈k²/8⌉` bound,
+///   which [`crate::steps::alltoall_wavelength_requirement`] provides;
+/// * `w` is only a sizing hint: the trial occupancy is sized beyond
+///   `max(w, pairs.len())`, so the measurement stays exact even when the
+///   requirement exceeds the budget, and the caller compares the result
+///   against `w` to decide feasibility;
+/// * assignment order matters to First-Fit, so callers must pass pairs in
+///   a canonical order ([`alltoall_pairs`] output) for reproducible
+///   measurements;
+/// * empty `pairs` need zero wavelengths.
+///
+/// # Errors
+/// Only if the generously-sized trial occupancy still cannot place a path
+/// (unreachable for unit lanes, kept as an error rather than a panic to
+/// honor the crate's no-panic rule).
 pub fn measured_alltoall_wavelengths(
     topo: &RingTopology,
     pairs: &[(usize, usize)],
@@ -96,5 +125,72 @@ mod tests {
     fn empty_pairs_need_nothing() {
         let topo = RingTopology::new(8);
         assert_eq!(measured_alltoall_wavelengths(&topo, &[], 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn pair_count_is_exactly_k_times_k_minus_one() {
+        for k in 0..10usize {
+            let reps: Vec<usize> = (0..k).map(|i| i * 3 + 1).collect();
+            assert_eq!(alltoall_pairs(&reps).len(), k * k.saturating_sub(1));
+        }
+    }
+
+    mod props {
+        use super::super::{alltoall_pairs, measured_alltoall_wavelengths};
+        use optical_sim::topology::RingTopology;
+        use proptest::prelude::*;
+
+        fn distinct_reps(max_size: usize) -> impl Strategy<Value = Vec<usize>> {
+            proptest::collection::vec(0usize..64, 0..max_size).prop_map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn every_ordered_pair_exactly_once(reps in distinct_reps(9)) {
+                let pairs = alltoall_pairs(&reps);
+                let k = reps.len();
+                prop_assert_eq!(pairs.len(), k * k.saturating_sub(1));
+                // Exactly once: no duplicates and full coverage.
+                let mut sorted = pairs.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), pairs.len());
+                for &a in &reps {
+                    for &b in &reps {
+                        if a != b {
+                            prop_assert!(pairs.contains(&(a, b)));
+                        }
+                    }
+                }
+            }
+
+            #[test]
+            fn no_self_sends_and_deterministic(reps in distinct_reps(9)) {
+                let pairs = alltoall_pairs(&reps);
+                prop_assert!(pairs.iter().all(|&(a, b)| a != b));
+                prop_assert_eq!(pairs, alltoall_pairs(&reps));
+            }
+
+            #[test]
+            fn measurement_is_exact_and_order_sized(
+                reps in distinct_reps(7),
+                n in 8usize..32,
+            ) {
+                let reps: Vec<usize> = reps.into_iter().filter(|&r| r < n).collect();
+                let topo = RingTopology::new(n);
+                let pairs = alltoall_pairs(&reps);
+                // The sizing hint must not change the measurement.
+                let lo = measured_alltoall_wavelengths(&topo, &pairs, 1).unwrap();
+                let hi = measured_alltoall_wavelengths(&topo, &pairs, 256).unwrap();
+                prop_assert_eq!(lo, hi);
+                // Never more than one wavelength per pair, none for none.
+                prop_assert!(lo <= pairs.len());
+                prop_assert_eq!(lo == 0, pairs.is_empty());
+            }
+        }
     }
 }

@@ -1,0 +1,1162 @@
+//! Hierarchical composed substrates: intra-group and inter-group fabrics
+//! executing one DAG together.
+//!
+//! The flat [`crate::substrate::Substrate`] implementations answer "how
+//! long does this schedule take on *one* fabric". A production-scale
+//! deployment is hierarchical: each group of hosts shares a fast
+//! intra-group fabric (the paper's WDM optical ring), and the groups are
+//! stitched together by a slower inter-group fabric (an electrical
+//! switched cluster). A mixed-parallelism job produces traffic on *both*
+//! at once — tensor-parallel all-reduces inside a group concurrently with
+//! data-parallel gradient all-reduces across groups — and the two parts
+//! are coupled by dependencies, so the fabrics cannot be simulated one
+//! after the other.
+//!
+//! This module composes them:
+//!
+//! * [`HierSpec`] — the shape of the hierarchy: `groups` groups of
+//!   `group_size` hosts. Global host `h` lives in group `h / group_size`.
+//! * [`Domain`] — the fabric a transfer traverses, **derived from its
+//!   endpoints**: same group → [`Domain::Intra`], different groups →
+//!   [`Domain::Inter`]. [`HierSpec::domains`] tags a whole
+//!   [`DepSchedule`]; there is no per-transfer freedom, so a tagged DAG
+//!   can never disagree with the topology.
+//! * [`FabricSpec`] — a buildable description of one fabric (the optical
+//!   ring config + RWA strategy, or the electrical network + per-flow
+//!   launch overhead). The intra spec describes **one group's** fabric and
+//!   is replicated per group; the inter spec spans all
+//!   `groups * group_size` hosts.
+//! * [`ComposedSubstrate`] — a [`Substrate`] over the composed topology.
+//!   [`Substrate::execute_dag`] partitions the DAG by domain and drives
+//!   one streaming engine per fabric — [`optical_sim::GrantEngine`] for
+//!   optical fabrics, [`electrical_sim::FluidEngine`] for electrical ones,
+//!   both running on the shared [`wrht_kernel::EventKernel`] semantics —
+//!   in a single event loop: at every iteration the engine with the
+//!   earliest pending event steps, its completions retire dependency
+//!   edges, and transfers whose last predecessor just finished are
+//!   injected into *their* fabric's engine released at the bit-exact
+//!   completion instant. Cross-fabric dependencies are therefore honored
+//!   at kernel event granularity, not at phase barriers.
+//!
+//! # Flat collapse
+//!
+//! A [`HierSpec`] with `groups == 1` has no inter-group traffic at all —
+//! every transfer's endpoints share the single group. Every execution
+//! method then delegates verbatim to the flat intra substrate, so a
+//! single-group composed run is **bit-exact** with today's flat runs (the
+//! report carries the flat substrate's own label). This collapse is
+//! pinned by `tests/hierarchy_differential.rs` on both fabric orders.
+//!
+//! # Determinism
+//!
+//! The event loop is deterministic: engines are ordered (group 0 .. group
+//! G-1, then inter), the next engine to step is the minimum of the
+//! engines' next-event instants under IEEE-754 total order with ties
+//! broken by engine index, completions drain in engine order, and newly
+//! unblocked transfers are injected in ascending DAG index. Same DAG →
+//! bit-identical report.
+//!
+//! ```
+//! use optical_sim::{NodeId, OpticalConfig, Transfer};
+//! use wrht_core::dag::{DepSchedule, DepTransfer};
+//! use wrht_core::hierarchy::{ComposedSubstrate, FabricSpec, HierSpec};
+//! use wrht_core::substrate::Substrate;
+//!
+//! // Two groups of 4: an intra transfer in group 0, then a dependent
+//! // inter transfer from group 0 to group 1.
+//! let spec = HierSpec::new(2, 4).unwrap();
+//! let mut sub = ComposedSubstrate::new(
+//!     spec,
+//!     FabricSpec::optical(OpticalConfig::new(4, 4)),
+//!     FabricSpec::electrical(
+//!         electrical_sim::topology::star_cluster(8, 12.5e9, 500e-9),
+//!         5e-6,
+//!     ),
+//! )
+//! .unwrap();
+//! let dag = DepSchedule::from_transfers(vec![
+//!     DepTransfer {
+//!         transfer: Transfer::shortest(NodeId(0), NodeId(1), 1 << 20),
+//!         deps: vec![],
+//!         release_s: 0.0,
+//!         stage: 0,
+//!     },
+//!     DepTransfer {
+//!         transfer: Transfer::shortest(NodeId(1), NodeId(5), 1 << 20),
+//!         deps: vec![0],
+//!         release_s: 0.0,
+//!         stage: 1,
+//!     },
+//! ])
+//! .unwrap();
+//! let report = sub.execute_dag(&dag).unwrap();
+//! assert_eq!(report.transfers.len(), 2);
+//! // The inter hop cannot start before the intra hop completed.
+//! assert!(report.transfers[1].start_s >= report.transfers[0].finish_s);
+//! ```
+
+use electrical_sim::{EngineFlow, FluidEngine, Network};
+use optical_sim::sim::StepSchedule;
+use optical_sim::{
+    GrantCompletion, GrantEngine, GrantTransfer, NodeId, OpticalConfig, OpticalError, Strategy,
+    Transfer,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::dag::DepSchedule;
+use crate::error::Result;
+use crate::fault::{FaultPolicy, FaultRunReport, FaultScript};
+use crate::stream::{StreamCheckpoint, StreamOutcome, StreamSpec};
+use crate::substrate::{
+    DagRunReport, DagTiming, ElectricalSubstrate, OpticalSubstrate, RunReport, StepTiming,
+    Substrate,
+};
+use crate::tenancy::{JobArbitration, TenantDagRun};
+
+fn cfg_err(msg: &'static str) -> crate::error::WrhtError {
+    OpticalError::BadConfig(msg).into()
+}
+
+/// The fabric a transfer of a hierarchical job traverses.
+///
+/// Derived from the transfer's endpoints by [`HierSpec::domain_of`]; a
+/// transfer whose endpoints share a group *is* intra-group traffic, so the
+/// tag carries no degrees of freedom beyond the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Both endpoints inside the same group: the transfer runs on that
+    /// group's intra fabric, addressed by group-local host ids.
+    Intra {
+        /// The group both endpoints belong to.
+        group: usize,
+    },
+    /// Endpoints in different groups: the transfer runs on the shared
+    /// inter-group fabric, addressed by global host ids.
+    Inter,
+}
+
+impl Domain {
+    /// Stable lowercase label used in reports and CSV rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Intra { .. } => "intra",
+            Domain::Inter => "inter",
+        }
+    }
+}
+
+/// The shape of a hierarchical deployment: `groups` groups of
+/// `group_size` hosts each, `groups * group_size` hosts total.
+///
+/// Global host `h` lives in group `h / group_size` with group-local id
+/// `h % group_size` — the same contiguous-partition convention the Wrht
+/// planner's [`crate::plan::Group`] machinery uses on the flat ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierSpec {
+    /// Number of groups (>= 1).
+    pub groups: usize,
+    /// Hosts per group (>= 2; a 1-host group could never source a legal
+    /// intra transfer and the optical ring needs at least two nodes).
+    pub group_size: usize,
+}
+
+impl HierSpec {
+    /// Validated constructor.
+    ///
+    /// # Errors
+    /// Rejects zero groups and groups smaller than two hosts.
+    pub fn new(groups: usize, group_size: usize) -> Result<Self> {
+        if groups == 0 {
+            return Err(cfg_err("hierarchy needs at least one group"));
+        }
+        if group_size < 2 {
+            return Err(cfg_err("hierarchy groups need at least two hosts"));
+        }
+        Ok(Self { groups, group_size })
+    }
+
+    /// Total hosts across all groups.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.groups * self.group_size
+    }
+
+    /// Group of a global host id.
+    #[must_use]
+    pub fn group_of(&self, node: usize) -> usize {
+        node / self.group_size
+    }
+
+    /// Group-local id of a global host id.
+    #[must_use]
+    pub fn local(&self, node: usize) -> usize {
+        node % self.group_size
+    }
+
+    /// The fabric domain of a transfer between two global host ids.
+    #[must_use]
+    pub fn domain_of(&self, src: usize, dst: usize) -> Domain {
+        let g = self.group_of(src);
+        if g == self.group_of(dst) {
+            Domain::Intra { group: g }
+        } else {
+            Domain::Inter
+        }
+    }
+
+    /// Tag every transfer of `dag` with its fabric domain.
+    ///
+    /// # Errors
+    /// Rejects transfers whose endpoints exceed [`HierSpec::nodes`].
+    pub fn domains(&self, dag: &DepSchedule) -> Result<Vec<Domain>> {
+        let nodes = self.nodes();
+        dag.transfers()
+            .iter()
+            .map(|t| {
+                let (src, dst) = (t.transfer.src.0, t.transfer.dst.0);
+                if src >= nodes || dst >= nodes {
+                    return Err(cfg_err("transfer endpoint outside the hierarchy"));
+                }
+                Ok(self.domain_of(src, dst))
+            })
+            .collect()
+    }
+}
+
+/// A buildable description of one fabric of a [`ComposedSubstrate`].
+///
+/// The intra spec describes a **single group's** fabric (its node count
+/// must equal [`HierSpec::group_size`]) and is instantiated once per
+/// group; the inter spec spans every host ([`HierSpec::nodes`]).
+#[derive(Debug, Clone)]
+pub enum FabricSpec {
+    /// A WDM optical ring driven by the wavelength-grant loop.
+    Optical {
+        /// Ring deployment (nodes, wavelengths, timing).
+        config: OpticalConfig,
+        /// RWA strategy applied at every grant.
+        strategy: Strategy,
+    },
+    /// An electrical switched cluster driven by the incremental max-min
+    /// fluid engine.
+    Electrical {
+        /// Topology with link capacities and routing.
+        network: Network,
+        /// Launch overhead charged once per flow, seconds.
+        step_overhead_s: f64,
+    },
+}
+
+impl FabricSpec {
+    /// Optical fabric with First-Fit RWA.
+    #[must_use]
+    pub fn optical(config: OpticalConfig) -> Self {
+        FabricSpec::Optical {
+            config,
+            strategy: Strategy::FirstFit,
+        }
+    }
+
+    /// Optical fabric with an explicit RWA strategy.
+    #[must_use]
+    pub fn optical_with(config: OpticalConfig, strategy: Strategy) -> Self {
+        FabricSpec::Optical { config, strategy }
+    }
+
+    /// Electrical fabric.
+    #[must_use]
+    pub fn electrical(network: Network, step_overhead_s: f64) -> Self {
+        FabricSpec::Electrical {
+            network,
+            step_overhead_s,
+        }
+    }
+
+    /// Number of hosts the fabric attaches.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        match self {
+            FabricSpec::Optical { config, .. } => config.nodes,
+            FabricSpec::Electrical { network, .. } => network.hosts(),
+        }
+    }
+
+    /// Stable lowercase label ("optical" / "electrical").
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FabricSpec::Optical { .. } => "optical",
+            FabricSpec::Electrical { .. } => "electrical",
+        }
+    }
+
+    /// Build the flat substrate this spec describes.
+    ///
+    /// # Errors
+    /// Invalid optical configurations are rejected as by
+    /// [`OpticalSubstrate::with_strategy`].
+    pub fn substrate(&self) -> Result<Box<dyn Substrate>> {
+        Ok(match self {
+            FabricSpec::Optical { config, strategy } => {
+                Box::new(OpticalSubstrate::with_strategy(config.clone(), *strategy)?)
+            }
+            FabricSpec::Electrical {
+                network,
+                step_overhead_s,
+            } => Box::new(ElectricalSubstrate::new(network.clone(), *step_overhead_s)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-fabric streaming engines
+// ---------------------------------------------------------------------------
+
+/// One transfer completion surfaced to the composed event loop, already
+/// resolved to its global DAG index.
+struct Done {
+    idx: usize,
+    start_s: f64,
+    finish_s: f64,
+}
+
+/// A fabric's streaming engine plus the bookkeeping that maps engine
+/// completions back to global DAG indices and global host ids down to the
+/// fabric's own address space.
+enum Fabric<'a> {
+    Optical {
+        eng: Box<GrantEngine>,
+        /// Global DAG index per engine order key (order keys are assigned
+        /// in injection order, one per transfer).
+        order_map: Vec<usize>,
+        /// Global id of the fabric's host 0 (group * group_size; 0 for
+        /// the inter fabric).
+        node_base: usize,
+        scratch: Vec<GrantCompletion>,
+        wavelengths: usize,
+        /// Instant of the engine's last processed event. Cross-fabric
+        /// gates can lie (slightly) in this engine's past — the fluid
+        /// engines surface completions through tolerated stale events, so
+        /// a finish instant may only become known after other engines
+        /// advanced beyond it. Injections clamp their release to this
+        /// clock: the transfer still starts no earlier than its gate.
+        clock_s: f64,
+    },
+    Electrical {
+        eng: Box<FluidEngine<'a>>,
+        /// Global DAG index per engine flow index (append-only).
+        flow_map: Vec<usize>,
+        node_base: usize,
+        overhead_s: f64,
+        /// Earliest release among flows injected since the last step; the
+        /// fluid engine schedules release events lazily inside `step`, so
+        /// the loop carries this to keep `peek` truthful (exactly as the
+        /// stream driver does).
+        pending_release: Option<f64>,
+        scratch: Vec<usize>,
+        /// Instant of the engine's last processed event (see the optical
+        /// variant's `clock_s`); kept for symmetry so late cross-fabric
+        /// gates never regress this engine's timeline either.
+        clock_s: f64,
+    },
+}
+
+impl<'a> Fabric<'a> {
+    fn build(spec: &'a FabricSpec, node_base: usize, arb: Option<&JobArbitration>) -> Result<Self> {
+        Ok(match spec {
+            FabricSpec::Optical { config, strategy } => {
+                let mut eng = GrantEngine::new(
+                    config,
+                    *strategy,
+                    arb.is_some(),
+                    arb.is_some_and(|a| a.fair_share),
+                )?;
+                if let Some(a) = arb {
+                    for &r in &a.rank {
+                        eng.add_job(r);
+                    }
+                }
+                Fabric::Optical {
+                    eng: Box::new(eng),
+                    order_map: Vec::new(),
+                    node_base,
+                    scratch: Vec::new(),
+                    wavelengths: config.wavelengths,
+                    clock_s: 0.0,
+                }
+            }
+            FabricSpec::Electrical {
+                network,
+                step_overhead_s,
+            } => Fabric::Electrical {
+                eng: Box::new(FluidEngine::new(network)),
+                flow_map: Vec::new(),
+                node_base,
+                overhead_s: *step_overhead_s,
+                pending_release: None,
+                scratch: Vec::new(),
+                clock_s: 0.0,
+            },
+        })
+    }
+
+    /// Instant of the fabric's next pending event, if any.
+    fn peek(&mut self) -> Option<f64> {
+        match self {
+            Fabric::Optical { eng, .. } => eng.peek_time(),
+            Fabric::Electrical {
+                eng,
+                pending_release,
+                ..
+            } => match (eng.peek_time(), *pending_release) {
+                (Some(p), Some(r)) => Some(p.min(r)),
+                (Some(p), None) => Some(p),
+                (None, pending) => pending,
+            },
+        }
+    }
+
+    /// Inject one dependency-free transfer, released at `release_s`
+    /// (absolute seconds; raised to the fabric's clock when a cross-fabric
+    /// gate surfaced late — see `clock_s`). Endpoints are global host ids
+    /// and are rebased into the fabric's address space.
+    fn inject(
+        &mut self,
+        idx: usize,
+        transfer: &Transfer,
+        release_s: f64,
+        job: usize,
+    ) -> Result<()> {
+        match self {
+            Fabric::Optical {
+                eng,
+                order_map,
+                node_base,
+                clock_s,
+                ..
+            } => {
+                let release_s = release_s.max(*clock_s);
+                let local = Transfer {
+                    src: NodeId(transfer.src.0 - *node_base),
+                    dst: NodeId(transfer.dst.0 - *node_base),
+                    ..transfer.clone()
+                };
+                eng.inject(&[GrantTransfer {
+                    transfer: local,
+                    release_s,
+                    deps: Vec::new(),
+                    job,
+                }])?;
+                order_map.push(idx);
+                Ok(())
+            }
+            Fabric::Electrical {
+                eng,
+                flow_map,
+                node_base,
+                overhead_s,
+                pending_release,
+                clock_s,
+                ..
+            } => {
+                let release_s = release_s.max(*clock_s);
+                let base = eng.inject(&[EngineFlow {
+                    src: transfer.src.0 - *node_base,
+                    dst: transfer.dst.0 - *node_base,
+                    bytes: transfer.bytes,
+                    release_s,
+                    delay_s: *overhead_s,
+                    deps: Vec::new(),
+                    job,
+                }])?;
+                debug_assert_eq!(base, flow_map.len());
+                flow_map.push(idx);
+                *pending_release = Some(match *pending_release {
+                    Some(r) => r.min(release_s),
+                    None => release_s,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Process the fabric's next event instant.
+    fn step(&mut self) -> Result<()> {
+        match self {
+            Fabric::Optical { eng, clock_s, .. } => {
+                if let Some(t) = eng.step() {
+                    *clock_s = clock_s.max(t);
+                }
+                Ok(())
+            }
+            Fabric::Electrical {
+                eng,
+                pending_release,
+                clock_s,
+                ..
+            } => {
+                *pending_release = None;
+                if let Some(t) = eng.step()? {
+                    *clock_s = clock_s.max(t);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Drain completions recorded by previous steps, resolved to global
+    /// DAG indices.
+    fn drain(&mut self, out: &mut Vec<Done>) {
+        match self {
+            Fabric::Optical {
+                eng,
+                order_map,
+                scratch,
+                ..
+            } => {
+                scratch.clear();
+                eng.drain_completions(scratch);
+                out.extend(scratch.iter().map(|c| Done {
+                    idx: order_map[c.order as usize],
+                    start_s: c.start_s,
+                    finish_s: c.finish_s,
+                }));
+            }
+            Fabric::Electrical {
+                eng,
+                flow_map,
+                scratch,
+                ..
+            } => {
+                scratch.clear();
+                eng.drain_completed(scratch);
+                for &i in scratch.iter() {
+                    let (start_s, finish_s) = eng.window(i);
+                    out.push(Done {
+                        idx: flow_map[i],
+                        start_s,
+                        finish_s,
+                    });
+                }
+            }
+        }
+    }
+
+    fn events(&self) -> u64 {
+        match self {
+            Fabric::Optical { eng, .. } => eng.events(),
+            Fabric::Electrical { eng, .. } => eng.events(),
+        }
+    }
+
+    fn peak_wavelength(&self) -> usize {
+        match self {
+            Fabric::Optical { eng, .. } => eng.peak_wavelength(),
+            Fabric::Electrical { .. } => 0,
+        }
+    }
+
+    /// (rate recomputations, solver work) — zero on optical fabrics.
+    fn solver_stats(&self) -> (usize, usize) {
+        match self {
+            Fabric::Optical { .. } => (0, 0),
+            Fabric::Electrical { eng, .. } => (eng.rate_recomputations(), eng.solver_work()),
+        }
+    }
+
+    /// Surface the fabric's own diagnostic when the composed run stalled
+    /// (stuck optical lanes, unreachable electrical flows).
+    fn stall_diagnostic(&mut self) -> Result<()> {
+        match self {
+            Fabric::Optical {
+                eng, wavelengths, ..
+            } => {
+                if let Some(lanes) = eng.stuck_lanes() {
+                    return Err(OpticalError::WavelengthsExhausted {
+                        available: *wavelengths,
+                        requested: lanes,
+                        step: 0,
+                    }
+                    .into());
+                }
+                Ok(())
+            }
+            Fabric::Electrical { eng, .. } => {
+                eng.step()?;
+                Ok(())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The composed substrate
+// ---------------------------------------------------------------------------
+
+/// Result of one composed event loop.
+struct ComposedRun {
+    timings: Vec<DagTiming>,
+    makespan_s: f64,
+    peak_wavelength: usize,
+    rate_recomputations: usize,
+    solver_work: usize,
+    events: u64,
+}
+
+/// A hierarchical [`Substrate`]: per-group intra fabrics plus one
+/// inter-group fabric, executing one domain-tagged DAG in a single event
+/// loop (see module docs).
+///
+/// Hosts are dual-homed: every host has a port on its group's intra
+/// fabric and a port on the inter fabric, so the two fabrics carry load
+/// independently and contend only through dependency edges.
+#[derive(Debug, Clone)]
+pub struct ComposedSubstrate {
+    spec: HierSpec,
+    intra: FabricSpec,
+    inter: FabricSpec,
+    name: String,
+}
+
+impl ComposedSubstrate {
+    /// Build a composed substrate.
+    ///
+    /// # Errors
+    /// The intra fabric must attach exactly [`HierSpec::group_size`]
+    /// hosts and the inter fabric exactly [`HierSpec::nodes`].
+    pub fn new(spec: HierSpec, intra: FabricSpec, inter: FabricSpec) -> Result<Self> {
+        HierSpec::new(spec.groups, spec.group_size)?;
+        if intra.nodes() != spec.group_size {
+            return Err(cfg_err("intra fabric size must equal the group size"));
+        }
+        if inter.nodes() != spec.nodes() {
+            return Err(cfg_err("inter fabric must span every host"));
+        }
+        let name = format!("composed({}+{})", intra.label(), inter.label());
+        Ok(Self {
+            spec,
+            intra,
+            inter,
+            name,
+        })
+    }
+
+    /// The hierarchy shape.
+    #[must_use]
+    pub fn spec(&self) -> &HierSpec {
+        &self.spec
+    }
+
+    /// The per-group intra fabric description.
+    #[must_use]
+    pub fn intra(&self) -> &FabricSpec {
+        &self.intra
+    }
+
+    /// The inter-group fabric description.
+    #[must_use]
+    pub fn inter(&self) -> &FabricSpec {
+        &self.inter
+    }
+
+    /// True when the spec is flat (one group): every execution method
+    /// delegates verbatim to the intra substrate.
+    #[must_use]
+    pub fn is_flat(&self) -> bool {
+        self.spec.groups == 1
+    }
+
+    fn flat(&self) -> Result<Box<dyn Substrate>> {
+        self.intra.substrate()
+    }
+
+    /// The composed event loop (see module docs for the determinism
+    /// contract). `arb` switches the optical fabrics into arbitrated
+    /// (multi-job) grant order and tags electrical flows with jobs.
+    fn run(&self, dag: &DepSchedule, arb: Option<&JobArbitration>) -> Result<ComposedRun> {
+        let domains = self.spec.domains(dag)?;
+        if let Some(a) = arb {
+            if a.job_of.len() != dag.len() {
+                return Err(cfg_err("job tags do not cover the schedule"));
+            }
+            if a.job_of.iter().any(|&j| j >= a.rank.len()) {
+                return Err(cfg_err("job tag out of range of the rank table"));
+            }
+        }
+
+        // Engines in fixed order: intra group 0 .. G-1, then inter.
+        let mut fabrics: Vec<Fabric<'_>> = Vec::with_capacity(self.spec.groups + 1);
+        for g in 0..self.spec.groups {
+            fabrics.push(Fabric::build(&self.intra, g * self.spec.group_size, arb)?);
+        }
+        fabrics.push(Fabric::build(&self.inter, 0, arb)?);
+        let engine_of: Vec<usize> = domains
+            .iter()
+            .map(|d| match d {
+                Domain::Intra { group } => *group,
+                Domain::Inter => self.spec.groups,
+            })
+            .collect();
+
+        let transfers = dag.transfers();
+        let n = transfers.len();
+        let mut missing: Vec<usize> = transfers.iter().map(|t| t.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in transfers.iter().enumerate() {
+            for &d in &t.deps {
+                if d >= i {
+                    return Err(cfg_err("dependency must precede its transfer"));
+                }
+                dependents[d].push(i);
+            }
+        }
+        // Earliest legal start: own release, raised to the completion
+        // instant of the latest predecessor as predecessors finish.
+        let mut gate_s: Vec<f64> = transfers.iter().map(|t| t.release_s).collect();
+        let job_of = |i: usize| arb.map_or(0, |a| a.job_of[i]);
+
+        for i in 0..n {
+            if missing[i] == 0 {
+                fabrics[engine_of[i]].inject(i, &transfers[i].transfer, gate_s[i], job_of(i))?;
+            }
+        }
+
+        let mut timings = vec![
+            DagTiming {
+                start_s: 0.0,
+                finish_s: 0.0,
+            };
+            n
+        ];
+        let mut completed = 0usize;
+        let mut done: Vec<Done> = Vec::new();
+        let mut ready: Vec<usize> = Vec::new();
+        while completed < n {
+            // The engine with the earliest pending event steps next;
+            // ties go to the lowest engine index.
+            let mut best: Option<(f64, usize)> = None;
+            for (k, f) in fabrics.iter_mut().enumerate() {
+                if let Some(t) = f.peek() {
+                    best = Some(match best {
+                        Some((bt, bk)) if bt.total_cmp(&t).is_le() => (bt, bk),
+                        _ => (t, k),
+                    });
+                }
+            }
+            done.clear();
+            match best {
+                Some((_, k)) => {
+                    fabrics[k].step()?;
+                    fabrics[k].drain(&mut done);
+                }
+                None => {
+                    // The fluid engine promotes released flows lazily
+                    // inside `step`; give every fabric one chance to make
+                    // progress before declaring the run stuck.
+                    let before: u64 = fabrics.iter().map(Fabric::events).sum();
+                    for f in fabrics.iter_mut() {
+                        f.step()?;
+                        f.drain(&mut done);
+                    }
+                    let after: u64 = fabrics.iter().map(Fabric::events).sum();
+                    if after == before && done.is_empty() {
+                        for f in fabrics.iter_mut() {
+                            f.stall_diagnostic()?;
+                        }
+                        return Err(cfg_err("composed run stalled with unfinished transfers"));
+                    }
+                }
+            }
+            ready.clear();
+            for c in &done {
+                timings[c.idx] = DagTiming {
+                    start_s: c.start_s,
+                    finish_s: c.finish_s,
+                };
+                completed += 1;
+                for &j in &dependents[c.idx] {
+                    if c.finish_s > gate_s[j] {
+                        gate_s[j] = c.finish_s;
+                    }
+                    missing[j] -= 1;
+                    if missing[j] == 0 {
+                        ready.push(j);
+                    }
+                }
+            }
+            // Unblocked transfers enter their fabric in DAG order,
+            // released at the bit-exact instant their last predecessor
+            // finished (raised to their own release time if later).
+            ready.sort_unstable();
+            for &j in &ready {
+                fabrics[engine_of[j]].inject(j, &transfers[j].transfer, gate_s[j], job_of(j))?;
+            }
+        }
+
+        let makespan_s = timings.iter().fold(0.0f64, |m, t| m.max(t.finish_s));
+        let mut peak_wavelength = 0usize;
+        let mut rate_recomputations = 0usize;
+        let mut solver_work = 0usize;
+        let mut events = 0u64;
+        for f in &fabrics {
+            peak_wavelength = peak_wavelength.max(f.peak_wavelength());
+            let (r, w) = f.solver_stats();
+            rate_recomputations += r;
+            solver_work += w;
+            events += f.events();
+        }
+        Ok(ComposedRun {
+            timings,
+            makespan_s,
+            peak_wavelength,
+            rate_recomputations,
+            solver_work,
+            events,
+        })
+    }
+
+    fn dag_report(&self, run: ComposedRun) -> DagRunReport {
+        DagRunReport {
+            substrate: self.name.clone(),
+            makespan_s: run.makespan_s,
+            transfers: run.timings,
+            peak_wavelength: run.peak_wavelength,
+            rate_recomputations: run.rate_recomputations,
+            solver_work: run.solver_work,
+            events: run.events,
+        }
+    }
+}
+
+impl Substrate for ComposedSubstrate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn nodes(&self) -> usize {
+        self.spec.nodes()
+    }
+
+    fn execute(&mut self, schedule: &StepSchedule) -> Result<RunReport> {
+        if self.is_flat() {
+            return self.flat()?.execute(schedule);
+        }
+        // Barrier steps across two fabrics: lower to the barrier DAG and
+        // rebuild per-step durations from the stage frontier (a step's
+        // transfers are gated on the whole previous step, so stage ends
+        // are non-decreasing).
+        let dag = DepSchedule::from_steps(schedule);
+        let run = self.run(&dag, None)?;
+        let mut stage_end = vec![0.0f64; schedule.len()];
+        for (t, timing) in dag.transfers().iter().zip(&run.timings) {
+            stage_end[t.stage] = stage_end[t.stage].max(timing.finish_s);
+        }
+        let mut steps = Vec::with_capacity(schedule.len());
+        let mut prev_end = 0.0f64;
+        for (k, step) in schedule.steps().iter().enumerate() {
+            let end = stage_end[k].max(prev_end);
+            steps.push(StepTiming {
+                duration_s: end - prev_end,
+                transfers: step.len(),
+                bytes: step.iter().map(|t| t.bytes).sum(),
+                peak_wavelength: 0,
+            });
+            prev_end = end;
+        }
+        Ok(RunReport {
+            substrate: self.name.clone(),
+            total_time_s: run.makespan_s,
+            steps,
+        })
+    }
+
+    fn execute_dag(&mut self, dag: &DepSchedule) -> Result<DagRunReport> {
+        if self.is_flat() {
+            return self.flat()?.execute_dag(dag);
+        }
+        let run = self.run(dag, None)?;
+        Ok(self.dag_report(run))
+    }
+
+    fn execute_dag_jobs(
+        &mut self,
+        dag: &DepSchedule,
+        arb: &JobArbitration,
+    ) -> Result<TenantDagRun> {
+        if self.is_flat() {
+            return self.flat()?.execute_dag_jobs(dag, arb);
+        }
+        let run = self.run(dag, Some(arb))?;
+        let jobs = arb.rank.len();
+        // Like the flat optical path: resources are granted whole (and
+        // the fluid rates live inside the inter engine), so delivered
+        // bytes are the exact payload sums and there is no fractional
+        // rate attribution to report.
+        let mut service = vec![0.0f64; jobs];
+        for (t, &j) in dag.transfers().iter().zip(&arb.job_of) {
+            service[j] += t.transfer.bytes as f64;
+        }
+        Ok(TenantDagRun {
+            dag: self.dag_report(run),
+            job_active_s: vec![0.0; jobs],
+            job_service_bytes: service,
+            job_peak_rate_bps: vec![0.0; jobs],
+        })
+    }
+
+    fn execute_dag_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        if self.is_flat() {
+            return self.flat()?.execute_dag_faulted(dag, script, policy);
+        }
+        Err(cfg_err(
+            "fault injection on a multi-group composed substrate is not supported yet",
+        ))
+    }
+
+    fn execute_dag_jobs_faulted(
+        &mut self,
+        dag: &DepSchedule,
+        arb: &JobArbitration,
+        script: &FaultScript,
+        policy: FaultPolicy,
+    ) -> Result<FaultRunReport> {
+        if self.is_flat() {
+            return self
+                .flat()?
+                .execute_dag_jobs_faulted(dag, arb, script, policy);
+        }
+        Err(cfg_err(
+            "fault injection on a multi-group composed substrate is not supported yet",
+        ))
+    }
+
+    fn execute_stream_until(
+        &mut self,
+        spec: &StreamSpec,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome> {
+        if self.is_flat() {
+            return self
+                .flat()?
+                .execute_stream_until(spec, pause_after_arrivals);
+        }
+        Err(cfg_err(
+            "streams on a multi-group composed substrate are not supported yet",
+        ))
+    }
+
+    fn resume_stream(
+        &mut self,
+        spec: &StreamSpec,
+        checkpoint: &StreamCheckpoint,
+        pause_after_arrivals: Option<u64>,
+    ) -> Result<StreamOutcome> {
+        if self.is_flat() {
+            return self
+                .flat()?
+                .resume_stream(spec, checkpoint, pause_after_arrivals);
+        }
+        Err(cfg_err(
+            "streams on a multi-group composed substrate are not supported yet",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DepTransfer;
+
+    fn optical_cfg(n: usize) -> OpticalConfig {
+        OpticalConfig::new(n, 4)
+            .with_lambda_bandwidth(1e9)
+            .with_message_overhead(0.0)
+            .with_hop_propagation(0.0)
+    }
+
+    fn electrical_net(n: usize) -> Network {
+        electrical_sim::topology::star_cluster(n, 1e9, 0.0)
+    }
+
+    fn composed(groups: usize, group_size: usize) -> ComposedSubstrate {
+        ComposedSubstrate::new(
+            HierSpec::new(groups, group_size).unwrap(),
+            FabricSpec::optical(optical_cfg(group_size)),
+            FabricSpec::electrical(electrical_net(groups * group_size), 0.0),
+        )
+        .unwrap()
+    }
+
+    fn t(src: usize, dst: usize, bytes: u64) -> Transfer {
+        Transfer::shortest(NodeId(src), NodeId(dst), bytes)
+    }
+
+    fn dep(tr: Transfer, deps: Vec<usize>, stage: usize) -> DepTransfer {
+        DepTransfer {
+            transfer: tr,
+            deps,
+            release_s: 0.0,
+            stage,
+        }
+    }
+
+    #[test]
+    fn spec_validates_shape() {
+        assert!(HierSpec::new(0, 4).is_err());
+        assert!(HierSpec::new(2, 1).is_err());
+        let spec = HierSpec::new(3, 4).unwrap();
+        assert_eq!(spec.nodes(), 12);
+        assert_eq!(spec.group_of(7), 1);
+        assert_eq!(spec.local(7), 3);
+    }
+
+    #[test]
+    fn domains_derive_from_endpoints() {
+        let spec = HierSpec::new(2, 4).unwrap();
+        assert_eq!(spec.domain_of(0, 3), Domain::Intra { group: 0 });
+        assert_eq!(spec.domain_of(5, 6), Domain::Intra { group: 1 });
+        assert_eq!(spec.domain_of(3, 4), Domain::Inter);
+        assert_eq!(Domain::Inter.label(), "inter");
+        assert_eq!(Domain::Intra { group: 0 }.label(), "intra");
+    }
+
+    #[test]
+    fn domains_reject_out_of_range_endpoints() {
+        let spec = HierSpec::new(2, 4).unwrap();
+        let dag = DepSchedule::from_transfers(vec![dep(t(0, 9, 1), vec![], 0)]).unwrap();
+        assert!(spec.domains(&dag).is_err());
+    }
+
+    #[test]
+    fn new_rejects_mismatched_fabric_sizes() {
+        let spec = HierSpec::new(2, 4).unwrap();
+        assert!(ComposedSubstrate::new(
+            spec,
+            FabricSpec::optical(optical_cfg(8)),
+            FabricSpec::electrical(electrical_net(8), 0.0),
+        )
+        .is_err());
+        assert!(ComposedSubstrate::new(
+            spec,
+            FabricSpec::optical(optical_cfg(4)),
+            FabricSpec::electrical(electrical_net(4), 0.0),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flat_spec_delegates_bit_exactly_to_the_intra_substrate() {
+        let mut flat = OpticalSubstrate::new(optical_cfg(4)).unwrap();
+        let mut comp = composed(1, 4);
+        assert!(comp.is_flat());
+        let dag = DepSchedule::from_transfers(vec![
+            dep(t(0, 1, 1 << 20), vec![], 0),
+            dep(t(2, 3, 1 << 20), vec![], 0),
+            dep(t(1, 2, 1 << 20), vec![0, 1], 1),
+        ])
+        .unwrap();
+        let a = flat.execute_dag(&dag).unwrap();
+        let b = comp.execute_dag(&dag).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_fabric_dependency_is_honored_at_the_completion_instant() {
+        let mut comp = composed(2, 4);
+        let dag = DepSchedule::from_transfers(vec![
+            dep(t(0, 1, 1 << 20), vec![], 0),
+            dep(t(1, 5, 1 << 20), vec![0], 1),
+            dep(t(5, 6, 1 << 20), vec![1], 2),
+        ])
+        .unwrap();
+        let report = comp.execute_dag(&dag).unwrap();
+        assert_eq!(report.substrate, "composed(optical+electrical)");
+        let tr = &report.transfers;
+        assert!(tr[1].start_s >= tr[0].finish_s);
+        assert!(tr[2].start_s >= tr[1].finish_s);
+        assert!(report.makespan_s >= tr[2].finish_s);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn composed_runs_are_deterministic() {
+        let dag = DepSchedule::from_transfers(vec![
+            dep(t(0, 2, 3 << 19), vec![], 0),
+            dep(t(4, 7, 1 << 20), vec![], 0),
+            dep(t(2, 6, 1 << 19), vec![0], 1),
+            dep(t(7, 3, 1 << 18), vec![1], 1),
+            dep(t(3, 1, 1 << 20), vec![2, 3], 2),
+        ])
+        .unwrap();
+        let a = composed(2, 4).execute_dag(&dag).unwrap();
+        let b = composed(2, 4).execute_dag(&dag).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.makespan_s.to_bits(), b.makespan_s.to_bits());
+    }
+
+    #[test]
+    fn independent_domains_overlap_in_time() {
+        // An intra transfer and an inter transfer with no edges between
+        // them: the composed run must not serialize the fabrics.
+        let mut comp = composed(2, 4);
+        let dag = DepSchedule::from_transfers(vec![
+            dep(t(0, 1, 8 << 20), vec![], 0),
+            dep(t(3, 4, 8 << 20), vec![], 0),
+        ])
+        .unwrap();
+        let report = comp.execute_dag(&dag).unwrap();
+        let tr = &report.transfers;
+        // Both start at their release instants, not one after the other.
+        assert!(tr[0].start_s < tr[1].finish_s);
+        assert!(tr[1].start_s < tr[0].finish_s);
+    }
+
+    #[test]
+    fn execute_lowers_barrier_steps_across_both_fabrics() {
+        let mut comp = composed(2, 4);
+        let sched = StepSchedule::from_steps(vec![
+            vec![t(0, 1, 1 << 20), t(4, 5, 1 << 20)],
+            vec![t(1, 4, 1 << 20)],
+        ]);
+        let report = comp.execute(&sched).unwrap();
+        assert_eq!(report.step_count(), 2);
+        assert!(report.total_time_s > 0.0);
+        let sum: f64 = report.steps.iter().map(|s| s.duration_s).sum();
+        assert!((sum - report.total_time_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_group_faults_and_streams_are_rejected() {
+        let mut comp = composed(2, 4);
+        let dag = DepSchedule::from_transfers(vec![dep(t(0, 1, 1), vec![], 0)]).unwrap();
+        assert!(comp
+            .execute_dag_faulted(&dag, &FaultScript::default(), FaultPolicy::FailJob)
+            .is_err());
+    }
+
+    #[test]
+    fn jobs_are_arbitrated_across_fabrics() {
+        let mut comp = composed(2, 4);
+        let dag = DepSchedule::from_transfers(vec![
+            dep(t(0, 1, 1 << 20), vec![], 0),
+            dep(t(1, 5, 1 << 20), vec![0], 1),
+            dep(t(2, 3, 1 << 20), vec![], 1),
+        ])
+        .unwrap();
+        let arb = JobArbitration {
+            job_of: vec![0, 0, 1],
+            rank: vec![0, 1],
+            fair_share: false,
+        };
+        let run = comp.execute_dag_jobs(&dag, &arb).unwrap();
+        assert_eq!(run.job_service_bytes.len(), 2);
+        assert!(run.job_service_bytes[0] > run.job_service_bytes[1]);
+        assert!(run.dag.makespan_s > 0.0);
+    }
+}

@@ -54,6 +54,14 @@
 //!   ([`substrate::Substrate::execute_stream`]), windowed metrics with
 //!   bounded memory, and versioned checkpoint/resume
 //!   ([`stream::StreamCheckpoint`]);
+//! * [`hierarchy`] — hierarchical composed substrates: per-group intra
+//!   fabrics (optical grant loop) plus an inter-group fabric (incremental
+//!   max-min engine) executing one domain-tagged [`dag::DepSchedule`] in a
+//!   single event loop ([`hierarchy::ComposedSubstrate`]), with
+//!   single-group specs collapsing bit-exactly to flat runs;
+//! * [`parallelism`] — the mixed-parallelism IR
+//!   ([`parallelism::ParallelismSpec`]: TP × PP × DP × MoE) lowering
+//!   transformer stage models to one hierarchical traffic DAG;
 //! * [`quantile`] — streaming P² percentile estimation shared by the
 //!   closed and open-loop reports.
 //!
@@ -77,6 +85,7 @@ pub mod dag;
 pub mod describe;
 pub mod error;
 pub mod fault;
+pub mod hierarchy;
 
 /// The shared discrete-event kernel both substrate simulators run on.
 ///
@@ -91,6 +100,7 @@ pub mod kernel {
 }
 pub mod lower;
 pub mod optimizer;
+pub mod parallelism;
 pub mod params;
 pub mod pipeline;
 pub mod plan;
@@ -112,10 +122,12 @@ pub mod prelude {
         FaultClusterReport, FaultError, FaultEvent, FaultKind, FaultPolicy, FaultRunReport,
         FaultScript, FaultTiming, JobBlastRadius,
     };
+    pub use crate::hierarchy::{ComposedSubstrate, Domain, FabricSpec, HierSpec};
     pub use crate::lower::{
         to_logical_schedule, to_optical_schedule, to_optical_schedule_with, BroadcastMode,
     };
     pub use crate::optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
+    pub use crate::parallelism::{lower_parallelism, ParallelismSpec, StageModel};
     pub use crate::params::{GroupSize, WrhtParams};
     pub use crate::pipeline::{optimal_segments, segment_sweep, segmented_time, SegmentPoint};
     pub use crate::plan::{
@@ -144,7 +156,9 @@ pub mod prelude {
 pub use dag::{DepSchedule, DepTransfer, ExecMode};
 pub use error::WrhtError;
 pub use fault::{FaultClusterReport, FaultPolicy, FaultRunReport, FaultScript};
+pub use hierarchy::{ComposedSubstrate, Domain, FabricSpec, HierSpec};
 pub use optimizer::{choose_group_size, plan_and_simulate, PlanOutcome};
+pub use parallelism::{lower_parallelism, ParallelismSpec, StageModel};
 pub use params::{GroupSize, WrhtParams};
 pub use plan::{build_plan, candidate_plans, StopPolicy, WrhtPlan};
 pub use quantile::{PercentileSet, Percentiles};

@@ -13,6 +13,11 @@
 //! fields: its fluid model has no wavelengths, and routing is decided by the
 //! [`electrical_sim::Network`] topology.
 //!
+//! Both flat fabrics also compose: [`crate::hierarchy::ComposedSubstrate`]
+//! is a third [`Substrate`] implementation that co-simulates per-group
+//! optical rings with an electrical inter-group cluster in one event loop,
+//! and collapses bit-exactly to the flat substrates when `groups == 1`.
+//!
 //! ```
 //! use wrht_core::substrate::{ElectricalSubstrate, OpticalSubstrate, Substrate};
 //! use wrht_core::baselines::oring_schedule;

@@ -40,8 +40,13 @@ pub mod prelude {
         IterationModel, OverlapReport,
     };
     pub use crate::transformer::{bert_large, gpt2_small, transformer, TransformerConfig};
-    pub use crate::zoo::{alexnet, googlenet, paper_models, resnet50, vgg16, Model};
+    pub use crate::zoo::{
+        alexnet, all_models, googlenet, model_by_name, paper_models, resnet50, vgg16, Model,
+    };
 }
 
 pub use layer::{Layer, LayerKind};
-pub use zoo::{alexnet, googlenet, paper_models, resnet50, vgg16, Model};
+pub use transformer::{bert_large, gpt2_small};
+pub use zoo::{
+    alexnet, all_models, googlenet, model_by_name, paper_models, resnet50, vgg16, Model,
+};

@@ -209,6 +209,32 @@ pub fn paper_models() -> Vec<Model> {
     vec![alexnet(), vgg16(), resnet50(), googlenet()]
 }
 
+/// Every model the zoo can name: the paper's four CNNs followed by the
+/// transformer pair ([`crate::transformer::gpt2_small`],
+/// [`crate::transformer::bert_large`]) the parallelism campaigns train.
+#[must_use]
+pub fn all_models() -> Vec<Model> {
+    let mut models = paper_models();
+    models.push(crate::transformer::gpt2_small());
+    models.push(crate::transformer::bert_large());
+    models
+}
+
+/// Look up a model by name, case-insensitively and ignoring `-`/`_`
+/// separators, so the command-line spellings `gpt2_small`, `GPT2-small`
+/// and `gpt2small` all resolve to the same table.
+#[must_use]
+pub fn model_by_name(name: &str) -> Option<Model> {
+    fn key(s: &str) -> String {
+        s.chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+    let want = key(name);
+    all_models().into_iter().find(|m| key(&m.name) == want)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,4 +290,45 @@ mod tests {
         let names: Vec<String> = paper_models().into_iter().map(|m| m.name).collect();
         assert_eq!(names, ["AlexNet", "VGG16", "ResNet50", "GoogLeNet"]);
     }
+
+    #[test]
+    fn registry_lists_cnns_then_transformers() {
+        let names: Vec<String> = all_models().into_iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            [
+                "AlexNet",
+                "VGG16",
+                "ResNet50",
+                "GoogLeNet",
+                "GPT2-small",
+                "BERT-large"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_is_spelling_tolerant() {
+        assert_eq!(model_by_name("gpt2_small").unwrap().name, "GPT2-small");
+        assert_eq!(model_by_name("GPT2-small").unwrap().name, "GPT2-small");
+        assert_eq!(model_by_name("bert_large").unwrap().name, "BERT-large");
+        assert_eq!(model_by_name("resnet50").unwrap().name, "ResNet50");
+        assert_eq!(model_by_name("ALEXNET").unwrap().name, "AlexNet");
+        assert!(model_by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn transformer_layer_tables_pin_parameter_counts() {
+        // Exact table totals, so a silent layer-table edit cannot drift
+        // the traffic the parallelism lowering generates.
+        let gpt2 = model_by_name("gpt2_small").unwrap();
+        let bert = model_by_name("bert_large").unwrap();
+        assert_eq!(gpt2.params(), PIN_GPT2);
+        assert_eq!(bert.params(), PIN_BERT);
+        assert_eq!(gpt2.gradient_bytes(), (PIN_GPT2 * 4) as u64);
+        assert_eq!(bert.gradient_bytes(), (PIN_BERT * 4) as u64);
+    }
+
+    const PIN_GPT2: usize = 124_439_808;
+    const PIN_BERT: usize = 334_090_240;
 }

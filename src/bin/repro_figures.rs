@@ -28,6 +28,11 @@
 //!                node failure under replan and fail-job recovery, with
 //!                per-job blast radius and recovery time (resumable via
 //!                results/faults)
+//!   parallelism  Mixed-parallelism lowering: TP/PP/DP (+ MoE all-to-all)
+//!                transformer iterations lowered to one mixed-domain DAG
+//!                and executed on the composed hierarchical substrate
+//!                (optical rings intra-group, electrical cluster
+//!                inter-group; resumable via results/parallelism)
 //!   serve        Online cluster service: open-loop Poisson arrivals of
 //!                training jobs at an underload and an overload rate,
 //!                under every scheduling policy and immediate /
@@ -45,7 +50,7 @@
 //!                the machine-readable report on stdout instead of the
 //!                table.
 //!   all          Everything above except sweep, train, tenants, faults,
-//!                serve, bench and analyze (default)
+//!                parallelism, serve, bench and analyze (default)
 //!
 //! `--small` shrinks the node scales for a fast smoke run. `--threads=N`
 //! caps the campaign worker count (default: available parallelism).
@@ -63,15 +68,15 @@ use wrht_bench::ablations::{
     group_size_sweep, overlap_study, rwa_strategy_compare, variant_study, wavelength_sweep,
 };
 use wrht_bench::campaign::{
-    fig2_from_campaign, run_campaign, run_fault_campaign, run_stream_campaign,
-    run_tenancy_campaign, run_timeline_campaign, sweep_spec,
+    fig2_from_campaign, run_campaign, run_fault_campaign, run_parallelism_campaign,
+    run_stream_campaign, run_tenancy_campaign, run_timeline_campaign, sweep_spec,
 };
 use wrht_bench::contention::{run_contention, Pattern};
 use wrht_bench::perf::{run_suite, BenchSuiteResult, SuiteScale};
 use wrht_bench::report::{
     render_contention, render_faults, render_fig2, render_fit, render_group_size, render_headline,
-    render_overlap, render_streams, render_tenants, render_timeline, render_variants,
-    render_wavelengths, to_json,
+    render_overlap, render_parallelism, render_streams, render_tenants, render_timeline,
+    render_variants, render_wavelengths, to_json,
 };
 use wrht_bench::timeline::TimelineRow;
 use wrht_bench::{fig2_series, headline, ExperimentConfig};
@@ -342,6 +347,27 @@ fn cmd_faults(
     write_json(&sink, "fault_rows.json", &to_json(&report.results));
 }
 
+fn cmd_parallelism(cfg: &ExperimentConfig, results: &Path, threads: usize) {
+    let spec = wrht_bench::campaign::parallelism_spec(cfg, 2023);
+    let sink = results.join("parallelism");
+    println!(
+        "== Mixed-parallelism campaign: {} cells over {} worker thread(s) ==",
+        spec.cells.len(),
+        threads
+    );
+    let report = run_parallelism_campaign(&spec, threads, Some(&sink));
+    let infeasible = report.results.iter().filter(|r| r.error.is_some()).count();
+    println!(
+        "{} cells finished ({infeasible} infeasible); sink: {}",
+        report.results.len(),
+        sink.display()
+    );
+    println!();
+    print!("{}", render_parallelism(&report.results));
+    println!();
+    write_json(&sink, "parallelism_rows.json", &to_json(&report.results));
+}
+
 fn cmd_serve(cfg: &ExperimentConfig, results: &Path, threads: usize, models: &[dnn_models::Model]) {
     let n = *cfg.scales.first().expect("scales non-empty");
     let spec = wrht_bench::campaign::serve_spec(cfg, models, n, 2023);
@@ -483,6 +509,7 @@ fn run_command(
         "tenants" => cmd_tenants(cfg, results, threads, &dnn_models::paper_models()),
         "faults" => cmd_faults(cfg, results, threads, &dnn_models::paper_models()),
         "serve" => cmd_serve(cfg, results, threads, &dnn_models::paper_models()),
+        "parallelism" => cmd_parallelism(cfg, results, threads),
         "fig2" => cmd_fig2(cfg, results),
         "headline" => cmd_headline(cfg, results),
         "steps" => cmd_steps(),
@@ -789,6 +816,26 @@ mod tests {
         // Resumable: a second run reuses the sink without changing output.
         cmd_serve(&tiny_cfg(), &results, 1, &[dnn_models::googlenet()]);
         let rows2 = fs::read_to_string(sink.join("stream_rows.json")).unwrap();
+        assert_eq!(rows, rows2);
+        let _ = fs::remove_dir_all(&results);
+    }
+
+    #[test]
+    fn parallelism_command_runs_the_composed_campaign_and_resumes() {
+        let results = temp_results("parallelism");
+        cmd_parallelism(&tiny_cfg(), &results, 2);
+        let sink = results.join("parallelism");
+        let rows =
+            fs::read_to_string(sink.join("parallelism_rows.json")).expect("parallelism_rows.json");
+        assert!(rows.contains("GPT2-small") && rows.contains("BERT-large"));
+        assert!(rows.contains("\"intra_transfers\"") && rows.contains("\"inter_transfers\""));
+        let csv =
+            fs::read_to_string(sink.join("parallelism.csv")).expect("parallelism campaign CSV");
+        // 2 transformer models × 4 parallelism shapes + header.
+        assert_eq!(csv.lines().count(), 9);
+        // Resumable: a second run reuses the sink without changing output.
+        cmd_parallelism(&tiny_cfg(), &results, 1);
+        let rows2 = fs::read_to_string(sink.join("parallelism_rows.json")).unwrap();
         assert_eq!(rows, rows2);
         let _ = fs::remove_dir_all(&results);
     }

@@ -132,6 +132,41 @@ fn stream_campaign_json_matches_golden() {
 }
 
 #[test]
+fn parallelism_campaign_json_matches_golden() {
+    // The `parallelism` figure: GPT-2 small lowered under every default
+    // TP/PP/DP (+ MoE) shape to one mixed-domain DAG and executed on the
+    // composed hierarchical substrate (optical rings intra-group, the
+    // electrical cluster inter-group). Pins the whole hierarchy pipeline —
+    // parallelism IR lowering, fabric-domain tagging, per-group engine
+    // instantiation and the cross-fabric co-sim event loop — bit-exactly.
+    let mut spec = wrht_bench::campaign::parallelism_spec(&golden_cfg(), 2023);
+    spec.cells.retain(|c| c.model == "GPT2-small");
+    assert!(!spec.cells.is_empty(), "GPT-2 shapes must be in the grid");
+    let report = wrht_bench::campaign::run_parallelism_campaign(&spec, 1, None);
+    assert!(
+        report.results.iter().all(|r| r.error.is_none()),
+        "every golden parallelism cell must execute"
+    );
+    // The default grid must exercise both a flat (TP-only, intra-only)
+    // shape and composed shapes with inter-group DP / MoE traffic.
+    assert!(
+        report
+            .results
+            .iter()
+            .any(|r| r.groups == 1 && r.inter_transfers == 0),
+        "missing the flat TP-only shape"
+    );
+    assert!(
+        report
+            .results
+            .iter()
+            .any(|r| r.cell.moe_experts > 0 && r.inter_transfers > 0 && r.intra_transfers > 0),
+        "missing a mixed-domain MoE shape"
+    );
+    assert_matches_golden("parallelism_gpt2.json", &to_json(&report));
+}
+
+#[test]
 fn headline_json_matches_golden() {
     let cfg = golden_cfg();
     let all: Vec<_> = [dnn_models::googlenet(), dnn_models::alexnet()]

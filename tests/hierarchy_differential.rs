@@ -1,0 +1,286 @@
+//! Differential testing of the composed hierarchical substrate.
+//!
+//! Pins the tentpole contracts of [`wrht_core::hierarchy::ComposedSubstrate`]:
+//!
+//! * a **single-group** hierarchy collapses to today's flat runs
+//!   **bit-exactly**, on BOTH substrate orders (optical-intra /
+//!   electrical-inter and the reverse), for random collective DAGs and
+//!   random physics — the composed layer must be a pure refactor when
+//!   there is nothing to compose;
+//! * on **multi-group** hierarchies with random mixed-domain DAGs, the
+//!   cross-fabric co-simulation never deadlocks: every run completes, and
+//!   every transfer starts only after its release time and after every
+//!   dependency — including dependencies that live on the *other*
+//!   fabric — has finished;
+//! * the composed makespan is never below the **per-fabric critical
+//!   path**: the longest dependency chain priced with each transfer's
+//!   *uncontended, isolated* duration on its own fabric (contention and
+//!   cross-fabric stitching can only add time);
+//! * composed execution is deterministic: same DAG, bit-identical reports.
+
+use collectives::halving_doubling::halving_doubling;
+use collectives::rd::recursive_doubling;
+use collectives::ring::ring_allreduce;
+use collectives::Schedule;
+use electrical_sim::topology::star_cluster;
+use optical_sim::{NodeId, OpticalConfig, Transfer};
+use proptest::prelude::*;
+use wrht_core::baselines::lower_collective_to_optical;
+use wrht_core::dag::{DepSchedule, DepTransfer};
+use wrht_core::hierarchy::{ComposedSubstrate, Domain, FabricSpec, HierSpec};
+use wrht_core::substrate::{ElectricalSubstrate, OpticalSubstrate, Substrate};
+
+const BYTES_PER_ELEM: usize = 4;
+
+type Builder = fn(usize, usize) -> Schedule;
+
+const ALGORITHMS: [(&str, Builder); 3] = [
+    ("ring", ring_allreduce as Builder),
+    ("hd", halving_doubling as Builder),
+    ("rd", recursive_doubling as Builder),
+];
+
+fn optical_spec(n: usize, bandwidth_bps: f64, overhead_s: f64) -> FabricSpec {
+    FabricSpec::optical(
+        OpticalConfig::new(n, n.max(2))
+            .with_lambda_bandwidth(bandwidth_bps)
+            .with_message_overhead(overhead_s)
+            .with_hop_propagation(0.0),
+    )
+}
+
+fn electrical_spec(n: usize, bandwidth_bps: f64, overhead_s: f64) -> FabricSpec {
+    FabricSpec::electrical(star_cluster(n, bandwidth_bps, 0.0), overhead_s)
+}
+
+/// A random mixed-domain DAG over `spec`: endpoints drawn from the seed
+/// vectors, a sparse back-edge dependency structure, staggered releases.
+fn random_hier_dag(
+    spec: HierSpec,
+    len: usize,
+    src_seeds: &[usize],
+    dst_seeds: &[usize],
+    dep_seeds: &[usize],
+    byte_seeds: &[usize],
+) -> DepSchedule {
+    let nodes = spec.nodes();
+    let mut transfers = Vec::with_capacity(len);
+    for i in 0..len {
+        let src = src_seeds[i] % nodes;
+        let dst = (src + 1 + dst_seeds[i] % (nodes - 1)) % nodes;
+        let mut deps = Vec::new();
+        if i > 0 && !dep_seeds[i].is_multiple_of(4) {
+            deps.push(dep_seeds[i] % i);
+            let second = (dep_seeds[i] / 7) % i;
+            if second != deps[0] && dep_seeds[i].is_multiple_of(3) {
+                deps.push(second);
+                deps.sort_unstable();
+            }
+        }
+        transfers.push(DepTransfer {
+            transfer: Transfer::shortest(
+                NodeId(src),
+                NodeId(dst),
+                (byte_seeds[i] as u64 + 1) << 10,
+            ),
+            deps,
+            release_s: (dep_seeds[i] % 3) as f64 * 1e-5,
+            stage: i,
+        });
+    }
+    DepSchedule::from_transfers(transfers).expect("generated DAG is topologically ordered")
+}
+
+/// The uncontended duration of each transfer on its own fabric: a fresh
+/// isolated substrate runs a one-transfer DAG (intra transfers rebased to
+/// group-local ids on a single group's fabric).
+fn isolated_durations(
+    spec: HierSpec,
+    dag: &DepSchedule,
+    domains: &[Domain],
+    intra: &dyn Fn() -> Box<dyn Substrate>,
+    inter: &dyn Fn() -> Box<dyn Substrate>,
+) -> Vec<f64> {
+    dag.transfers()
+        .iter()
+        .zip(domains)
+        .map(|(t, d)| {
+            let (mut substrate, transfer) = match d {
+                Domain::Intra { .. } => (
+                    intra(),
+                    Transfer {
+                        src: NodeId(spec.local(t.transfer.src.0)),
+                        dst: NodeId(spec.local(t.transfer.dst.0)),
+                        ..t.transfer.clone()
+                    },
+                ),
+                Domain::Inter => (inter(), t.transfer.clone()),
+            };
+            let solo = DepSchedule::from_transfers(vec![DepTransfer {
+                transfer,
+                deps: vec![],
+                release_s: 0.0,
+                stage: 0,
+            }])
+            .expect("one-transfer DAG is valid");
+            let report = substrate.execute_dag(&solo).expect("isolated run");
+            report.transfers[0].finish_s - report.transfers[0].start_s
+        })
+        .collect()
+}
+
+/// Longest dependency chain priced with per-transfer isolated durations —
+/// a safe lower bound on any execution honoring deps and releases.
+fn critical_path_lower_bound(dag: &DepSchedule, iso: &[f64]) -> f64 {
+    let mut finish_lb = vec![0.0f64; dag.len()];
+    let mut best = 0.0f64;
+    for (i, t) in dag.transfers().iter().enumerate() {
+        let mut start = t.release_s;
+        for &d in &t.deps {
+            start = start.max(finish_lb[d]);
+        }
+        finish_lb[i] = start + iso[i];
+        best = best.max(finish_lb[i]);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A one-group hierarchy is a pure delegation: the composed substrate
+    /// reproduces the flat substrate's DAG report bit-exactly on BOTH
+    /// substrate orders, for every classic collective and random physics.
+    #[test]
+    fn single_group_collapses_to_flat_runs_on_both_orders(
+        n in 2usize..16,
+        elems in 1usize..20_000,
+        bw_idx in 0usize..3,
+        ov_idx in 0usize..3,
+    ) {
+        let bandwidth = [1e9, 2.5e9, 12.5e9][bw_idx];
+        let overhead = [0.0, 1e-6, 5e-6][ov_idx];
+        let spec = HierSpec::new(1, n).expect("valid one-group spec");
+        for (name, build) in ALGORITHMS {
+            let sched = lower_collective_to_optical(&build(n, elems), BYTES_PER_ELEM, 1);
+            let dag = DepSchedule::from_steps(&sched);
+
+            // Order 1: optical intra, electrical inter — collapses to the
+            // flat optical substrate.
+            let mut composed = ComposedSubstrate::new(
+                spec,
+                optical_spec(n, bandwidth, overhead),
+                electrical_spec(n, bandwidth, overhead),
+            )
+            .expect("valid composed substrate");
+            let FabricSpec::Optical { config, .. } = optical_spec(n, bandwidth, overhead) else {
+                unreachable!()
+            };
+            let mut flat_optical =
+                OpticalSubstrate::new(config).expect("valid optical config");
+            prop_assert_eq!(
+                composed.execute_dag(&dag).expect("composed optical-intra"),
+                flat_optical.execute_dag(&dag).expect("flat optical"),
+                "algorithm {} must collapse bit-exactly (optical intra)", name
+            );
+
+            // Order 2: electrical intra, optical inter — collapses to the
+            // flat electrical substrate.
+            let mut composed = ComposedSubstrate::new(
+                spec,
+                electrical_spec(n, bandwidth, overhead),
+                optical_spec(n, bandwidth, overhead),
+            )
+            .expect("valid composed substrate");
+            let mut flat_electrical =
+                ElectricalSubstrate::new(star_cluster(n, bandwidth, 0.0), overhead);
+            prop_assert_eq!(
+                composed.execute_dag(&dag).expect("composed electrical-intra"),
+                flat_electrical.execute_dag(&dag).expect("flat electrical"),
+                "algorithm {} must collapse bit-exactly (electrical intra)", name
+            );
+        }
+    }
+
+    /// Random mixed-domain DAGs on multi-group hierarchies: the co-sim
+    /// completes (no deadlock), honors every release and cross-fabric
+    /// dependency at event granularity, never beats the per-fabric
+    /// critical path, and is bit-deterministic — on both substrate orders.
+    #[test]
+    fn composed_runs_honor_cross_fabric_dependencies(
+        groups in 2usize..4,
+        group_size in 2usize..5,
+        len in 1usize..28,
+        src_seeds in proptest::collection::vec(0usize..1_000, 28..29),
+        dst_seeds in proptest::collection::vec(0usize..1_000, 28..29),
+        dep_seeds in proptest::collection::vec(0usize..1_000, 28..29),
+        byte_seeds in proptest::collection::vec(0usize..4_096, 28..29),
+        electrical_intra in proptest::bool::ANY,
+    ) {
+        let spec = HierSpec::new(groups, group_size).expect("valid spec");
+        let nodes = spec.nodes();
+        let dag = random_hier_dag(spec, len, &src_seeds, &dst_seeds, &dep_seeds, &byte_seeds);
+        let domains = spec.domains(&dag).expect("endpoints in range");
+        let (bandwidth, overhead) = (1e9, 1e-6);
+
+        let (intra, inter) = if electrical_intra {
+            (
+                electrical_spec(group_size, bandwidth, overhead),
+                optical_spec(nodes, bandwidth, overhead),
+            )
+        } else {
+            (
+                optical_spec(group_size, bandwidth, overhead),
+                electrical_spec(nodes, bandwidth, overhead),
+            )
+        };
+        let mut composed = ComposedSubstrate::new(spec, intra.clone(), inter.clone())
+            .expect("valid composed substrate");
+        let report = composed.execute_dag(&dag).expect("co-sim must not deadlock");
+        prop_assert_eq!(report.transfers.len(), dag.len());
+
+        // Gates: start >= release and >= every dependency's finish, even
+        // when the dependency ran on the other fabric.
+        for (i, t) in dag.transfers().iter().enumerate() {
+            let w = report.transfers[i];
+            prop_assert!(w.finish_s >= w.start_s, "transfer {i} runs forward in time");
+            prop_assert!(
+                w.start_s >= t.release_s - 1e-12,
+                "transfer {i} started {} before its release {}", w.start_s, t.release_s
+            );
+            for &d in &t.deps {
+                prop_assert!(
+                    w.start_s >= report.transfers[d].finish_s - 1e-12,
+                    "transfer {i} ({}) started at {} before dep {d} ({}) finished at {}",
+                    domains[i].label(), w.start_s,
+                    domains[d].label(), report.transfers[d].finish_s
+                );
+            }
+        }
+        let max_finish = report
+            .transfers
+            .iter()
+            .fold(0.0f64, |m, w| m.max(w.finish_s));
+        prop_assert!((report.makespan_s - max_finish).abs() < 1e-12);
+
+        // The composed makespan can only exceed the per-fabric critical
+        // path (isolated, uncontended durations along dependency chains).
+        let iso = isolated_durations(
+            spec,
+            &dag,
+            &domains,
+            &|| intra.substrate().expect("intra fabric builds"),
+            &|| inter.substrate().expect("inter fabric builds"),
+        );
+        let bound = critical_path_lower_bound(&dag, &iso);
+        prop_assert!(
+            report.makespan_s >= bound - 1e-9,
+            "composed makespan {} beat the critical-path bound {}", report.makespan_s, bound
+        );
+
+        // Bit-determinism on a fresh composed substrate.
+        let mut again = ComposedSubstrate::new(spec, intra, inter).expect("valid substrate");
+        let report2 = again.execute_dag(&dag).expect("deterministic rerun");
+        prop_assert_eq!(report, report2);
+    }
+}
